@@ -1,0 +1,51 @@
+// Figures 2 and 3: dataset overviews of DBpedia Persons and WordNet Nouns —
+// subjects, properties, signature counts, sigma_Cov/sigma_Sim, and the
+// signature-view rendering the paper draws as a black/white bitmap.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/closed_form.h"
+#include "gen/persons.h"
+#include "gen/wordnet.h"
+#include "schema/ascii_view.h"
+
+namespace rdfsr {
+namespace {
+
+void Overview(const std::string& name, const schema::SignatureIndex& index,
+              const std::string& paper_line) {
+  std::cout << "\n--- " << name << " ---\n";
+  std::cout << "paper:    " << paper_line << "\n";
+  const std::vector<int> all = eval::AllSignatures(index);
+  std::cout << "measured: " << FormatCount(index.total_subjects())
+            << " subjects, " << index.num_properties() << " properties, "
+            << index.num_signatures() << " signatures, sigma_Cov = "
+            << FormatDouble(eval::CovCounts(index, all).Value())
+            << ", sigma_Sim = "
+            << FormatDouble(eval::SimCounts(index, all).Value()) << "\n\n";
+  schema::AsciiViewOptions options;
+  options.max_rows = 16;
+  options.show_property_header = false;
+  std::cout << schema::RenderSignatureView(index, options);
+}
+
+}  // namespace
+}  // namespace rdfsr
+
+int main() {
+  using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::Banner("Figures 2 and 3: dataset overviews",
+                "DBpedia Persons: 790,703 subj / 8 props / 64 sigs / "
+                "Cov 0.54 / Sim 0.77; WordNet Nouns: 79,689 subj / 12 props "
+                "/ 53 sigs / Cov 0.44 / Sim 0.93");
+
+  Overview("DBpedia Persons (synthetic twin, 1/100 scale)",
+           gen::GeneratePersons(),
+           "790,703 subjects, 8 properties, 64 signatures, Cov 0.54, "
+           "Sim 0.77");
+  Overview("WordNet Nouns (synthetic twin, 1/10 scale)", gen::GenerateWordnet(),
+           "79,689 subjects, 12 properties, 53 signatures, Cov 0.44, "
+           "Sim 0.93");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 5: DBpedia Persons, lowest k with threshold theta = 0.9 under
+// (a) Cov — paper: k = 9, alive/dead sub-sorts by known-property profile —
+// and (b) Sim — paper: k = 4, more lenient toward rare properties so fewer
+// sorts suffice.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gen/persons.h"
+
+namespace rdfsr {
+namespace {
+
+void RunCase(const char* label, const char* paper_line,
+             const schema::SignatureIndex& index,
+             std::unique_ptr<eval::Evaluator> evaluator) {
+  std::cout << "\n--- " << label << " ---\npaper: " << paper_line << "\n";
+  core::SolverOptions options = bench::BenchSolverOptions();
+  options.mip.time_limit_seconds = 6.0;
+  options.greedy.restarts = 3;
+  options.greedy.max_passes = 12;
+  core::RefinementSolver solver(evaluator.get(), options);
+  auto result = solver.FindLowestK(Rational(9, 10), /*max_k=*/24);
+  if (!result.ok()) {
+    std::cout << "measured: " << result.status().ToString() << "\n";
+    return;
+  }
+  std::cout << "measured: lowest k = " << result->k
+            << (result->proven_minimal ? " (proven minimal)"
+                                       : " (smaller k not excluded — solver "
+                                         "limits, cf. the paper's 8h/instance "
+                                         "CPLEX runs)")
+            << ", " << result->instances << " instances, "
+            << FormatDouble(result->seconds, 1) << "s\n";
+  bench::PrintRefinementStats(index, result->refinement);
+}
+
+}  // namespace
+}  // namespace rdfsr
+
+int main() {
+  using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::Banner("Figure 5: DBpedia Persons, lowest k for theta = 0.9",
+                "Fig 5a (Cov: k = 9, sorts 10,748..260,585 subjects), "
+                "Fig 5b (Sim: k = 4, sorts 87,117..292,880 subjects)");
+  // Reduced scale keeps the per-instance ILPs inside our homegrown MIP's
+  // budget; the signature structure (and hence k) is scale-stable.
+  gen::PersonsConfig config;
+  config.num_subjects = 2000;
+  const schema::SignatureIndex index = gen::GeneratePersons(config);
+  std::cout << "dataset: " << FormatCount(index.total_subjects())
+            << " subjects, " << index.num_signatures() << " signatures\n";
+
+  RunCase("(a) sigma_Cov, theta = 0.9", "k = 9", index,
+          eval::ClosedFormEvaluator::Cov(&index));
+  RunCase("(b) sigma_Sim, theta = 0.9", "k = 4", index,
+          eval::ClosedFormEvaluator::Sim(&index));
+  return 0;
+}

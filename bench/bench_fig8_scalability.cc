@@ -1,0 +1,110 @@
+// Figure 8: scalability of the ILP-based solution on synthetic YAGO explicit
+// sorts. The paper measures, over ~500 sampled sorts, the total time of a
+// "highest theta for k=2" search as a function of (a) the number of
+// signatures — best fit ~ s^2.53 — and (b) the number of properties — best
+// fit ~ e^{0.28 p} — and observes that runtime does NOT depend on the number
+// of subjects. We sweep the same three axes at reduced ranges (our MIP
+// replaces CPLEX) and fit the same functional forms.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gen/yago.h"
+#include "util/fit.h"
+#include "util/timer.h"
+
+namespace rdfsr {
+namespace {
+
+double TimeHighestTheta(const schema::SignatureIndex& index) {
+  auto cov = eval::ClosedFormEvaluator::Cov(&index);
+  core::SolverOptions options = bench::BenchSolverOptions();
+  options.mip.time_limit_seconds = 4.0;
+  options.greedy.restarts = 2;
+  options.greedy.max_passes = 10;
+  core::RefinementSolver solver(cov.get(), options);
+  WallTimer timer;
+  (void)solver.FindHighestTheta(2);
+  return timer.Millis();
+}
+
+}  // namespace
+}  // namespace rdfsr
+
+int main() {
+  using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::Banner("Figure 8: scalability on synthetic YAGO sorts",
+                "runtime ~ s^2.53 in signatures (R2 0.72); ~ e^{0.28 p} in "
+                "properties (R2 0.61); independent of subject count");
+
+  // (a) runtime vs signatures (properties and subjects fixed).
+  std::cout << "\n--- (a) runtime vs #signatures (12 properties, 4,000 "
+               "subjects) ---\n";
+  TextTable sig_table({"signatures", "runtime_ms"});
+  std::vector<double> sig_x, sig_y;
+  for (int sigs : {2, 4, 8, 12, 16, 24, 32, 40}) {
+    gen::YagoSortSpec spec;
+    spec.num_signatures = sigs;
+    spec.num_properties = 12;
+    spec.num_subjects = 4000;
+    spec.seed = 1000 + sigs;
+    const schema::SignatureIndex index = gen::GenerateYagoSort(spec);
+    const double ms = TimeHighestTheta(index);
+    sig_table.AddRow({std::to_string(sigs), FormatDouble(ms, 1)});
+    sig_x.push_back(sigs);
+    sig_y.push_back(ms);
+  }
+  std::cout << sig_table.ToString();
+  const PowerFit power = FitPower(sig_x, sig_y);
+  std::cout << "best power fit: runtime ~ " << FormatDouble(power.a, 3)
+            << " * s^" << FormatDouble(power.b, 2)
+            << " (R2 = " << FormatDouble(power.r2, 2)
+            << "); paper: s^2.53 (R2 = 0.72)\n";
+
+  // (b) runtime vs properties (signatures and subjects fixed).
+  std::cout << "\n--- (b) runtime vs #properties (16 signatures, 4,000 "
+               "subjects) ---\n";
+  TextTable prop_table({"properties", "runtime_ms"});
+  std::vector<double> prop_x, prop_y;
+  for (int props : {6, 8, 10, 12, 16, 20, 24}) {
+    gen::YagoSortSpec spec;
+    spec.num_signatures = 16;
+    spec.num_properties = props;
+    spec.num_subjects = 4000;
+    spec.seed = 2000 + props;
+    const schema::SignatureIndex index = gen::GenerateYagoSort(spec);
+    const double ms = TimeHighestTheta(index);
+    prop_table.AddRow({std::to_string(props), FormatDouble(ms, 1)});
+    prop_x.push_back(props);
+    prop_y.push_back(ms);
+  }
+  std::cout << prop_table.ToString();
+  const ExpFit exp_fit = FitExponential(prop_x, prop_y);
+  std::cout << "best exponential fit: runtime ~ " << FormatDouble(exp_fit.a, 3)
+            << " * e^(" << FormatDouble(exp_fit.b, 3)
+            << " p) (R2 = " << FormatDouble(exp_fit.r2, 2)
+            << "); paper: e^{0.28 p} (R2 = 0.61)\n";
+
+  // (c) runtime vs subjects (structure fixed): expect a flat series.
+  std::cout << "\n--- (c) runtime vs #subjects (16 signatures, 12 "
+               "properties) ---\n";
+  TextTable subj_table({"subjects", "runtime_ms"});
+  std::vector<double> subj_x, subj_y;
+  for (std::int64_t subjects : {500LL, 2000LL, 8000LL, 32000LL, 128000LL}) {
+    gen::YagoSortSpec spec;
+    spec.num_signatures = 16;
+    spec.num_properties = 12;
+    spec.num_subjects = subjects;
+    spec.seed = 3000;  // same structure seed: same supports, scaled sizes
+    const schema::SignatureIndex index = gen::GenerateYagoSort(spec);
+    const double ms = TimeHighestTheta(index);
+    subj_table.AddRow({FormatCount(subjects), FormatDouble(ms, 1)});
+    subj_x.push_back(static_cast<double>(subjects));
+    subj_y.push_back(ms);
+  }
+  std::cout << subj_table.ToString();
+  const PowerFit subj_fit = FitPower(subj_x, subj_y);
+  std::cout << "power fit exponent vs subjects: " << FormatDouble(subj_fit.b, 2)
+            << " (paper: runtime independent of subject count; expect ~0)\n";
+  return 0;
+}

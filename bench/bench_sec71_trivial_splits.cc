@@ -1,0 +1,53 @@
+// Section 7.1.3: the analytic dependency-function splits. For any p1, p2:
+//   * sigma_Dep[p1,p2] admits a theta = 1.0 refinement with k = 2:
+//     (i) entities without p1, (ii) entities with p2;
+//   * sigma_SymDep[p1,p2] admits a theta = 1.0 refinement with k = 3:
+//     (i) p1 but not p2, (ii) p2 but not p1, (iii) both or neither.
+// The paper uses this to argue the dependency functions are unsuited to
+// lowest-k search (they split trivially) but good for characterization.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gen/persons.h"
+
+int main() {
+  using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::Banner("Section 7.1.3: trivial theta = 1.0 dependency splits",
+                "Dep: k = 2 at theta 1.0; SymDep: k = 3 at theta 1.0");
+
+  gen::PersonsConfig config;
+  config.num_subjects = 2000;
+  const schema::SignatureIndex index = gen::GeneratePersons(config);
+  std::cout << "dataset: " << FormatCount(index.total_subjects())
+            << " subjects, " << index.num_signatures() << " signatures\n";
+
+  {
+    std::cout << "\n--- sigma_Dep[birthPlace, birthDate], theta = 1.0 ---\n";
+    auto dep =
+        eval::ClosedFormEvaluator::Dep(&index, "birthPlace", "birthDate");
+    core::RefinementSolver solver(dep.get(), bench::BenchSolverOptions());
+    auto result = solver.FindLowestK(Rational(1), /*max_k=*/4);
+    if (result.ok()) {
+      std::cout << "measured: lowest k = " << result->k << " (paper: 2)\n";
+      bench::PrintRefinementStats(index, result->refinement);
+    } else {
+      std::cout << "measured: " << result.status().ToString() << "\n";
+    }
+  }
+  {
+    std::cout << "\n--- sigma_SymDep[deathPlace, deathDate], theta = 1.0 "
+                 "---\n";
+    auto symdep =
+        eval::ClosedFormEvaluator::SymDep(&index, "deathPlace", "deathDate");
+    core::RefinementSolver solver(symdep.get(), bench::BenchSolverOptions());
+    auto result = solver.FindLowestK(Rational(1), /*max_k=*/5);
+    if (result.ok()) {
+      std::cout << "measured: lowest k = " << result->k << " (paper: <= 3)\n";
+      bench::PrintRefinementStats(index, result->refinement);
+    } else {
+      std::cout << "measured: " << result.status().ToString() << "\n";
+    }
+  }
+  return 0;
+}

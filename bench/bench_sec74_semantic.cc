@@ -1,0 +1,116 @@
+// Section 7.4 "Semantic Correctness": mix two explicit sorts (27 drug
+// companies + 40 sultans), run a k = 2 highest-theta Cov refinement, and
+// interpret the two implicit sorts as a binary classifier for "drug
+// company". Paper: accuracy 74.6%, precision 61.4%, recall 100% with plain
+// Cov; 82.1% / 69.2% / 100% with a modified Cov ignoring the RDF-plumbing
+// properties (type, sameAs, subClassOf, label).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "gen/mixed.h"
+#include "rules/builtins.h"
+
+namespace rdfsr {
+namespace {
+
+struct Metrics {
+  int tp = 0, fp = 0, tn = 0, fn = 0;
+  double Accuracy() const {
+    const int total = tp + fp + tn + fn;
+    return total == 0 ? 0 : static_cast<double>(tp + tn) / total;
+  }
+  double Precision() const {
+    return tp + fp == 0 ? 0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0 : static_cast<double>(tp) / (tp + fn);
+  }
+};
+
+/// Classifies via the refinement: the sort containing more drug companies is
+/// labeled "drug company" (the paper identifies sorts post hoc the same way).
+Metrics Evaluate(const gen::MixedDataset& dataset,
+                 const core::SortRefinement& refinement) {
+  // Signature -> sort.
+  std::vector<int> sort_of(dataset.index.num_signatures(), 0);
+  for (std::size_t s = 0; s < refinement.num_sorts(); ++s) {
+    for (int sig : refinement.sorts[s]) sort_of[sig] = static_cast<int>(s);
+  }
+  // Count drug companies per sort to pick the "drug" side.
+  std::vector<int> drugs_in(refinement.num_sorts(), 0);
+  std::vector<int> total_in(refinement.num_sorts(), 0);
+  std::vector<int> subject_sort(dataset.subject_names.size(), 0);
+  for (std::size_t i = 0; i < dataset.subject_names.size(); ++i) {
+    const int sig =
+        dataset.index.FindSubjectSignature(dataset.subject_names[i]);
+    subject_sort[i] = sort_of[sig];
+    ++total_in[subject_sort[i]];
+    if (dataset.is_drug_company[i]) ++drugs_in[subject_sort[i]];
+  }
+  int drug_sort = 0;
+  double best_ratio = -1;
+  for (std::size_t s = 0; s < refinement.num_sorts(); ++s) {
+    const double ratio =
+        total_in[s] == 0 ? 0 : static_cast<double>(drugs_in[s]) / total_in[s];
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      drug_sort = static_cast<int>(s);
+    }
+  }
+  Metrics m;
+  for (std::size_t i = 0; i < dataset.subject_names.size(); ++i) {
+    const bool predicted_drug = subject_sort[i] == drug_sort;
+    const bool is_drug = dataset.is_drug_company[i];
+    if (predicted_drug && is_drug) ++m.tp;
+    if (predicted_drug && !is_drug) ++m.fp;
+    if (!predicted_drug && !is_drug) ++m.tn;
+    if (!predicted_drug && is_drug) ++m.fn;
+  }
+  return m;
+}
+
+void Report(const char* label, const Metrics& m, const char* paper_line) {
+  TextTable table({"", "is drug company", "is sultan"});
+  table.AddRow({"classified as drug company", std::to_string(m.tp),
+                std::to_string(m.fp)});
+  table.AddRow({"classified as sultan", std::to_string(m.fn),
+                std::to_string(m.tn)});
+  std::cout << "\n--- " << label << " ---\npaper: " << paper_line << "\n"
+            << table.ToString() << "accuracy " << FormatDouble(m.Accuracy(), 3)
+            << ", precision " << FormatDouble(m.Precision(), 3) << ", recall "
+            << FormatDouble(m.Recall(), 3) << "\n";
+}
+
+}  // namespace
+}  // namespace rdfsr
+
+int main() {
+  using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::Banner("Section 7.4: recovering Drug Companies vs Sultans",
+                "plain Cov: acc 74.6% / prec 61.4% / rec 100%; modified Cov "
+                "(ignore RDF plumbing): acc 82.1% / prec 69.2% / rec 100%");
+
+  const gen::MixedDataset dataset = gen::GenerateMixed();
+  std::cout << "dataset: " << dataset.index.total_subjects()
+            << " subjects (27 drug companies + 40 sultans), "
+            << dataset.index.num_signatures() << " signatures\n";
+
+  {
+    auto cov = eval::ClosedFormEvaluator::Cov(&dataset.index);
+    core::RefinementSolver solver(cov.get(), bench::BenchSolverOptions());
+    const core::HighestThetaResult best = solver.FindHighestTheta(2);
+    Report("plain Cov", Evaluate(dataset, best.refinement),
+           "confusion 27/17 | 0/23; acc 74.6% prec 61.4% rec 100%");
+  }
+  {
+    auto modified = eval::ClosedFormEvaluator::CovIgnoring(
+        &dataset.index, dataset.plumbing_properties);
+    core::RefinementSolver solver(modified.get(), bench::BenchSolverOptions());
+    const core::HighestThetaResult best = solver.FindHighestTheta(2);
+    Report("modified Cov (ignoring type/sameAs/subClassOf/label)",
+           Evaluate(dataset, best.refinement),
+           "acc 82.1% prec 69.2% rec 100%");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Each bench binary regenerates one table or figure from Section 7 of the
+// paper on the calibrated synthetic datasets, printing the paper's reported
+// numbers next to ours. See EXPERIMENTS.md for the collected results.
+
+#ifndef RDFSR_BENCH_BENCH_UTIL_H_
+#define RDFSR_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "core/refinement.h"
+#include "core/solver.h"
+#include "eval/evaluator.h"
+#include "util/table.h"
+
+namespace rdfsr::bench {
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& experiment, const std::string& paper) {
+  std::cout << "==================================================\n"
+            << experiment << "\n"
+            << "paper reference: " << paper << "\n"
+            << "==================================================\n";
+}
+
+/// Prints per-sort statistics of a refinement in the style of Figures 4-7
+/// captions: subjects, signatures, and sigma values under Cov and Sim.
+inline void PrintRefinementStats(const schema::SignatureIndex& index,
+                                 const core::SortRefinement& refinement) {
+  const auto cov = eval::ClosedFormEvaluator::Cov(&index);
+  const auto sim = eval::ClosedFormEvaluator::Sim(&index);
+  TextTable table({"sort", "subjects", "signatures", "sigma_Cov", "sigma_Sim"});
+  for (std::size_t i = 0; i < refinement.num_sorts(); ++i) {
+    table.AddRow({std::to_string(i + 1),
+                  FormatCount(refinement.SubjectsIn(index, static_cast<int>(i))),
+                  std::to_string(refinement.sorts[i].size()),
+                  FormatDouble(cov->Sigma(refinement.sorts[i])),
+                  FormatDouble(sim->Sigma(refinement.sorts[i]))});
+  }
+  std::cout << table.ToString();
+}
+
+/// Bench-scale solver options: modest limits so every binary finishes in
+/// seconds-to-minutes on a laptop; instances that exceed them surface as
+/// kUnknown exactly like the paper's timed-out CPLEX runs.
+inline core::SolverOptions BenchSolverOptions() {
+  core::SolverOptions options;
+  options.mip.time_limit_seconds = 15.0;
+  options.mip.max_nodes = 400000;
+  options.greedy.restarts = 4;
+  options.greedy.max_passes = 20;
+  return options;
+}
+
+}  // namespace rdfsr::bench
+
+#endif  // RDFSR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,83 @@
+// Custom structuredness rules via the Section 3 language.
+//
+// The framework's point is that "structuredness" is in the eye of the
+// beholder: this example defines three custom measures over the synthetic
+// DBpedia Persons dataset with the text syntax —
+//   * Cov restricted to the birth* properties,
+//   * "if a subject has any death fact it has both",
+//   * a strictness measure penalizing subjects missing a description —
+// evaluates them, and refines against the second one.
+
+#include <iostream>
+
+#include "core/solver.h"
+#include "eval/evaluator.h"
+#include "gen/persons.h"
+#include "rules/parser.h"
+#include "rules/printer.h"
+
+namespace {
+
+void Measure(const char* label, const char* rule_text,
+             const rdfsr::schema::SignatureIndex& index) {
+  auto rule = rdfsr::rules::ParseRule(rule_text, label);
+  if (!rule.ok()) {
+    std::cerr << "rule error: " << rule.status().ToString() << "\n";
+    return;
+  }
+  auto evaluator = rdfsr::eval::MakeEvaluator(*rule, &index);
+  std::cout << "\n" << label << ":\n  " << rdfsr::rules::ToString(*rule)
+            << "\n  sigma = " << evaluator->SigmaAll() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace rdfsr;  // NOLINT(build/namespaces)
+  gen::PersonsConfig config;
+  config.num_subjects = 2000;
+  const schema::SignatureIndex index = gen::GeneratePersons(config);
+  std::cout << "synthetic DBpedia Persons: " << index.total_subjects()
+            << " subjects, " << index.num_signatures() << " signatures\n";
+
+  // 1. Coverage over the birth columns only: ignore everything else by
+  //    restricting the antecedent (the Section 3.2 "ignore a column" trick,
+  //    inverted: keep only two columns).
+  Measure("birth-coverage",
+          "c = c && (prop(c) = birthDate || prop(c) = birthPlace) -> "
+          "val(c) = 1",
+          index);
+
+  // 2. Death facts come in pairs: for a random subject and the two death
+  //    columns, having one implies having the other.
+  Measure("death-pairing",
+          "subj(c1) = subj(c2) && prop(c1) = deathPlace && "
+          "prop(c2) = deathDate && (val(c1) = 1 || val(c2) = 1) -> "
+          "val(c1) = 1 && val(c2) = 1",
+          index);
+
+  // 3. Documentation discipline: every subject should carry a description.
+  Measure("has-description",
+          "subj(c1) = subj(c2) && prop(c1) = description -> val(c1) = 1",
+          index);
+
+  // Refine against the death-pairing rule: Section 7.1.3 predicts a perfect
+  // (theta = 1) split with three sorts.
+  auto rule = rules::ParseRule(
+      "subj(c1) = subj(c2) && prop(c1) = deathPlace && "
+      "prop(c2) = deathDate && (val(c1) = 1 || val(c2) = 1) -> "
+      "val(c1) = 1 && val(c2) = 1",
+      "death-pairing");
+  auto evaluator = eval::MakeEvaluator(*rule, &index);
+  core::RefinementSolver solver(evaluator.get());
+  auto lowest = solver.FindLowestK(Rational(1), /*max_k=*/4);
+  if (lowest.ok()) {
+    std::cout << "\nlowest k with sigma = 1.0 under death-pairing: "
+              << lowest->k << "\n"
+              << lowest->refinement.Summary(index) << "\n";
+  } else {
+    std::cout << "\nno perfect split found: " << lowest.status().ToString()
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// refine_tool: command-line sort refinement for N-Triples files.
+//
+// Usage:
+//   refine_tool <file.nt> <sort-iri> [options]
+// Options:
+//   --rule cov | sim | dep:<p1>,<p2> | symdep:<p1>,<p2> | <rule text>
+//   --k <n>          fixed number of implicit sorts (highest-theta search)
+//   --theta <x>      fixed threshold (lowest-k search)
+//   --report         print the per-sort schema report
+//
+// Exactly one of --k / --theta selects the search mode (default: --k 2).
+// With `--rule` free text, the Section 3 language is parsed, e.g.:
+//   refine_tool data.nt http://x/Person --rule 'c = c -> val(c) = 1' --k 2
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/report.h"
+#include "core/solver.h"
+#include "eval/evaluator.h"
+#include "rdf/ntriples.h"
+#include "rules/builtins.h"
+#include "rules/parser.h"
+#include "rules/printer.h"
+#include "schema/ascii_view.h"
+#include "schema/property_matrix.h"
+#include "schema/signature_index.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rdfsr;  // NOLINT(build/namespaces)
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+Result<rules::Rule> ResolveRule(const std::string& spec) {
+  if (spec == "cov") return rules::CovRule();
+  if (spec == "sim") return rules::SimRule();
+  auto parse_pair = [&](const std::string& body,
+                        std::string* p1, std::string* p2) {
+    const std::size_t comma = body.find(',');
+    if (comma == std::string::npos) return false;
+    *p1 = body.substr(0, comma);
+    *p2 = body.substr(comma + 1);
+    return !p1->empty() && !p2->empty();
+  };
+  std::string p1, p2;
+  if (spec.rfind("dep:", 0) == 0 && parse_pair(spec.substr(4), &p1, &p2)) {
+    return rules::DepRule(p1, p2);
+  }
+  if (spec.rfind("symdep:", 0) == 0 && parse_pair(spec.substr(7), &p1, &p2)) {
+    return rules::SymDepRule(p1, p2);
+  }
+  return rules::ParseRule(spec, "user");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rdfsr;  // NOLINT(build/namespaces)
+  if (argc < 3) {
+    std::cerr << "usage: " << argv[0]
+              << " <file.nt> <sort-iri> [--rule R] [--k N | --theta X] "
+                 "[--report]\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string sort_iri = argv[2];
+  std::string rule_spec = "cov";
+  int k = 2;
+  double theta = -1.0;
+  bool report = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
+      rule_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
+      k = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--theta") == 0 && i + 1 < argc) {
+      theta = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report = true;
+    } else {
+      return Fail(std::string("unknown option: ") + argv[i]);
+    }
+  }
+
+  auto graph = rdf::ParseNTriplesFile(path);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const rdf::Graph slice = graph->SortSlice(sort_iri);
+  if (slice.empty()) {
+    return Fail("no subjects of sort <" + sort_iri + "> in " + path);
+  }
+  const schema::SignatureIndex index = schema::SignatureIndex::FromMatrix(
+      schema::PropertyMatrix::FromGraph(slice), true);
+  std::cout << "dataset: " << FormatCount(index.total_subjects())
+            << " subjects, " << index.num_properties() << " properties, "
+            << index.num_signatures() << " signatures\n";
+
+  auto rule = ResolveRule(rule_spec);
+  if (!rule.ok()) return Fail(rule.status().ToString());
+  auto evaluator = eval::MakeEvaluator(*rule, &index);
+  std::cout << "rule: " << rules::ToString(*rule) << "\n"
+            << "sigma over the whole sort: "
+            << FormatDouble(evaluator->SigmaAll(), 4) << "\n\n";
+
+  core::RefinementSolver solver(evaluator.get());
+  core::SortRefinement refinement;
+  if (theta >= 0.0) {
+    auto result = solver.FindLowestK(Rational::FromDouble(theta));
+    if (!result.ok()) return Fail(result.status().ToString());
+    std::cout << "lowest k with sigma >= " << theta << ": " << result->k
+              << (result->proven_minimal ? " (proven minimal)" : "") << "\n";
+    refinement = std::move(result->refinement);
+  } else {
+    if (k <= 0) return Fail("--k must be positive");
+    const core::HighestThetaResult best = solver.FindHighestTheta(k);
+    std::cout << "highest theta with k = " << k << ": "
+              << FormatDouble(best.theta.ToDouble(), 4)
+              << (best.ceiling_proven ? " (ceiling proven)" : "") << "\n";
+    refinement = best.refinement;
+  }
+
+  std::cout << "\n" << schema::RenderRefinementView(index, refinement.sorts);
+  if (report) {
+    std::cout << "\n" << core::RenderReport(index, refinement);
+  }
+  return 0;
+}

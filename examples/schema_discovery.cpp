@@ -1,0 +1,64 @@
+// Schema discovery: recover hidden sorts from a mixed dataset.
+//
+// Mirrors Section 7.4: two YAGO-style explicit sorts (drug companies and
+// sultans) are merged into one dataset with shared RDF-plumbing properties;
+// a k = 2 highest-theta Cov refinement rediscovers the split, and ignoring
+// the plumbing properties makes the recovery cleaner.
+
+#include <iostream>
+
+#include "core/solver.h"
+#include "eval/evaluator.h"
+#include "gen/mixed.h"
+#include "schema/ascii_view.h"
+
+namespace {
+
+using namespace rdfsr;  // NOLINT(build/namespaces)
+
+void Discover(const char* label, const gen::MixedDataset& dataset,
+              eval::Evaluator* evaluator) {
+  core::RefinementSolver solver(evaluator);
+  const core::HighestThetaResult best = solver.FindHighestTheta(2);
+  std::cout << "\n=== " << label << " ===\n"
+            << "best theta: " << best.theta.ToDouble() << "\n";
+  for (std::size_t s = 0; s < best.refinement.num_sorts(); ++s) {
+    int drugs = 0, sultans = 0;
+    for (std::size_t i = 0; i < dataset.subject_names.size(); ++i) {
+      const int sig =
+          dataset.index.FindSubjectSignature(dataset.subject_names[i]);
+      bool in_sort = false;
+      for (int member : best.refinement.sorts[s]) in_sort |= member == sig;
+      if (!in_sort) continue;
+      (dataset.is_drug_company[i] ? drugs : sultans)++;
+    }
+    std::cout << "discovered sort " << (s + 1) << ": " << drugs
+              << " drug companies + " << sultans << " sultans\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  const gen::MixedDataset dataset = gen::GenerateMixed();
+  std::cout << "mixed dataset: " << dataset.index.total_subjects()
+            << " subjects, " << dataset.index.num_signatures()
+            << " signatures, " << dataset.index.num_properties()
+            << " properties\n\n";
+  schema::AsciiViewOptions view;
+  view.max_rows = 12;
+  std::cout << schema::RenderSignatureView(dataset.index, view);
+
+  auto plain = eval::ClosedFormEvaluator::Cov(&dataset.index);
+  Discover("plain Cov", dataset, plain.get());
+
+  auto modified = eval::ClosedFormEvaluator::CovIgnoring(
+      &dataset.index, dataset.plumbing_properties);
+  Discover("Cov ignoring RDF plumbing (type/sameAs/subClassOf/label)",
+           dataset, modified.get());
+
+  std::cout << "\nSection 7.4's observation: the plumbing-blind rule "
+               "separates the two populations more cleanly, because shared "
+               "administrative properties are noise for sort discovery.\n";
+  return 0;
+}

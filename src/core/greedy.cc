@@ -1,0 +1,210 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rdfsr::core {
+
+namespace {
+
+/// Score of a partition: the sorted-ascending vector of per-sort sigmas
+/// (lexicographic comparison == maximize the minimum, then the second
+/// minimum, ...). Empty slots are ignored.
+std::vector<double> Score(const eval::Evaluator& evaluator,
+                          const std::vector<std::vector<int>>& slots) {
+  std::vector<double> sigmas;
+  for (const std::vector<int>& slot : slots) {
+    if (!slot.empty()) sigmas.push_back(evaluator.Sigma(slot));
+  }
+  std::sort(sigmas.begin(), sigmas.end());
+  return sigmas;
+}
+
+SortRefinement ToRefinement(const std::vector<std::vector<int>>& slots) {
+  SortRefinement refinement;
+  for (const std::vector<int>& slot : slots) {
+    if (!slot.empty()) refinement.sorts.push_back(slot);
+  }
+  return refinement;
+}
+
+}  // namespace
+
+SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
+                                 const GreedyOptions& options) {
+  RDFSR_CHECK_GT(k, 0);
+  const schema::SignatureIndex& index = evaluator.index();
+  const int n = static_cast<int>(index.num_signatures());
+  RDFSR_CHECK_GT(n, 0);
+
+  Rng rng(options.seed);
+  std::vector<std::vector<int>> best_slots;
+  std::vector<double> best_score;
+
+  // Signatures in descending size: placing the big sets first lets the
+  // incremental sigma of each slot stabilize early.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<int> shuffled = order;
+    if (restart > 0) {
+      // Keep the first restart deterministic-greedy; later ones perturb.
+      for (int i = n - 1; i > 0; --i) {
+        std::swap(shuffled[i], shuffled[rng.Below(i + 1)]);
+      }
+    }
+
+    // Greedy construction: put each signature where the resulting score
+    // vector is best; opening a new (empty) slot is allowed while slots
+    // remain.
+    std::vector<std::vector<int>> slots(k);
+    for (int sig : shuffled) {
+      int best_slot = -1;
+      std::vector<double> best_local;
+      bool tried_empty = false;
+      for (int s = 0; s < k; ++s) {
+        if (slots[s].empty()) {
+          if (tried_empty) continue;  // empty slots are interchangeable
+          tried_empty = true;
+        }
+        slots[s].push_back(sig);
+        std::vector<double> sc = Score(evaluator, slots);
+        slots[s].pop_back();
+        if (best_slot < 0 || sc > best_local) {
+          best_local = std::move(sc);
+          best_slot = s;
+        }
+      }
+      slots[best_slot].push_back(sig);
+    }
+
+    // Local search: move a single signature to a different slot when that
+    // improves the score vector.
+    for (int pass = 0; pass < options.max_passes; ++pass) {
+      bool improved = false;
+      std::vector<double> current = Score(evaluator, slots);
+      for (int s = 0; s < k; ++s) {
+        for (std::size_t pos = 0; pos < slots[s].size(); ++pos) {
+          const int sig = slots[s][pos];
+          bool tried_empty = false;
+          for (int d = 0; d < k; ++d) {
+            if (d == s) continue;
+            if (slots[d].empty()) {
+              if (tried_empty) continue;
+              tried_empty = true;
+            }
+            // Apply the move.
+            slots[s].erase(slots[s].begin() + pos);
+            slots[d].push_back(sig);
+            std::vector<double> sc = Score(evaluator, slots);
+            if (sc > current) {
+              current = std::move(sc);
+              improved = true;
+              // Keep the move; restart scanning this slot.
+              break;
+            }
+            // Undo.
+            slots[d].pop_back();
+            slots[s].insert(slots[s].begin() + pos, sig);
+          }
+          if (improved) break;
+        }
+        if (improved) break;
+      }
+      if (!improved) break;
+    }
+
+    std::vector<double> sc = Score(evaluator, slots);
+    if (best_slots.empty() || sc > best_score) {
+      best_score = std::move(sc);
+      best_slots = slots;
+    }
+  }
+
+  return ToRefinement(best_slots);
+}
+
+std::optional<SortRefinement> GreedyFindRefinement(
+    const eval::Evaluator& evaluator, int k, Rational theta,
+    const GreedyOptions& options) {
+  SortRefinement candidate = GreedyMaxMinSigma(evaluator, k, options);
+  if (ValidateRefinement(evaluator, candidate, theta).ok()) return candidate;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Shared agglomerative engine. Merges the best pair (highest merged sigma;
+/// ties by lower indices for determinism) while `may_merge` admits it and
+/// more than `min_sorts` sorts remain.
+SortRefinement Agglomerate(
+    const eval::Evaluator& evaluator, std::size_t min_sorts,
+    const std::function<bool(const eval::SigmaCounts&)>& may_merge) {
+  const int n = static_cast<int>(evaluator.index().num_signatures());
+  std::vector<std::vector<int>> parts(n);
+  for (int i = 0; i < n; ++i) parts[i] = {i};
+
+  // Pairwise merged-sigma cache; invalidated rows recomputed after merges.
+  auto merged_counts = [&](int a, int b) {
+    std::vector<int> merged = parts[a];
+    merged.insert(merged.end(), parts[b].begin(), parts[b].end());
+    return evaluator.Counts(merged);
+  };
+
+  while (parts.size() > std::max<std::size_t>(min_sorts, 1)) {
+    int best_a = -1, best_b = -1;
+    double best_sigma = -1.0;
+    bool best_allowed = false;
+    for (std::size_t a = 0; a < parts.size(); ++a) {
+      for (std::size_t b = a + 1; b < parts.size(); ++b) {
+        const eval::SigmaCounts counts =
+            merged_counts(static_cast<int>(a), static_cast<int>(b));
+        const bool allowed = may_merge(counts);
+        const double sigma = counts.Value();
+        // Prefer allowed merges; among them the highest sigma.
+        if ((allowed && !best_allowed) ||
+            (allowed == best_allowed && sigma > best_sigma + 1e-15)) {
+          best_a = static_cast<int>(a);
+          best_b = static_cast<int>(b);
+          best_sigma = sigma;
+          best_allowed = allowed;
+        }
+      }
+    }
+    if (best_a < 0) break;
+    // Under a threshold regime (min_sorts == 1) only allowed merges happen;
+    // under fixed-k (min_sorts == k) every merge is allowed by construction.
+    if (!best_allowed) break;
+    parts[best_a].insert(parts[best_a].end(), parts[best_b].begin(),
+                         parts[best_b].end());
+    parts.erase(parts.begin() + best_b);
+  }
+
+  SortRefinement refinement;
+  for (auto& part : parts) {
+    std::sort(part.begin(), part.end());
+    refinement.sorts.push_back(std::move(part));
+  }
+  return refinement;
+}
+
+}  // namespace
+
+SortRefinement AgglomerativeLowestK(const eval::Evaluator& evaluator,
+                                    Rational theta) {
+  return Agglomerate(evaluator, 1, [&](const eval::SigmaCounts& counts) {
+    return SigmaAtLeast(counts, theta);
+  });
+}
+
+SortRefinement AgglomerativeFixedK(const eval::Evaluator& evaluator, int k) {
+  RDFSR_CHECK_GT(k, 0);
+  return Agglomerate(evaluator, static_cast<std::size_t>(k),
+                     [](const eval::SigmaCounts&) { return true; });
+}
+
+}  // namespace rdfsr::core

@@ -1,0 +1,230 @@
+#include "core/ilp_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace rdfsr::core {
+
+namespace {
+
+/// Static (sort-independent) analysis of one tau: which distinct signatures
+/// must be present and which properties still need a U link (those not covered
+/// by any of tau's own signatures' supports).
+struct TauShape {
+  std::vector<int> sigs;          ///< distinct signature ids
+  std::vector<int> linked_props;  ///< distinct props needing a U link
+  eval::BigCount weight = 0;      ///< theta2*cF - theta1*cT
+};
+
+TauShape AnalyzeTau(const eval::TauCount& tc,
+                    const schema::SignatureIndex& index, Rational theta) {
+  TauShape shape;
+  for (const auto& [sig, prop] : tc.tau.cells) {
+    if (std::find(shape.sigs.begin(), shape.sigs.end(), sig) ==
+        shape.sigs.end()) {
+      shape.sigs.push_back(sig);
+    }
+  }
+  for (const auto& [sig, prop] : tc.tau.cells) {
+    (void)sig;
+    bool covered = false;
+    for (int s : shape.sigs) {
+      if (index.Has(s, prop)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered && std::find(shape.linked_props.begin(),
+                              shape.linked_props.end(),
+                              prop) == shape.linked_props.end()) {
+      shape.linked_props.push_back(prop);
+    }
+  }
+  shape.weight = static_cast<eval::BigCount>(theta.den()) * tc.favorable -
+                 static_cast<eval::BigCount>(theta.num()) * tc.total;
+  return shape;
+}
+
+}  // namespace
+
+SortRefinement IlpEncoding::Decode(const std::vector<double>& x) const {
+  SortRefinement refinement;
+  for (int i = 0; i < k; ++i) {
+    std::vector<int> members;
+    for (int mu = 0; mu < num_signatures; ++mu) {
+      if (x[x_var[i][mu]] > 0.5) members.push_back(mu);
+    }
+    if (!members.empty()) refinement.sorts.push_back(std::move(members));
+  }
+  return refinement;
+}
+
+IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
+                               const rules::Rule& rule,
+                               const std::vector<eval::TauCount>& tau_counts,
+                               int k, Rational theta,
+                               const IlpBuildOptions& options) {
+  RDFSR_CHECK_GT(k, 0);
+  RDFSR_CHECK_GE(theta.num(), 0);
+  (void)rule;
+
+  IlpEncoding enc;
+  enc.k = k;
+  enc.num_signatures = static_cast<int>(index.num_signatures());
+  const int num_props = static_cast<int>(index.num_properties());
+
+  ilp::Model& model = enc.model;
+
+  // --- X variables -------------------------------------------------------
+  enc.x_var.assign(k, std::vector<int>(enc.num_signatures, -1));
+  for (int i = 0; i < k; ++i) {
+    for (int mu = 0; mu < enc.num_signatures; ++mu) {
+      enc.x_var[i][mu] = model.AddBinary("X_" + std::to_string(i) + "_" +
+                                         std::to_string(mu));
+    }
+  }
+
+  // --- U variables ---------------------------------------------------
+  // Constraints (2)+(3) pin U to its exact 0/1 value once X is integral, so U
+  // may be continuous (see header).
+  std::vector<std::vector<int>> u_var(k, std::vector<int>(num_props, -1));
+  for (int i = 0; i < k; ++i) {
+    for (int p = 0; p < num_props; ++p) {
+      u_var[i][p] =
+          model.AddVariable("U_" + std::to_string(i) + "_" + std::to_string(p),
+                            0, 1, !options.continuous_aux);
+    }
+  }
+
+  // (1) each signature placed exactly once.
+  for (int mu = 0; mu < enc.num_signatures; ++mu) {
+    std::vector<ilp::LinTerm> terms;
+    for (int i = 0; i < k; ++i) terms.push_back({enc.x_var[i][mu], 1.0});
+    model.AddConstraint("assign_" + std::to_string(mu), std::move(terms), 1, 1);
+  }
+
+  // (2) X_{i,mu} <= U_{i,p} for p in supp(mu);
+  // (3) U_{i,p} <= sum of supporting X.
+  for (int i = 0; i < k; ++i) {
+    for (int p = 0; p < num_props; ++p) {
+      std::vector<ilp::LinTerm> supporters;
+      for (int mu = 0; mu < enc.num_signatures; ++mu) {
+        if (!index.Has(mu, p)) continue;
+        model.AddConstraint(
+            "use_lo_" + std::to_string(i) + "_" + std::to_string(mu) + "_" +
+                std::to_string(p),
+            {{enc.x_var[i][mu], 1.0}, {u_var[i][p], -1.0}}, -ilp::kInfinity, 0);
+        supporters.push_back({enc.x_var[i][mu], 1.0});
+      }
+      supporters.push_back({u_var[i][p], -1.0});
+      model.AddConstraint(
+          "use_hi_" + std::to_string(i) + "_" + std::to_string(p),
+          std::move(supporters), 0, ilp::kInfinity);
+    }
+  }
+
+  // --- T variables and the threshold row (4)+(5) --------------------------
+  std::vector<TauShape> shapes;
+  shapes.reserve(tau_counts.size());
+  for (const eval::TauCount& tc : tau_counts) {
+    shapes.push_back(AnalyzeTau(tc, index, theta));
+  }
+  // Scale the threshold row so its coefficients stay O(1) for the double
+  // simplex regardless of dataset size.
+  double max_weight = 1.0;
+  for (const TauShape& shape : shapes) {
+    max_weight = std::max(
+        max_weight, std::abs(static_cast<double>(shape.weight)));
+  }
+
+  for (int i = 0; i < k; ++i) {
+    std::vector<ilp::LinTerm> threshold;  // sum w(tau) T_{i,tau} >= 0
+    for (std::size_t t = 0; t < shapes.size(); ++t) {
+      const TauShape& shape = shapes[t];
+      if (shape.weight == 0) continue;  // cannot affect the row
+      const double w = static_cast<double>(shape.weight) / max_weight;
+
+      // Singleton substitution: T == X_{i,mu}.
+      if (options.substitute_singleton_taus && shape.sigs.size() == 1 &&
+          shape.linked_props.empty()) {
+        threshold.push_back({enc.x_var[i][shape.sigs[0]], w});
+        if (i == 0) ++enc.num_tau_substituted;
+        continue;
+      }
+
+      const int t_var = model.AddVariable(
+          "T_" + std::to_string(i) + "_" + std::to_string(t), 0, 1,
+          !options.continuous_aux);
+      if (i == 0) ++enc.num_tau_variables;
+      threshold.push_back({t_var, w});
+
+      // Collect the variables T is the conjunction of.
+      std::vector<int> linked;
+      for (int mu : shape.sigs) linked.push_back(enc.x_var[i][mu]);
+      for (int p : shape.linked_props) linked.push_back(u_var[i][p]);
+      const double n_linked = static_cast<double>(linked.size());
+
+      const bool need_upper =
+          !options.sign_directed_linking || shape.weight > 0;
+      const bool need_lower =
+          !options.sign_directed_linking || shape.weight < 0;
+      if (need_upper) {
+        // T <= each linked variable (tight McCormick upper envelope).
+        for (int lv : linked) {
+          model.AddConstraint("t_ub", {{t_var, 1.0}, {lv, -1.0}},
+                              -ilp::kInfinity, 0);
+        }
+      }
+      if (need_lower) {
+        // T >= sum(linked) - (n-1).
+        std::vector<ilp::LinTerm> lower{{t_var, 1.0}};
+        for (int lv : linked) lower.push_back({lv, -1.0});
+        model.AddConstraint("t_lb", std::move(lower), 1.0 - n_linked,
+                            ilp::kInfinity);
+      }
+    }
+    if (!threshold.empty()) {
+      model.AddConstraint("theta_" + std::to_string(i), std::move(threshold),
+                          0, ilp::kInfinity);
+    }
+  }
+
+  // --- (6) symmetry breaking ----------------------------------------------
+  if (options.symmetry == IlpBuildOptions::SymmetryBreaking::kHash) {
+    // hash(i) = sum_j 2^min(j, cap) X_{i, mu_j};  hash(i) <= hash(i+1).
+    for (int i = 0; i + 1 < k; ++i) {
+      std::vector<ilp::LinTerm> terms;
+      for (int mu = 0; mu < enc.num_signatures; ++mu) {
+        const double weight =
+            std::pow(2.0, std::min(mu, options.hash_exponent_cap));
+        terms.push_back({enc.x_var[i][mu], weight});
+        terms.push_back({enc.x_var[i + 1][mu], -weight});
+      }
+      model.AddConstraint("hash_" + std::to_string(i), std::move(terms),
+                          -ilp::kInfinity, 0);
+    }
+  } else if (options.symmetry ==
+             IlpBuildOptions::SymmetryBreaking::kPrecedence) {
+    // Signature mu may open sort i (> 0) only if some earlier signature is in
+    // sort i-1; equivalently X_{i,mu} <= sum_{mu' < mu} X_{i-1,mu'}. For
+    // mu < i the right-hand side chain is structurally empty, fixing X to 0.
+    for (int i = 1; i < k; ++i) {
+      for (int mu = 0; mu < enc.num_signatures; ++mu) {
+        std::vector<ilp::LinTerm> terms{{enc.x_var[i][mu], 1.0}};
+        for (int prev = 0; prev < mu; ++prev) {
+          terms.push_back({enc.x_var[i - 1][prev], -1.0});
+        }
+        model.AddConstraint(
+            "prec_" + std::to_string(i) + "_" + std::to_string(mu),
+            std::move(terms), -ilp::kInfinity, 0);
+      }
+    }
+  }
+
+  return enc;
+}
+
+}  // namespace rdfsr::core

@@ -1,0 +1,88 @@
+// The Section 6 reduction: EXISTSSORTREFINEMENT(r) as an integer program.
+//
+// Variables (per implicit sort i in 1..k):
+//   X_{i,mu}  signature mu is placed in sort i          (binary)
+//   U_{i,p}   sort i uses property p                    (implied; see below)
+//   T_{i,tau} rough assignment tau is consistent in i   (implied; see below)
+// Constraints:
+//   (1) sum_i X_{i,mu} = 1                          each signature in one sort
+//   (2) X_{i,mu} <= U_{i,p}          for p in supp(mu)
+//   (3) U_{i,p} <= sum_{mu: p in supp} X_{i,mu}
+//   (4) T linking (see below)
+//   (5) theta2 * sum_tau cF(tau) T_{i,tau} >= theta1 * sum_tau cT(tau) T_{i,tau}
+//   (6) optional symmetry breaking (paper's hash constraints, or precedence)
+//
+// Optimizations relative to the paper's literal encoding (all switchable for
+// the ablation bench, all preserving the feasible set exactly):
+//   * tau pruning: tau with count(phi1,tau,M) = 0 cannot contribute to (5) and
+//     is never materialized (the paper hints at this: "the value of
+//     count(...) is calculated offline").
+//   * implied integrality: given integral X, constraints (2)+(3) force each
+//     U_{i,p} to exactly 0/1, and the sign-directed linking in (4) gives each
+//     T_{i,tau} exactly the freedom of AND(X,U) — so U and T can be declared
+//     continuous in [0,1], shrinking the branching space to the k|Lambda|
+//     X variables.
+//   * sign-directed linking: a tau whose threshold-row weight
+//     w = theta2*cF - theta1*cT is positive only needs T <= each linked
+//     variable (the row pushes T up); a negative-weight tau only needs
+//     T >= sum(linked) - (|linked| - 1) (the row pushes T down). Zero-weight
+//     taus are dropped.
+//   * X-substitution: when tau touches a single signature and all its
+//     properties lie in that signature's support, T == X_{i,mu} and the weight
+//     folds directly into the threshold row.
+//   * link coverage: a property of tau supported by one of tau's own
+//     signatures needs no U link (X of that signature already implies U).
+
+#ifndef RDFSR_CORE_ILP_BUILDER_H_
+#define RDFSR_CORE_ILP_BUILDER_H_
+
+#include <vector>
+
+#include "core/refinement.h"
+#include "eval/enumerator.h"
+#include "ilp/model.h"
+#include "rules/ast.h"
+#include "schema/signature_index.h"
+#include "util/rational.h"
+
+namespace rdfsr::core {
+
+/// Encoding options (defaults = all optimizations on).
+struct IlpBuildOptions {
+  enum class SymmetryBreaking {
+    kNone,
+    kHash,        ///< The paper's hash(i) <= hash(i+1) with capped exponents.
+    kPrecedence,  ///< Sort i+1 opens only after sort i (default).
+  };
+  SymmetryBreaking symmetry = SymmetryBreaking::kPrecedence;
+  int hash_exponent_cap = 40;     ///< Cap on 2^j (paper Section 6.3).
+  bool continuous_aux = true;     ///< U and T as continuous [0,1].
+  bool sign_directed_linking = true;
+  bool substitute_singleton_taus = true;
+};
+
+/// A built encoding plus the decoding map.
+struct IlpEncoding {
+  ilp::Model model;
+  int k = 0;
+  int num_signatures = 0;
+  std::vector<std::vector<int>> x_var;  ///< x_var[i][mu] -> model variable id.
+  long long num_tau_variables = 0;      ///< materialized T vars (diagnostics)
+  long long num_tau_substituted = 0;    ///< taus folded into X terms
+
+  /// Reads the X block of a solution into a refinement (empty sorts dropped).
+  SortRefinement Decode(const std::vector<double>& x) const;
+};
+
+/// Builds the ILP for EXISTSSORTREFINEMENT(rule) on (index, k, theta).
+/// `tau_counts` must be EnumerateTauCounts(rule, index) (passed in so callers
+/// can reuse it across the theta search).
+IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
+                               const rules::Rule& rule,
+                               const std::vector<eval::TauCount>& tau_counts,
+                               int k, Rational theta,
+                               const IlpBuildOptions& options = {});
+
+}  // namespace rdfsr::core
+
+#endif  // RDFSR_CORE_ILP_BUILDER_H_

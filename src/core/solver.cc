@@ -1,0 +1,267 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/closed_form.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace rdfsr::core {
+
+const char* DecisionName(Decision decision) {
+  switch (decision) {
+    case Decision::kExists:
+      return "Exists";
+    case Decision::kNotExists:
+      return "NotExists";
+    case Decision::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+RefinementSolver::RefinementSolver(const eval::Evaluator* evaluator,
+                                   SolverOptions options)
+    : evaluator_(evaluator), options_(std::move(options)) {
+  RDFSR_CHECK(evaluator_ != nullptr);
+  if (options_.cache_evaluations) {
+    cached_ = std::make_unique<eval::CachedEvaluator>(evaluator_);
+  }
+}
+
+const std::vector<eval::TauCount>& RefinementSolver::TauCounts() {
+  if (!tau_counts_ready_) {
+    tau_counts_ =
+        eval::EnumerateTauCounts(evaluator_->rule(), evaluator_->index());
+    tau_counts_ready_ = true;
+  }
+  return tau_counts_;
+}
+
+const SortRefinement& RefinementSolver::AgglomerativeForTheta(Rational theta) {
+  const std::pair<std::int64_t, std::int64_t> key{theta.num(), theta.den()};
+  auto it = agglomerative_cache_.find(key);
+  if (it == agglomerative_cache_.end()) {
+    it = agglomerative_cache_
+             .emplace(key, AgglomerativeLowestK(Eval(), theta))
+             .first;
+  }
+  return it->second;
+}
+
+DecisionResult RefinementSolver::Exists(int k, Rational theta) {
+  WallTimer timer;
+  DecisionResult result;
+  const schema::SignatureIndex& index = Eval().index();
+  RDFSR_CHECK_GT(k, 0);
+
+  if (index.num_signatures() == 0) {
+    // Empty dataset: the empty partition vacuously satisfies any threshold.
+    result.decision = Decision::kExists;
+    result.refinement = SortRefinement{};
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  // Trivial instance: the whole dataset already meets theta with one sort.
+  {
+    const eval::SigmaCounts all = Eval().CountsAll();
+    if (SigmaAtLeast(all, theta)) {
+      SortRefinement whole;
+      whole.sorts.push_back(eval::AllSignatures(index));
+      result.decision = Decision::kExists;
+      result.refinement = std::move(whole);
+      result.seconds = timer.Seconds();
+      return result;
+    }
+  }
+  // k >= |Lambda|: each signature alone is a (sub-)sort... but singleton
+  // sorts are not automatically above theta, so no shortcut there.
+
+  if (options_.greedy_first && k > 1) {
+    // Heuristic ladder (cheapest first): agglomerative threshold merging,
+    // agglomerative k-clustering, randomized greedy + local search. Any
+    // exactly-validated witness settles the instance.
+    {
+      const SortRefinement& agg = AgglomerativeForTheta(theta);
+      if (agg.num_sorts() <= static_cast<std::size_t>(k) &&
+          !agg.sorts.empty() &&
+          ValidateRefinement(Eval(), agg, theta).ok()) {
+        result.decision = Decision::kExists;
+        result.refinement = agg;
+        result.via_greedy = true;
+        result.seconds = timer.Seconds();
+        return result;
+      }
+    }
+    {
+      SortRefinement clustered = AgglomerativeFixedK(Eval(), k);
+      if (ValidateRefinement(Eval(), clustered, theta).ok()) {
+        result.decision = Decision::kExists;
+        result.refinement = std::move(clustered);
+        result.via_greedy = true;
+        result.seconds = timer.Seconds();
+        return result;
+      }
+    }
+    std::optional<SortRefinement> found =
+        GreedyFindRefinement(Eval(), k, theta, options_.greedy);
+    if (found.has_value()) {
+      result.decision = Decision::kExists;
+      result.refinement = std::move(found);
+      result.via_greedy = true;
+      result.seconds = timer.Seconds();
+      return result;
+    }
+  }
+
+  // Exact decision via the Section 6 ILP. Estimate the encoding size first:
+  // rows ~= assignments + per-sort (support links + property rows + tau
+  // links) + symmetry; building a model only to discard it wastes seconds on
+  // large rule/dataset combinations.
+  {
+    std::size_t support_links = 0;
+    for (std::size_t mu = 0; mu < index.num_signatures(); ++mu) {
+      support_links += index.signature(mu).support.size();
+    }
+    const std::size_t rows_estimate =
+        index.num_signatures() +
+        static_cast<std::size_t>(k) *
+            (support_links + index.num_properties() + TauCounts().size() + 1);
+    if (rows_estimate / 2 > options_.max_mip_rows) {
+      result.decision = Decision::kUnknown;
+      result.seconds = timer.Seconds();
+      return result;
+    }
+  }
+  IlpEncoding enc = BuildRefinementIlp(index, evaluator_->rule(), TauCounts(),
+                                       k, theta, options_.build);
+  if (enc.model.num_constraints() > options_.max_mip_rows) {
+    // Too large for the dense-simplex MIP; the answer stays open.
+    result.decision = Decision::kUnknown;
+    result.seconds = timer.Seconds();
+    return result;
+  }
+  const ilp::MipResult mip = ilp::SolveMip(enc.model, options_.mip);
+  result.mip_nodes = mip.nodes;
+  switch (mip.status) {
+    case ilp::MipStatus::kOptimal:
+    case ilp::MipStatus::kFeasible: {
+      SortRefinement decoded = enc.Decode(mip.x);
+      const Status valid = ValidateRefinement(Eval(), decoded, theta);
+      if (valid.ok()) {
+        result.decision = Decision::kExists;
+        result.refinement = std::move(decoded);
+      } else {
+        // A numerically accepted but exactly-invalid point: do not report a
+        // wrong refinement; the instance stays undecided.
+        result.decision = Decision::kUnknown;
+      }
+      break;
+    }
+    case ilp::MipStatus::kInfeasible:
+      result.decision = Decision::kNotExists;
+      break;
+    case ilp::MipStatus::kUnknown:
+      result.decision = Decision::kUnknown;
+      break;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
+  WallTimer timer;
+  HighestThetaResult best;
+
+  // The initial threshold sigma_r(D) is feasible with the one-sort partition
+  // (the paper's starting point).
+  const eval::SigmaCounts all = Eval().CountsAll();
+  Rational sigma_all(1);
+  if (all.total > 0) {
+    RDFSR_CHECK(all.total <= INT64_MAX);
+    sigma_all = Rational(static_cast<std::int64_t>(all.favorable),
+                         static_cast<std::int64_t>(all.total));
+  }
+  best.theta = sigma_all;
+  best.refinement.sorts.push_back(eval::AllSignatures(Eval().index()));
+  best.instances = 0;
+
+  const Rational step = Rational::FromDouble(options_.theta_step, 1000);
+  // First grid index strictly above sigma_all; last index is theta = 1.
+  const std::int64_t first_grid =
+      static_cast<std::int64_t>(
+          std::floor(sigma_all.ToDouble() / step.ToDouble())) + 1;
+  const std::int64_t last_grid = step.num() == 0
+                                     ? first_grid
+                                     : step.den() / step.num();
+
+  if (!options_.binary_theta_search) {
+    // Sequential search upward on the grid (paper Section 7: preferred over
+    // bisection because infeasible instances are far slower than feasible
+    // ones, and the sequential scan meets exactly one infeasible instance).
+    for (std::int64_t g = first_grid; g <= last_grid; ++g) {
+      const Rational theta = Rational(g) * step;
+      DecisionResult r = Exists(k, theta);
+      ++best.instances;
+      if (r.decision == Decision::kExists) {
+        best.theta = theta;
+        best.refinement = std::move(*r.refinement);
+        continue;
+      }
+      best.ceiling_proven = (r.decision == Decision::kNotExists);
+      break;
+    }
+    best.seconds = timer.Seconds();
+    return best;
+  }
+
+  // Bisection on the grid. Invariant: everything at or below `lo` is known
+  // feasible (or is the sigma_all baseline); everything above `hi` is known
+  // infeasible or unknown.
+  std::int64_t lo = first_grid - 1;  // baseline (sigma_all)
+  std::int64_t hi = last_grid;
+  best.ceiling_proven = true;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo + 1) / 2;
+    const Rational theta = Rational(mid) * step;
+    DecisionResult r = Exists(k, theta);
+    ++best.instances;
+    if (r.decision == Decision::kExists) {
+      best.theta = theta;
+      best.refinement = std::move(*r.refinement);
+      lo = mid;
+    } else {
+      if (r.decision != Decision::kNotExists) best.ceiling_proven = false;
+      hi = mid - 1;
+    }
+  }
+  best.seconds = timer.Seconds();
+  return best;
+}
+
+Result<LowestKResult> RefinementSolver::FindLowestK(Rational theta, int max_k) {
+  WallTimer timer;
+  const int n = static_cast<int>(Eval().index().num_signatures());
+  if (max_k <= 0) max_k = std::max(n, 1);
+
+  LowestKResult out;
+  out.proven_minimal = true;
+  for (int k = 1; k <= max_k; ++k) {
+    DecisionResult r = Exists(k, theta);
+    ++out.instances;
+    if (r.decision == Decision::kExists) {
+      out.k = k;
+      out.refinement = std::move(*r.refinement);
+      out.seconds = timer.Seconds();
+      return out;
+    }
+    if (r.decision == Decision::kUnknown) out.proven_minimal = false;
+  }
+  return Status::NotFound("no sort refinement with theta = " +
+                          theta.ToString() + " and k <= " +
+                          std::to_string(max_k));
+}
+
+}  // namespace rdfsr::core

@@ -1,0 +1,133 @@
+// The sort-refinement searches of Section 7.
+//
+// RefinementSolver answers the EXISTSSORTREFINEMENT(r) decision problem and
+// drives the paper's two experimental modes:
+//  * "highest theta for fixed k" — sequential search from sigma_r(D) upward in
+//    0.01 steps, keeping the last feasible refinement (Section 7: "this
+//    sequential search is preferred over a binary search"),
+//  * "lowest k for fixed theta" — increasing k until an instance is feasible.
+//
+// Each decision instance is attacked greedy-first (primal heuristic); the
+// exact branch-and-bound over the Section 6 ILP settles instances the
+// heuristic cannot, and is the only component that can prove non-existence.
+// Node/time limits surface as kUnknown rather than a wrong answer.
+
+#ifndef RDFSR_CORE_SOLVER_H_
+#define RDFSR_CORE_SOLVER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/greedy.h"
+#include "eval/cached_evaluator.h"
+#include "core/ilp_builder.h"
+#include "core/refinement.h"
+#include "eval/evaluator.h"
+#include "ilp/branch_and_bound.h"
+#include "util/rational.h"
+
+namespace rdfsr::core {
+
+/// Three-valued decision outcome.
+enum class Decision {
+  kExists,
+  kNotExists,
+  kUnknown,  ///< solver limits hit before an answer
+};
+
+const char* DecisionName(Decision decision);
+
+/// Outcome of one EXISTSSORTREFINEMENT instance.
+struct DecisionResult {
+  Decision decision = Decision::kUnknown;
+  std::optional<SortRefinement> refinement;  ///< present when kExists
+  bool via_greedy = false;   ///< heuristic answered without the MIP
+  long long mip_nodes = 0;
+  double seconds = 0.0;
+};
+
+/// Solver configuration.
+struct SolverOptions {
+  IlpBuildOptions build;
+  ilp::MipOptions mip;
+  GreedyOptions greedy;
+  bool greedy_first = true;  ///< try the heuristic before the exact solver
+  double theta_step = 0.01;  ///< paper's sequential step
+  /// Use bisection instead of the paper's sequential scan in
+  /// FindHighestTheta. The paper prefers sequential search because "it has
+  /// proven to be much slower to find an instance infeasible than to find a
+  /// solution to a feasible instance" — bisection front-loads infeasible
+  /// instances. Kept as an option for the ablation bench.
+  bool binary_theta_search = false;
+  /// Memoize sigma evaluations across heuristic and validation calls.
+  bool cache_evaluations = true;
+  /// Skip the exact MIP when the encoding exceeds this many rows (our dense
+  /// simplex keeps an m x m basis inverse; CPLEX had no such ceiling). The
+  /// instance then resolves to kUnknown unless the heuristic found a witness.
+  std::size_t max_mip_rows = 4000;
+};
+
+/// Result of the highest-theta search.
+struct HighestThetaResult {
+  Rational theta;  ///< best threshold with a feasible refinement
+  SortRefinement refinement;
+  int instances = 0;       ///< decision instances solved
+  bool ceiling_proven = false;  ///< next step was proven infeasible (vs unknown)
+  double seconds = 0.0;
+};
+
+/// Result of the lowest-k search.
+struct LowestKResult {
+  int k = 0;
+  SortRefinement refinement;
+  bool proven_minimal = false;  ///< all smaller k proven infeasible
+  int instances = 0;
+  double seconds = 0.0;
+};
+
+/// Drives refinement searches for one (dataset, rule) pair.
+class RefinementSolver {
+ public:
+  /// `evaluator` must outlive the solver; its rule and index define the
+  /// problem.
+  explicit RefinementSolver(const eval::Evaluator* evaluator,
+                            SolverOptions options = {});
+
+  /// EXISTSSORTREFINEMENT(r) on (D, theta, k). Any returned refinement is
+  /// validated exactly before being reported.
+  DecisionResult Exists(int k, Rational theta);
+
+  /// Highest theta with a k-sort refinement (sequential search).
+  HighestThetaResult FindHighestTheta(int k);
+
+  /// Smallest k admitting a refinement with threshold theta; searches k
+  /// upward from 1 to max_k (default: number of signatures). Fails with
+  /// NotFound when no k up to the cap works.
+  Result<LowestKResult> FindLowestK(Rational theta, int max_k = -1);
+
+ private:
+  /// The evaluator actually consulted (the cache wrapper when enabled).
+  const eval::Evaluator& Eval() const {
+    return cached_ != nullptr ? *cached_ : *evaluator_;
+  }
+
+  const eval::Evaluator* evaluator_;
+  std::unique_ptr<eval::CachedEvaluator> cached_;
+  SolverOptions options_;
+  // Tau counts depend only on (rule, dataset) — theta enters the encoding
+  // via the weights — so the enumeration is cached across instances.
+  std::vector<eval::TauCount> tau_counts_;
+  bool tau_counts_ready_ = false;
+  // Agglomerative lowest-k partitions per theta (reused across the k sweep).
+  std::map<std::pair<std::int64_t, std::int64_t>, SortRefinement>
+      agglomerative_cache_;
+
+  const std::vector<eval::TauCount>& TauCounts();
+  const SortRefinement& AgglomerativeForTheta(Rational theta);
+};
+
+}  // namespace rdfsr::core
+
+#endif  // RDFSR_CORE_SOLVER_H_

@@ -1,0 +1,33 @@
+#include "eval/cached_evaluator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace rdfsr::eval {
+
+CachedEvaluator::CachedEvaluator(const Evaluator* inner) : inner_(inner) {
+  RDFSR_CHECK(inner != nullptr);
+}
+
+SigmaCounts CachedEvaluator::Counts(const std::vector<int>& sig_ids) const {
+  std::vector<int> sorted = sig_ids;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  key.resize(sorted.size() * sizeof(int));
+  if (!sorted.empty()) {
+    std::memcpy(key.data(), sorted.data(), key.size());
+  }
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const SigmaCounts counts = inner_->Counts(sig_ids);
+  cache_.emplace(std::move(key), counts);
+  return counts;
+}
+
+}  // namespace rdfsr::eval

@@ -1,0 +1,47 @@
+// Memoizing decorator for Evaluator.
+//
+// Refinement search evaluates the same implicit sorts over and over: the
+// greedy local search re-scores unchanged slots, the agglomerative heuristic
+// re-probes pair merges, validation re-computes the final sorts. Counts are
+// pure functions of the subset, so a lookup table keyed by the sorted member
+// ids removes the recomputation — critical for GenericEvaluator, whose
+// Counts() run the full tau enumeration on a restricted index.
+
+#ifndef RDFSR_EVAL_CACHED_EVALUATOR_H_
+#define RDFSR_EVAL_CACHED_EVALUATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/evaluator.h"
+
+namespace rdfsr::eval {
+
+/// Wraps another evaluator with a subset -> counts memo table. The inner
+/// evaluator must outlive the wrapper. Not thread-safe.
+class CachedEvaluator : public Evaluator {
+ public:
+  explicit CachedEvaluator(const Evaluator* inner);
+
+  const rules::Rule& rule() const override { return inner_->rule(); }
+  const schema::SignatureIndex& index() const override {
+    return inner_->index();
+  }
+  SigmaCounts Counts(const std::vector<int>& sig_ids) const override;
+
+  /// Cache statistics (diagnostics / tests).
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  const Evaluator* inner_;
+  // Key: sorted signature ids, encoded as a string of int32s.
+  mutable std::unordered_map<std::string, SigmaCounts> cache_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_CACHED_EVALUATOR_H_

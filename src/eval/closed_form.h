@@ -1,0 +1,83 @@
+// Closed-form structuredness computation for the builtin rule families.
+//
+// For the rules of Section 2.2 the double sum over rough assignments collapses
+// to per-property subject counts. With N = Σ_mu n_mu subjects, cnt_p = number
+// of subjects having p, and P* = properties used by at least one subject:
+//
+//   Cov:            total = N * |P*|                favorable = Σ_mu n_mu |supp(mu)|
+//   Sim:            total = Σ_p cnt_p (N - 1)       favorable = Σ_p cnt_p (cnt_p - 1)
+//   Dep[p1,p2]:     total = cnt_p1                  favorable = cnt_{p1 ∧ p2}
+//   SymDep[p1,p2]:  total = cnt_p1 + cnt_p2 - both  favorable = cnt_{p1 ∧ p2}
+//   DepDisj[p1,p2]: total = N                       favorable = N - cnt_p1 + both
+//
+// Dep/SymDep/DepDisj require the p1 and p2 columns to exist in the sort's view
+// (Section 7.1.1's "trivially satisfied" sorts rely on this): when either is
+// missing, total = 0 and sigma = 1. These closed forms are property-tested
+// against the generic enumerator.
+//
+// When computing sigma for an implicit sort (a subset of signatures), columns
+// are those used by the member signatures — pass the subset; the full dataset
+// is the subset of all signatures.
+
+#ifndef RDFSR_EVAL_CLOSED_FORM_H_
+#define RDFSR_EVAL_CLOSED_FORM_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/counts.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::eval {
+
+/// Aggregate statistics of a subset of signatures (an implicit sort).
+struct SubsetStats {
+  BigCount subjects = 0;                   ///< N: subjects in the subset.
+  std::vector<BigCount> property_count;    ///< cnt_p per (global) property id.
+  BigCount support_sum = 0;                ///< Σ_mu n_mu |supp(mu)|.
+  int used_properties = 0;                 ///< |P*|: columns with cnt_p > 0.
+
+  /// Computes the stats for the given signature ids of `index`.
+  static SubsetStats Compute(const schema::SignatureIndex& index,
+                             const std::vector<int>& sig_ids);
+
+  /// cnt over subjects having ALL of the given properties.
+  static BigCount CountHavingAll(const schema::SignatureIndex& index,
+                                 const std::vector<int>& sig_ids,
+                                 const std::vector<int>& props);
+};
+
+/// sigma_Cov counts for a subset.
+SigmaCounts CovCounts(const schema::SignatureIndex& index,
+                      const std::vector<int>& sig_ids);
+
+/// sigma_Cov ignoring the listed properties.
+SigmaCounts CovIgnoringCounts(const schema::SignatureIndex& index,
+                              const std::vector<int>& sig_ids,
+                              const std::vector<std::string>& ignored);
+
+/// sigma_Sim counts for a subset.
+SigmaCounts SimCounts(const schema::SignatureIndex& index,
+                      const std::vector<int>& sig_ids);
+
+/// sigma_Dep[p1, p2] counts for a subset (property names).
+SigmaCounts DepCounts(const schema::SignatureIndex& index,
+                      const std::vector<int>& sig_ids, const std::string& p1,
+                      const std::string& p2);
+
+/// sigma_SymDep[p1, p2] counts for a subset.
+SigmaCounts SymDepCounts(const schema::SignatureIndex& index,
+                         const std::vector<int>& sig_ids,
+                         const std::string& p1, const std::string& p2);
+
+/// Disjunctive-consequent Dep variant counts for a subset.
+SigmaCounts DepDisjCounts(const schema::SignatureIndex& index,
+                          const std::vector<int>& sig_ids,
+                          const std::string& p1, const std::string& p2);
+
+/// Convenience: all signature ids of an index (the full dataset subset).
+std::vector<int> AllSignatures(const schema::SignatureIndex& index);
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_CLOSED_FORM_H_

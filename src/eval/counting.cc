@@ -1,0 +1,245 @@
+#include "eval/counting.h"
+
+#include <algorithm>
+
+#include "eval/partitions.h"
+#include "util/check.h"
+
+namespace rdfsr::eval {
+
+namespace {
+
+std::string BigToString(BigCount value) { return BigCountToString(value); }
+
+/// Context for evaluating a formula under a rough assignment plus a subject
+/// partition plus a class-to-constant binding.
+struct AbstractContext {
+  const std::vector<std::string>* variables = nullptr;
+  const RoughAssignment* tau = nullptr;
+  const std::vector<int>* class_of = nullptr;        // per variable index
+  const std::vector<int>* class_constant = nullptr;  // per class; -1 = fresh
+  const std::vector<std::string>* constants = nullptr;
+  const schema::SignatureIndex* index = nullptr;
+
+  int VarIndex(const std::string& v) const {
+    auto it = std::find(variables->begin(), variables->end(), v);
+    RDFSR_CHECK(it != variables->end()) << "unbound variable '" << v << "'";
+    return static_cast<int>(it - variables->begin());
+  }
+};
+
+bool SatisfiesAbstract(const rules::FormulaPtr& phi,
+                       const AbstractContext& ctx) {
+  using rules::FormulaKind;
+  RDFSR_CHECK(phi != nullptr);
+  switch (phi->kind) {
+    case FormulaKind::kValEqConst: {
+      const int v = ctx.VarIndex(phi->var1);
+      const auto [sig, prop] = ctx.tau->cells[v];
+      const bool bit = ctx.index->Has(sig, prop);
+      return bit == (phi->value == 1);
+    }
+    case FormulaKind::kSubjEqConst: {
+      const int v = ctx.VarIndex(phi->var1);
+      const int cls = (*ctx.class_of)[v];
+      const int bound = (*ctx.class_constant)[cls];
+      return bound >= 0 && (*ctx.constants)[bound] == phi->constant;
+    }
+    case FormulaKind::kPropEqConst: {
+      const int v = ctx.VarIndex(phi->var1);
+      const int prop = ctx.tau->cells[v].second;
+      return ctx.index->property_name(prop) == phi->constant;
+    }
+    case FormulaKind::kVarEq: {
+      const int a = ctx.VarIndex(phi->var1);
+      const int b = ctx.VarIndex(phi->var2);
+      return (*ctx.class_of)[a] == (*ctx.class_of)[b] &&
+             ctx.tau->cells[a].second == ctx.tau->cells[b].second;
+    }
+    case FormulaKind::kValEqVal: {
+      const int a = ctx.VarIndex(phi->var1);
+      const int b = ctx.VarIndex(phi->var2);
+      const auto [sa, pa] = ctx.tau->cells[a];
+      const auto [sb, pb] = ctx.tau->cells[b];
+      return ctx.index->Has(sa, pa) == ctx.index->Has(sb, pb);
+    }
+    case FormulaKind::kSubjEqSubj: {
+      const int a = ctx.VarIndex(phi->var1);
+      const int b = ctx.VarIndex(phi->var2);
+      return (*ctx.class_of)[a] == (*ctx.class_of)[b];
+    }
+    case FormulaKind::kPropEqProp: {
+      const int a = ctx.VarIndex(phi->var1);
+      const int b = ctx.VarIndex(phi->var2);
+      return ctx.tau->cells[a].second == ctx.tau->cells[b].second;
+    }
+    case FormulaKind::kNot:
+      return !SatisfiesAbstract(phi->left, ctx);
+    case FormulaKind::kAnd:
+      return SatisfiesAbstract(phi->left, ctx) &&
+             SatisfiesAbstract(phi->right, ctx);
+    case FormulaKind::kOr:
+      return SatisfiesAbstract(phi->left, ctx) ||
+             SatisfiesAbstract(phi->right, ctx);
+  }
+  return false;
+}
+
+/// Number of concrete subject choices for a given partition + constant
+/// binding: constants contribute factor 1 (their subject is fixed); fresh
+/// classes of signature mu choose distinct subjects from the signature set,
+/// avoiding the formula's mentioned constants.
+BigCount CountSubjectChoices(const std::vector<int>& class_of,
+                             const std::vector<int>& class_constant,
+                             const std::vector<int>& class_sig,
+                             const std::vector<std::string>& constants,
+                             const schema::SignatureIndex& index) {
+  const int num_classes =
+      class_of.empty() ? 0 : *std::max_element(class_of.begin(),
+                                               class_of.end()) + 1;
+  // Per signature, how many fresh classes draw from it.
+  BigCount ways = 1;
+  std::vector<std::pair<int, int>> fresh_per_sig;  // (sig, count)
+  for (int cls = 0; cls < num_classes; ++cls) {
+    if (class_constant[cls] >= 0) continue;  // bound to a constant: 1 way
+    const int sig = class_sig[cls];
+    bool found = false;
+    for (auto& [s, c] : fresh_per_sig) {
+      if (s == sig) {
+        ++c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) fresh_per_sig.emplace_back(sig, 1);
+  }
+  for (const auto& [sig, fresh] : fresh_per_sig) {
+    const std::int64_t named = index.CountNamedSubjects(
+        constants, static_cast<std::size_t>(sig));
+    BigCount base = index.signature(sig).count - named;
+    for (int j = 0; j < fresh; ++j) {
+      if (base - j <= 0) return 0;
+      ways *= (base - j);
+    }
+  }
+  return ways;
+}
+
+/// Shared enumeration core: walks partitions (and constant bindings) of the
+/// variables and accumulates the subject-choice counts of combinations where
+/// phi1 holds (total) and where additionally phi2 holds (favorable). phi2 may
+/// be null (CountCompatible).
+SigmaCounts EnumeratePartitions(const rules::FormulaPtr& phi1,
+                                const rules::FormulaPtr& phi2,
+                                const std::vector<std::string>& variables,
+                                const RoughAssignment& tau,
+                                const schema::SignatureIndex& index) {
+  RDFSR_CHECK_EQ(variables.size(), tau.cells.size());
+  for (const auto& [sig, prop] : tau.cells) {
+    RDFSR_CHECK_GE(sig, 0);
+    RDFSR_CHECK_LT(static_cast<std::size_t>(sig), index.num_signatures());
+    RDFSR_CHECK_GE(prop, 0);
+    RDFSR_CHECK_LT(static_cast<std::size_t>(prop), index.num_properties());
+  }
+
+  std::vector<std::string> constants;
+  rules::CollectSubjectConstants(phi1, &constants);
+  if (phi2 != nullptr) rules::CollectSubjectConstants(phi2, &constants);
+  std::sort(constants.begin(), constants.end());
+  constants.erase(std::unique(constants.begin(), constants.end()),
+                  constants.end());
+
+  const int n = static_cast<int>(variables.size());
+  SigmaCounts result;
+
+  ForEachSetPartition(n, [&](const std::vector<int>& class_of) {
+    // Feasibility: co-classed variables must share a signature.
+    const int num_classes =
+        n == 0 ? 0 : *std::max_element(class_of.begin(), class_of.end()) + 1;
+    std::vector<int> class_sig(num_classes, -1);
+    for (int v = 0; v < n; ++v) {
+      const int sig = tau.cells[v].first;
+      int& slot = class_sig[class_of[v]];
+      if (slot == -1) {
+        slot = sig;
+      } else if (slot != sig) {
+        return true;  // infeasible partition; keep enumerating
+      }
+    }
+
+    // Enumerate injective bindings of classes to mentioned constants (or
+    // fresh). Without subject constants there is exactly one binding.
+    std::vector<int> class_constant(num_classes, -1);
+    auto evaluate_binding = [&] {
+      AbstractContext ctx;
+      ctx.variables = &variables;
+      ctx.tau = &tau;
+      ctx.class_of = &class_of;
+      ctx.class_constant = &class_constant;
+      ctx.constants = &constants;
+      ctx.index = &index;
+      if (!SatisfiesAbstract(phi1, ctx)) return;
+      const BigCount ways = CountSubjectChoices(class_of, class_constant,
+                                                class_sig, constants, index);
+      if (ways == 0) return;
+      result.total += ways;
+      if (phi2 != nullptr && SatisfiesAbstract(phi2, ctx)) {
+        result.favorable += ways;
+      }
+    };
+
+    if (constants.empty()) {
+      evaluate_binding();
+      return true;
+    }
+
+    // DFS over per-class choices: fresh (-1) or one of the constants whose
+    // dataset signature matches the class signature, injectively.
+    std::vector<bool> constant_used(constants.size(), false);
+    std::function<void(int)> assign = [&](int cls) {
+      if (cls == num_classes) {
+        evaluate_binding();
+        return;
+      }
+      class_constant[cls] = -1;
+      assign(cls + 1);
+      for (std::size_t k = 0; k < constants.size(); ++k) {
+        if (constant_used[k]) continue;
+        const int const_sig = index.FindSubjectSignature(constants[k]);
+        if (const_sig != class_sig[cls]) continue;
+        constant_used[k] = true;
+        class_constant[cls] = static_cast<int>(k);
+        assign(cls + 1);
+        class_constant[cls] = -1;
+        constant_used[k] = false;
+      }
+    };
+    assign(0);
+    return true;
+  });
+
+  RDFSR_CHECK_GE(result.total, result.favorable)
+      << "favorable " << BigToString(result.favorable) << " exceeds total "
+      << BigToString(result.total);
+  return result;
+}
+
+}  // namespace
+
+BigCount CountCompatible(const rules::FormulaPtr& phi,
+                         const std::vector<std::string>& variables,
+                         const RoughAssignment& tau,
+                         const schema::SignatureIndex& index) {
+  return EnumeratePartitions(phi, nullptr, variables, tau, index).total;
+}
+
+SigmaCounts CountRuleCases(const rules::FormulaPtr& phi1,
+                           const rules::FormulaPtr& phi2,
+                           const std::vector<std::string>& variables,
+                           const RoughAssignment& tau,
+                           const schema::SignatureIndex& index) {
+  RDFSR_CHECK(phi2 != nullptr);
+  return EnumeratePartitions(phi1, phi2, variables, tau, index);
+}
+
+}  // namespace rdfsr::eval

@@ -1,0 +1,59 @@
+// The count(phi, tau, M) function of Section 6, computed on the signature
+// index.
+//
+// A rough assignment tau maps each rule variable to a (signature, property)
+// pair instead of a concrete cell. count(phi, tau, M) is the number of
+// concrete variable assignments compatible with tau that satisfy phi. Given
+// tau, everything about phi is determined except subject identity:
+//   * val(c) is sig(c)'s support bit at prop(c) (all subjects of a signature
+//     set share their matrix row),
+//   * prop-atoms are determined by tau's property components,
+//   * subject-equality atoms depend only on which variables share subjects,
+//   * subj(c)=u atoms depend on whether the class's subject is the constant u.
+// So we enumerate set partitions of the variables into co-subject classes
+// (feasible only when co-classed variables share a signature) and, when the
+// formula mentions subject constants, the injective binding of classes to
+// those constants; satisfied combinations contribute a product of falling
+// factorials (distinct classes of the same signature must pick distinct
+// subjects, avoiding the mentioned constants for "fresh" classes).
+
+#ifndef RDFSR_EVAL_COUNTING_H_
+#define RDFSR_EVAL_COUNTING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/counts.h"
+#include "rules/ast.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::eval {
+
+/// A rough variable assignment: per rule variable, a (signature id, property
+/// id) pair into a SignatureIndex.
+struct RoughAssignment {
+  std::vector<std::pair<int, int>> cells;
+
+  bool operator==(const RoughAssignment& o) const { return cells == o.cells; }
+};
+
+/// count(phi, tau, M): concrete assignments compatible with tau satisfying
+/// phi. `variables` fixes the order of tau's components (variables[i] is
+/// assigned tau.cells[i]); it must cover all variables of phi.
+BigCount CountCompatible(const rules::FormulaPtr& phi,
+                         const std::vector<std::string>& variables,
+                         const RoughAssignment& tau,
+                         const schema::SignatureIndex& index);
+
+/// Computes count(phi1, tau, M) and count(phi1 ∧ phi2, tau, M) in a single
+/// partition sweep (the totals and favorables of a rule at tau).
+SigmaCounts CountRuleCases(const rules::FormulaPtr& phi1,
+                           const rules::FormulaPtr& phi2,
+                           const std::vector<std::string>& variables,
+                           const RoughAssignment& tau,
+                           const schema::SignatureIndex& index);
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_COUNTING_H_

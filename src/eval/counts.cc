@@ -1,0 +1,20 @@
+#include "eval/counts.h"
+
+namespace rdfsr::eval {
+
+std::string BigCountToString(BigCount value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  unsigned __int128 v =
+      negative ? static_cast<unsigned __int128>(-(value + 1)) + 1
+               : static_cast<unsigned __int128>(value);
+  std::string digits;
+  while (v > 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  if (negative) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+}  // namespace rdfsr::eval

@@ -1,0 +1,43 @@
+// Exact case counts for structuredness values.
+//
+// Counts of satisfying assignments grow like |S|^n for n-variable rules, so we
+// accumulate in 128-bit integers (e.g. sigma_Sim on a 10^5-subject dataset has
+// ~10^11 total cases; intermediate ILP coefficients multiply by the threshold
+// denominator).
+
+#ifndef RDFSR_EVAL_COUNTS_H_
+#define RDFSR_EVAL_COUNTS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rdfsr::eval {
+
+/// 128-bit signed count.
+using BigCount = __int128;
+
+/// Favorable/total case counts defining a structuredness value
+/// sigma = favorable / total (1 when total == 0, per Section 3.2).
+struct SigmaCounts {
+  BigCount favorable = 0;
+  BigCount total = 0;
+
+  double Value() const {
+    return total == 0 ? 1.0
+                      : static_cast<double>(favorable) /
+                            static_cast<double>(total);
+  }
+
+  SigmaCounts& operator+=(const SigmaCounts& o) {
+    favorable += o.favorable;
+    total += o.total;
+    return *this;
+  }
+};
+
+/// Decimal rendering of a BigCount (std::to_string lacks __int128 support).
+std::string BigCountToString(BigCount value);
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_COUNTS_H_

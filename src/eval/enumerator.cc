@@ -1,0 +1,186 @@
+#include "eval/enumerator.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+
+namespace rdfsr::eval {
+
+namespace {
+
+int VarIndex(const std::vector<std::string>& variables, const std::string& v) {
+  auto it = std::find(variables.begin(), variables.end(), v);
+  RDFSR_CHECK(it != variables.end()) << "unbound variable '" << v << "'";
+  return static_cast<int>(it - variables.begin());
+}
+
+Tri TriNot(Tri t) {
+  switch (t) {
+    case Tri::kFalse:
+      return Tri::kTrue;
+    case Tri::kTrue:
+      return Tri::kFalse;
+    case Tri::kUnknown:
+      return Tri::kUnknown;
+  }
+  return Tri::kUnknown;
+}
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+Tri FromBool(bool b) { return b ? Tri::kTrue : Tri::kFalse; }
+
+}  // namespace
+
+Tri PartialEvaluate(const rules::FormulaPtr& phi,
+                    const std::vector<std::string>& variables,
+                    const RoughAssignment& partial,
+                    const schema::SignatureIndex& index) {
+  using rules::FormulaKind;
+  RDFSR_CHECK(phi != nullptr);
+  auto assigned = [&](int v) { return partial.cells[v].first >= 0; };
+  switch (phi->kind) {
+    case FormulaKind::kValEqConst: {
+      const int v = VarIndex(variables, phi->var1);
+      if (!assigned(v)) return Tri::kUnknown;
+      const auto [sig, prop] = partial.cells[v];
+      return FromBool(index.Has(sig, prop) == (phi->value == 1));
+    }
+    case FormulaKind::kSubjEqConst: {
+      const int v = VarIndex(variables, phi->var1);
+      if (!assigned(v)) return Tri::kUnknown;
+      const int const_sig = index.FindSubjectSignature(phi->constant);
+      if (const_sig != partial.cells[v].first) return Tri::kFalse;
+      return Tri::kUnknown;  // depends on the concrete subject choice
+    }
+    case FormulaKind::kPropEqConst: {
+      const int v = VarIndex(variables, phi->var1);
+      if (!assigned(v)) return Tri::kUnknown;
+      return FromBool(index.property_name(partial.cells[v].second) ==
+                      phi->constant);
+    }
+    case FormulaKind::kVarEq: {
+      const int a = VarIndex(variables, phi->var1);
+      const int b = VarIndex(variables, phi->var2);
+      if (a == b) return Tri::kTrue;
+      if (!assigned(a) || !assigned(b)) return Tri::kUnknown;
+      if (partial.cells[a].first != partial.cells[b].first ||
+          partial.cells[a].second != partial.cells[b].second) {
+        return Tri::kFalse;
+      }
+      return Tri::kUnknown;  // same signature set and property: may coincide
+    }
+    case FormulaKind::kValEqVal: {
+      const int a = VarIndex(variables, phi->var1);
+      const int b = VarIndex(variables, phi->var2);
+      if (a == b) return Tri::kTrue;
+      if (!assigned(a) || !assigned(b)) return Tri::kUnknown;
+      const auto [sa, pa] = partial.cells[a];
+      const auto [sb, pb] = partial.cells[b];
+      return FromBool(index.Has(sa, pa) == index.Has(sb, pb));
+    }
+    case FormulaKind::kSubjEqSubj: {
+      const int a = VarIndex(variables, phi->var1);
+      const int b = VarIndex(variables, phi->var2);
+      if (a == b) return Tri::kTrue;
+      if (!assigned(a) || !assigned(b)) return Tri::kUnknown;
+      if (partial.cells[a].first != partial.cells[b].first) return Tri::kFalse;
+      return Tri::kUnknown;
+    }
+    case FormulaKind::kPropEqProp: {
+      const int a = VarIndex(variables, phi->var1);
+      const int b = VarIndex(variables, phi->var2);
+      if (a == b) return Tri::kTrue;
+      if (!assigned(a) || !assigned(b)) return Tri::kUnknown;
+      return FromBool(partial.cells[a].second == partial.cells[b].second);
+    }
+    case FormulaKind::kNot:
+      return TriNot(PartialEvaluate(phi->left, variables, partial, index));
+    case FormulaKind::kAnd:
+      return TriAnd(PartialEvaluate(phi->left, variables, partial, index),
+                    PartialEvaluate(phi->right, variables, partial, index));
+    case FormulaKind::kOr:
+      return TriOr(PartialEvaluate(phi->left, variables, partial, index),
+                   PartialEvaluate(phi->right, variables, partial, index));
+  }
+  return Tri::kUnknown;
+}
+
+namespace {
+
+/// Shared DFS over rough assignments; `on_leaf` receives each tau whose
+/// antecedent is not definitely false.
+void ForEachCandidateTau(const rules::Rule& rule,
+                         const schema::SignatureIndex& index,
+                         const std::function<void(const RoughAssignment&)>&
+                             on_leaf) {
+  const std::vector<std::string>& variables = rule.variables();
+  const int n = static_cast<int>(variables.size());
+  const int sigs = static_cast<int>(index.num_signatures());
+  const int props = static_cast<int>(index.num_properties());
+  if (sigs == 0 || props == 0) return;
+
+  RoughAssignment partial;
+  partial.cells.assign(n, {-1, -1});
+
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == n) {
+      on_leaf(partial);
+      return;
+    }
+    for (int sig = 0; sig < sigs; ++sig) {
+      for (int prop = 0; prop < props; ++prop) {
+        partial.cells[depth] = {sig, prop};
+        if (PartialEvaluate(rule.antecedent(), variables, partial, index) !=
+            Tri::kFalse) {
+          recurse(depth + 1);
+        }
+      }
+    }
+    partial.cells[depth] = {-1, -1};
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+std::vector<TauCount> EnumerateTauCounts(const rules::Rule& rule,
+                                         const schema::SignatureIndex& index) {
+  std::vector<TauCount> out;
+  ForEachCandidateTau(rule, index, [&](const RoughAssignment& tau) {
+    const SigmaCounts counts = CountRuleCases(
+        rule.antecedent(), rule.consequent(), rule.variables(), tau, index);
+    if (counts.total == 0) return;
+    TauCount tc;
+    tc.tau = tau;
+    RDFSR_CHECK(counts.total <= INT64_MAX && counts.favorable <= INT64_MAX)
+        << "per-tau count exceeds int64";
+    tc.total = static_cast<std::int64_t>(counts.total);
+    tc.favorable = static_cast<std::int64_t>(counts.favorable);
+    out.push_back(std::move(tc));
+  });
+  return out;
+}
+
+SigmaCounts EvaluateRuleOnIndex(const rules::Rule& rule,
+                                const schema::SignatureIndex& index) {
+  SigmaCounts sum;
+  ForEachCandidateTau(rule, index, [&](const RoughAssignment& tau) {
+    sum += CountRuleCases(rule.antecedent(), rule.consequent(),
+                          rule.variables(), tau, index);
+  });
+  return sum;
+}
+
+}  // namespace rdfsr::eval

@@ -1,0 +1,56 @@
+// Pruned enumeration of rough assignments (tau) and rule evaluation on the
+// signature index.
+//
+// sigma_r(M) = (Σ_tau count(phi1 ∧ phi2, tau, M)) / (Σ_tau count(phi1, tau, M))
+// where tau ranges over (Λ(D) x P(D))^n. The enumerator walks that space
+// variable by variable, pruning any prefix under which the antecedent is
+// already determined false (three-valued evaluation): e.g. for sigma_Sim the
+// val(c1)=1 and prop(c1)=prop(c2) conjuncts collapse the quadratic candidate
+// space to pairs of signatures sharing a property. The surviving taus with
+// non-zero totals are exactly the T-variable candidates of the ILP encoding
+// (Section 6); the builder consumes them via EnumerateTauCounts.
+
+#ifndef RDFSR_EVAL_ENUMERATOR_H_
+#define RDFSR_EVAL_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/counting.h"
+#include "eval/counts.h"
+#include "rules/ast.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::eval {
+
+/// Three-valued truth for partially assigned rough assignments.
+enum class Tri { kFalse, kTrue, kUnknown };
+
+/// Evaluates phi under a partial rough assignment (cells with sig = -1 are
+/// unassigned). Subject-equality atoms between co-signature variables stay
+/// kUnknown (they depend on concrete subject choices).
+Tri PartialEvaluate(const rules::FormulaPtr& phi,
+                    const std::vector<std::string>& variables,
+                    const RoughAssignment& partial,
+                    const schema::SignatureIndex& index);
+
+/// Counts for one rough assignment with a non-zero number of total cases.
+struct TauCount {
+  RoughAssignment tau;
+  std::int64_t total = 0;      ///< count(phi1, tau, M)
+  std::int64_t favorable = 0;  ///< count(phi1 ∧ phi2, tau, M)
+};
+
+/// Enumerates every tau with count(phi1, tau, M) > 0, with counts.
+/// Deterministic order (lexicographic in (sig, prop) per variable).
+std::vector<TauCount> EnumerateTauCounts(const rules::Rule& rule,
+                                         const schema::SignatureIndex& index);
+
+/// sigma_r over the whole index: sums EnumerateTauCounts without
+/// materializing the vector.
+SigmaCounts EvaluateRuleOnIndex(const rules::Rule& rule,
+                                const schema::SignatureIndex& index);
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_ENUMERATOR_H_

@@ -1,0 +1,124 @@
+#include "eval/evaluator.h"
+
+#include "rules/builtins.h"
+#include "util/check.h"
+
+namespace rdfsr::eval {
+
+GenericEvaluator::GenericEvaluator(rules::Rule rule,
+                                   const schema::SignatureIndex* index)
+    : rule_(std::move(rule)), index_(index) {
+  RDFSR_CHECK(index_ != nullptr);
+}
+
+SigmaCounts GenericEvaluator::Counts(const std::vector<int>& sig_ids) const {
+  const schema::SignatureIndex sub = index_->Restrict(sig_ids);
+  return EvaluateRuleOnIndex(rule_, sub);
+}
+
+ClosedFormEvaluator::ClosedFormEvaluator(Kind kind, rules::Rule rule,
+                                         const schema::SignatureIndex* index,
+                                         std::vector<std::string> params)
+    : kind_(kind),
+      rule_(std::move(rule)),
+      index_(index),
+      params_(std::move(params)) {
+  RDFSR_CHECK(index_ != nullptr);
+}
+
+std::unique_ptr<ClosedFormEvaluator> ClosedFormEvaluator::Cov(
+    const schema::SignatureIndex* index) {
+  return std::unique_ptr<ClosedFormEvaluator>(
+      new ClosedFormEvaluator(Kind::kCov, rules::CovRule(), index, {}));
+}
+
+std::unique_ptr<ClosedFormEvaluator> ClosedFormEvaluator::CovIgnoring(
+    const schema::SignatureIndex* index, std::vector<std::string> ignored) {
+  rules::Rule rule = rules::CovRuleIgnoring(ignored);
+  return std::unique_ptr<ClosedFormEvaluator>(new ClosedFormEvaluator(
+      Kind::kCovIgnoring, std::move(rule), index, std::move(ignored)));
+}
+
+std::unique_ptr<ClosedFormEvaluator> ClosedFormEvaluator::Sim(
+    const schema::SignatureIndex* index) {
+  return std::unique_ptr<ClosedFormEvaluator>(
+      new ClosedFormEvaluator(Kind::kSim, rules::SimRule(), index, {}));
+}
+
+std::unique_ptr<ClosedFormEvaluator> ClosedFormEvaluator::Dep(
+    const schema::SignatureIndex* index, std::string p1, std::string p2) {
+  rules::Rule rule = rules::DepRule(p1, p2);
+  return std::unique_ptr<ClosedFormEvaluator>(new ClosedFormEvaluator(
+      Kind::kDep, std::move(rule), index, {std::move(p1), std::move(p2)}));
+}
+
+std::unique_ptr<ClosedFormEvaluator> ClosedFormEvaluator::SymDep(
+    const schema::SignatureIndex* index, std::string p1, std::string p2) {
+  rules::Rule rule = rules::SymDepRule(p1, p2);
+  return std::unique_ptr<ClosedFormEvaluator>(new ClosedFormEvaluator(
+      Kind::kSymDep, std::move(rule), index, {std::move(p1), std::move(p2)}));
+}
+
+std::unique_ptr<ClosedFormEvaluator> ClosedFormEvaluator::DepDisj(
+    const schema::SignatureIndex* index, std::string p1, std::string p2) {
+  rules::Rule rule = rules::DepDisjunctiveRule(p1, p2);
+  return std::unique_ptr<ClosedFormEvaluator>(new ClosedFormEvaluator(
+      Kind::kDepDisj, std::move(rule), index, {std::move(p1), std::move(p2)}));
+}
+
+SigmaCounts ClosedFormEvaluator::Counts(const std::vector<int>& sig_ids) const {
+  switch (kind_) {
+    case Kind::kCov:
+      return CovCounts(*index_, sig_ids);
+    case Kind::kCovIgnoring:
+      return CovIgnoringCounts(*index_, sig_ids, params_);
+    case Kind::kSim:
+      return SimCounts(*index_, sig_ids);
+    case Kind::kDep:
+      return DepCounts(*index_, sig_ids, params_[0], params_[1]);
+    case Kind::kSymDep:
+      return SymDepCounts(*index_, sig_ids, params_[0], params_[1]);
+    case Kind::kDepDisj:
+      return DepDisjCounts(*index_, sig_ids, params_[0], params_[1]);
+  }
+  return {};
+}
+
+namespace {
+
+/// Extracts "p1" and "p2" from a builtin name "Family[p1,p2]".
+bool ParseBracketParams(const std::string& name, const std::string& prefix,
+                        std::string* p1, std::string* p2) {
+  if (name.size() < prefix.size() + 2) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name[prefix.size()] != '[' || name.back() != ']') return false;
+  const std::string body =
+      name.substr(prefix.size() + 1, name.size() - prefix.size() - 2);
+  const std::size_t comma = body.find(',');
+  if (comma == std::string::npos) return false;
+  *p1 = body.substr(0, comma);
+  *p2 = body.substr(comma + 1);
+  return !p1->empty() && !p2->empty();
+}
+
+}  // namespace
+
+std::unique_ptr<Evaluator> MakeEvaluator(const rules::Rule& rule,
+                                         const schema::SignatureIndex* index) {
+  const std::string& name = rule.name();
+  if (name == "Cov") return ClosedFormEvaluator::Cov(index);
+  if (name == "Sim") return ClosedFormEvaluator::Sim(index);
+  std::string p1, p2;
+  if (ParseBracketParams(name, "Dep", &p1, &p2)) {
+    return ClosedFormEvaluator::Dep(index, p1, p2);
+  }
+  if (ParseBracketParams(name, "SymDep", &p1, &p2)) {
+    return ClosedFormEvaluator::SymDep(index, p1, p2);
+  }
+  if (ParseBracketParams(name, "DepDisj", &p1, &p2)) {
+    return ClosedFormEvaluator::DepDisj(index, p1, p2);
+  }
+  return std::make_unique<GenericEvaluator>(rule, index);
+}
+
+}  // namespace rdfsr::eval

@@ -1,0 +1,112 @@
+// Evaluator: uniform interface for computing sigma_r over implicit sorts.
+//
+// The refinement engine (core/) repeatedly asks "what is sigma of this subset
+// of signatures?": the greedy backend during local search, the solver when
+// validating decoded ILP solutions, the benches when reporting per-sort
+// values. Evaluator hides whether that is answered by the generic
+// signature-level enumerator (any rule) or by a closed form (the builtin
+// families); the two are property-tested to agree.
+
+#ifndef RDFSR_EVAL_EVALUATOR_H_
+#define RDFSR_EVAL_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/closed_form.h"
+#include "eval/counts.h"
+#include "eval/enumerator.h"
+#include "rules/ast.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::eval {
+
+/// Computes exact structuredness counts for subsets of a fixed base index.
+/// The subset is given by signature ids; the implicit sort's property view is
+/// the union of the member signatures' supports (columns unused by the subset
+/// do not exist in the sort's matrix).
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// The rule whose sigma this evaluator computes.
+  virtual const rules::Rule& rule() const = 0;
+
+  /// Exact counts for an implicit sort.
+  virtual SigmaCounts Counts(const std::vector<int>& sig_ids) const = 0;
+
+  /// Counts over the whole base index.
+  SigmaCounts CountsAll() const { return Counts(AllSignatures(index())); }
+
+  /// sigma for an implicit sort (1.0 when there are no total cases).
+  double Sigma(const std::vector<int>& sig_ids) const {
+    return Counts(sig_ids).Value();
+  }
+
+  /// sigma over the whole base index.
+  double SigmaAll() const { return CountsAll().Value(); }
+
+  /// The base index subsets refer to.
+  virtual const schema::SignatureIndex& index() const = 0;
+};
+
+/// Evaluator running the generic signature-level enumerator on the restricted
+/// index. Works for every rule in the language. Rules mentioning subject
+/// constants require the base index to retain subject names.
+class GenericEvaluator : public Evaluator {
+ public:
+  GenericEvaluator(rules::Rule rule, const schema::SignatureIndex* index);
+
+  const rules::Rule& rule() const override { return rule_; }
+  const schema::SignatureIndex& index() const override { return *index_; }
+  SigmaCounts Counts(const std::vector<int>& sig_ids) const override;
+
+ private:
+  rules::Rule rule_;
+  const schema::SignatureIndex* index_;
+};
+
+/// Evaluator using the closed forms of eval/closed_form.h.
+class ClosedFormEvaluator : public Evaluator {
+ public:
+  /// Which builtin family.
+  enum class Kind { kCov, kCovIgnoring, kSim, kDep, kSymDep, kDepDisj };
+
+  static std::unique_ptr<ClosedFormEvaluator> Cov(
+      const schema::SignatureIndex* index);
+  static std::unique_ptr<ClosedFormEvaluator> CovIgnoring(
+      const schema::SignatureIndex* index, std::vector<std::string> ignored);
+  static std::unique_ptr<ClosedFormEvaluator> Sim(
+      const schema::SignatureIndex* index);
+  static std::unique_ptr<ClosedFormEvaluator> Dep(
+      const schema::SignatureIndex* index, std::string p1, std::string p2);
+  static std::unique_ptr<ClosedFormEvaluator> SymDep(
+      const schema::SignatureIndex* index, std::string p1, std::string p2);
+  static std::unique_ptr<ClosedFormEvaluator> DepDisj(
+      const schema::SignatureIndex* index, std::string p1, std::string p2);
+
+  const rules::Rule& rule() const override { return rule_; }
+  const schema::SignatureIndex& index() const override { return *index_; }
+  SigmaCounts Counts(const std::vector<int>& sig_ids) const override;
+
+ private:
+  ClosedFormEvaluator(Kind kind, rules::Rule rule,
+                      const schema::SignatureIndex* index,
+                      std::vector<std::string> params);
+
+  Kind kind_;
+  rules::Rule rule_;
+  const schema::SignatureIndex* index_;
+  std::vector<std::string> params_;  // ignored props, or {p1, p2}
+};
+
+/// Picks the fastest evaluator for a rule: builtin rules created by
+/// rules/builtins.h are recognized by name and routed to their closed forms;
+/// everything else gets the generic enumerator.
+std::unique_ptr<Evaluator> MakeEvaluator(const rules::Rule& rule,
+                                         const schema::SignatureIndex* index);
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_EVALUATOR_H_

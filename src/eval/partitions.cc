@@ -1,0 +1,53 @@
+#include "eval/partitions.h"
+
+#include "util/check.h"
+
+namespace rdfsr::eval {
+
+void ForEachSetPartition(
+    int n, const std::function<bool(const std::vector<int>&)>& visit) {
+  RDFSR_CHECK_GE(n, 0);
+  std::vector<int> class_of(n, 0);
+  if (n == 0) {
+    visit(class_of);
+    return;
+  }
+  // Depth-first over restricted growth strings: position i may take any class
+  // id in [0, 1 + max(class_of[0..i-1])].
+  std::vector<int> max_prefix(n, 0);  // max class id among positions < i
+  int i = 0;
+  class_of[0] = 0;
+  max_prefix[0] = -1;  // no previous positions
+  while (true) {
+    if (i == n - 1) {
+      if (!visit(class_of)) return;
+      // Backtrack to the last position that can still be incremented.
+      while (i >= 0 && class_of[i] >= max_prefix[i] + 1) --i;
+      if (i < 0) return;
+      ++class_of[i];
+    } else {
+      ++i;
+      max_prefix[i] = std::max(max_prefix[i - 1], class_of[i - 1]);
+      class_of[i] = 0;
+    }
+  }
+}
+
+std::int64_t BellNumber(int n) {
+  RDFSR_CHECK_GE(n, 0);
+  RDFSR_CHECK_LE(n, 20);
+  // Bell triangle.
+  std::vector<std::vector<std::int64_t>> triangle(
+      static_cast<std::size_t>(n) + 1);
+  triangle[0] = {1};
+  for (int r = 1; r <= n; ++r) {
+    triangle[r].resize(r + 1);
+    triangle[r][0] = triangle[r - 1][r - 1];
+    for (int c = 1; c <= r; ++c) {
+      triangle[r][c] = triangle[r][c - 1] + triangle[r - 1][c - 1];
+    }
+  }
+  return triangle[n][0];
+}
+
+}  // namespace rdfsr::eval

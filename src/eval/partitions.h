@@ -1,0 +1,32 @@
+// Set-partition enumeration.
+//
+// The generic counter (eval/counting.h) resolves subject-equality atoms by
+// enumerating the ways rule variables can share subjects: every concrete
+// variable assignment induces a partition of the variables into co-subject
+// classes. Partitions are enumerated via restricted growth strings; rules have
+// few variables (the paper's builtins have 1-2, the NP-hardness rule has 11),
+// so Bell(n) stays manageable for every rule we evaluate generically.
+
+#ifndef RDFSR_EVAL_PARTITIONS_H_
+#define RDFSR_EVAL_PARTITIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rdfsr::eval {
+
+/// Invokes `visit` once per set partition of {0,...,n-1}. The argument maps
+/// each element to its class id; class ids are "restricted growth": class 0
+/// appears first, a new class id is one larger than the current max. Returning
+/// false from `visit` aborts the enumeration. n = 0 visits the empty partition
+/// once.
+void ForEachSetPartition(
+    int n, const std::function<bool(const std::vector<int>&)>& visit);
+
+/// Bell number B(n) (number of set partitions); n <= 20 to avoid overflow.
+std::int64_t BellNumber(int n);
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_PARTITIONS_H_

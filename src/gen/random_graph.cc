@@ -1,0 +1,98 @@
+#include "gen/random_graph.h"
+
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rdfsr::gen {
+
+schema::PropertyMatrix GenerateRandomMatrix(const RandomMatrixSpec& spec) {
+  RDFSR_CHECK_GT(spec.num_subjects, 0);
+  RDFSR_CHECK_GT(spec.num_properties, 0);
+  Rng rng(spec.seed);
+  std::vector<std::vector<int>> rows(
+      spec.num_subjects, std::vector<int>(spec.num_properties, 0));
+  for (auto& row : rows) {
+    for (int p = 0; p < spec.num_properties; ++p) {
+      row[p] = rng.Chance(spec.density) ? 1 : 0;
+    }
+  }
+  // Repair all-zero rows (subjects must have >= 1 property) and all-zero
+  // columns (properties must be mentioned).
+  for (auto& row : rows) {
+    bool any = false;
+    for (int v : row) any = any || v == 1;
+    if (!any) row[rng.Below(spec.num_properties)] = 1;
+  }
+  for (int p = 0; p < spec.num_properties; ++p) {
+    bool any = false;
+    for (const auto& row : rows) any = any || row[p] == 1;
+    if (!any) rows[rng.Below(spec.num_subjects)][p] = 1;
+  }
+  return schema::PropertyMatrix::FromRows(rows);
+}
+
+schema::SignatureIndex GenerateRandomIndex(const RandomIndexSpec& spec) {
+  RDFSR_CHECK_GT(spec.num_signatures, 0);
+  RDFSR_CHECK_GT(spec.num_properties, 0);
+  RDFSR_CHECK_GT(spec.max_count, 0);
+  Rng rng(spec.seed);
+
+  std::set<std::vector<int>> supports;
+  int stall = 0;
+  while (static_cast<int>(supports.size()) < spec.num_signatures) {
+    std::vector<int> support;
+    for (int p = 0; p < spec.num_properties; ++p) {
+      if (rng.Chance(spec.density)) support.push_back(p);
+    }
+    if (support.empty()) {
+      support.push_back(static_cast<int>(rng.Below(spec.num_properties)));
+    }
+    if (!supports.insert(support).second) {
+      RDFSR_CHECK_LT(++stall, 100000)
+          << "cannot draw enough distinct supports; lower num_signatures";
+    }
+  }
+
+  // Patch unused properties into some support, preserving distinctness.
+  std::vector<bool> used(spec.num_properties, false);
+  for (const auto& s : supports) {
+    for (int p : s) used[p] = true;
+  }
+  std::vector<std::vector<int>> final_supports(supports.begin(),
+                                               supports.end());
+  for (int p = 0; p < spec.num_properties; ++p) {
+    if (used[p]) continue;
+    bool placed = false;
+    for (auto& s : final_supports) {
+      std::vector<int> patched = s;
+      patched.insert(std::lower_bound(patched.begin(), patched.end(), p), p);
+      if (!supports.count(patched)) {
+        supports.erase(s);
+        supports.insert(patched);
+        s = std::move(patched);
+        placed = true;
+        break;
+      }
+    }
+    RDFSR_CHECK(placed) << "could not place property " << p;
+  }
+
+  std::vector<schema::Signature> signatures;
+  for (auto& s : final_supports) {
+    schema::Signature sig;
+    sig.support = std::move(s);
+    sig.count = rng.Range(1, spec.max_count);
+    signatures.push_back(std::move(sig));
+  }
+  std::vector<std::string> names;
+  for (int p = 0; p < spec.num_properties; ++p) {
+    names.push_back("p" + std::to_string(p));
+  }
+  return schema::SignatureIndex::FromSignatures(std::move(names),
+                                                std::move(signatures));
+}
+
+}  // namespace rdfsr::gen

@@ -1,0 +1,42 @@
+// Random datasets for property-based testing.
+//
+// Valid dataset views (no empty subject rows, no unused property columns) so
+// the brute-force semantics, the signature-level enumerator, and the closed
+// forms are all defined on the same object.
+
+#ifndef RDFSR_GEN_RANDOM_GRAPH_H_
+#define RDFSR_GEN_RANDOM_GRAPH_H_
+
+#include <cstdint>
+
+#include "schema/property_matrix.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::gen {
+
+/// Shape of a random explicit matrix.
+struct RandomMatrixSpec {
+  int num_subjects = 6;
+  int num_properties = 4;
+  double density = 0.5;  ///< Bernoulli probability of a 1 cell.
+  std::uint64_t seed = 1;
+};
+
+/// Random 0/1 matrix with no all-zero row and no all-zero column.
+schema::PropertyMatrix GenerateRandomMatrix(const RandomMatrixSpec& spec);
+
+/// Shape of a random signature index.
+struct RandomIndexSpec {
+  int num_signatures = 8;
+  int num_properties = 5;
+  std::int64_t max_count = 50;  ///< signature-set sizes uniform in [1, max]
+  double density = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Random signature index (distinct supports, all properties used).
+schema::SignatureIndex GenerateRandomIndex(const RandomIndexSpec& spec);
+
+}  // namespace rdfsr::gen
+
+#endif  // RDFSR_GEN_RANDOM_GRAPH_H_

@@ -1,0 +1,106 @@
+#include "gen/yago.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rdfsr::gen {
+
+schema::SignatureIndex GenerateYagoSort(const YagoSortSpec& spec) {
+  RDFSR_CHECK_GT(spec.num_properties, 0);
+  RDFSR_CHECK_GT(spec.num_signatures, 0);
+  RDFSR_CHECK_GT(spec.num_subjects, 0);
+  RDFSR_CHECK_LE(static_cast<double>(spec.num_signatures),
+                 std::pow(2.0, std::min(spec.num_properties, 60)) - 1)
+      << "more signatures requested than distinct non-empty supports exist";
+  Rng rng(spec.seed);
+
+  // Zipf-like property popularity: p_j = clamp(popularity of rank j).
+  std::vector<double> popularity(spec.num_properties);
+  for (int p = 0; p < spec.num_properties; ++p) {
+    popularity[p] = std::min(1.0, 1.6 / std::pow(p + 1.0, spec.property_skew));
+  }
+
+  // Sample distinct supports.
+  std::set<std::vector<int>> supports;
+  int attempts = 0;
+  while (static_cast<int>(supports.size()) < spec.num_signatures) {
+    std::vector<int> support;
+    for (int p = 0; p < spec.num_properties; ++p) {
+      if (rng.Chance(popularity[p])) support.push_back(p);
+    }
+    if (support.empty()) support.push_back(static_cast<int>(
+        rng.Below(spec.num_properties)));
+    if (!supports.insert(support).second && ++attempts > 200) {
+      // Rejection is saturating (dense popularity): mutate a random existing
+      // support by toggling one property to force progress.
+      std::vector<int> base = *supports.begin();
+      const int p = static_cast<int>(rng.Below(spec.num_properties));
+      auto it = std::find(base.begin(), base.end(), p);
+      if (it != base.end() && base.size() > 1) {
+        base.erase(it);
+      } else if (it == base.end()) {
+        base.insert(std::lower_bound(base.begin(), base.end(), p), p);
+      }
+      supports.insert(base);
+    }
+  }
+
+  // Ensure every property is used by some signature: patch unused properties
+  // into the largest support (keeps distinctness in the common case; if the
+  // patched support collides we simply drop the collided duplicate later —
+  // signature counts absorb it).
+  std::vector<bool> used(spec.num_properties, false);
+  for (const auto& s : supports) {
+    for (int p : s) used[p] = true;
+  }
+  std::vector<std::vector<int>> final_supports(supports.begin(),
+                                               supports.end());
+  for (int p = 0; p < spec.num_properties; ++p) {
+    if (used[p]) continue;
+    // Add p to the first support that stays distinct after insertion.
+    for (auto& s : final_supports) {
+      std::vector<int> patched = s;
+      patched.insert(std::lower_bound(patched.begin(), patched.end(), p), p);
+      if (!supports.count(patched)) {
+        supports.erase(s);
+        supports.insert(patched);
+        s = std::move(patched);
+        used[p] = true;
+        break;
+      }
+    }
+    RDFSR_CHECK(used[p]) << "could not place property " << p;
+  }
+
+  // Zipf sizes over rank, scaled to num_subjects (minimum 1 subject each).
+  const int n = static_cast<int>(final_supports.size());
+  std::vector<double> raw(n);
+  double total_raw = 0;
+  for (int i = 0; i < n; ++i) {
+    raw[i] = 1.0 / std::pow(i + 1.0, spec.size_skew);
+    total_raw += raw[i];
+  }
+  std::vector<schema::Signature> signatures;
+  for (int i = 0; i < n; ++i) {
+    schema::Signature sig;
+    sig.support = final_supports[i];
+    sig.count = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(raw[i] / total_raw * spec.num_subjects)));
+    signatures.push_back(std::move(sig));
+  }
+
+  std::vector<std::string> names;
+  for (int p = 0; p < spec.num_properties; ++p) {
+    names.push_back("prop" + std::to_string(p));
+  }
+  return schema::SignatureIndex::FromSignatures(std::move(names),
+                                                std::move(signatures));
+}
+
+}  // namespace rdfsr::gen

@@ -1,0 +1,37 @@
+// Synthetic YAGO explicit sorts (Section 7.3 substitution).
+//
+// The scalability study samples ~500 explicit sorts from YAGO with 1-350
+// signatures, 10-40 properties, and 10^2-10^5 subjects, then measures the
+// runtime of a "highest theta for k=2" search as a function of signature and
+// property counts. We generate sorts with the same controllable shape:
+// Zipf-skewed property popularity (a few near-universal columns, a long rare
+// tail — the YAGO histogram shape in Figure 8) and Zipf-skewed signature-set
+// sizes.
+
+#ifndef RDFSR_GEN_YAGO_H_
+#define RDFSR_GEN_YAGO_H_
+
+#include <cstdint>
+
+#include "schema/signature_index.h"
+
+namespace rdfsr::gen {
+
+/// Shape parameters of one synthetic explicit sort.
+struct YagoSortSpec {
+  int num_properties = 16;
+  int num_signatures = 32;          ///< target; the result has exactly this many
+  std::int64_t num_subjects = 5000; ///< total subjects across signature sets
+  double property_skew = 0.8;       ///< Zipf exponent of property popularity
+  double size_skew = 1.2;           ///< Zipf exponent of signature-set sizes
+  std::uint64_t seed = 1;
+};
+
+/// Generates a synthetic explicit sort with the given shape. Guarantees:
+/// exactly `num_signatures` distinct signatures, every property used by at
+/// least one signature, subject counts summing to >= num_subjects.
+schema::SignatureIndex GenerateYagoSort(const YagoSortSpec& spec);
+
+}  // namespace rdfsr::gen
+
+#endif  // RDFSR_GEN_YAGO_H_

@@ -1,0 +1,195 @@
+#include "ilp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ilp/presolve.h"
+#include "util/timer.h"
+
+namespace rdfsr::ilp {
+
+const char* MipStatusName(MipStatus status) {
+  switch (status) {
+    case MipStatus::kOptimal:
+      return "Optimal";
+    case MipStatus::kFeasible:
+      return "Feasible";
+    case MipStatus::kInfeasible:
+      return "Infeasible";
+    case MipStatus::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const MipOptions& options)
+      : model_(model), options_(options) {
+    lb_.resize(model.num_variables());
+    ub_.resize(model.num_variables());
+    for (std::size_t j = 0; j < model.num_variables(); ++j) {
+      lb_[j] = model.variable(j).lower;
+      ub_[j] = model.variable(j).upper;
+    }
+  }
+
+  MipResult Run() {
+    Dfs();
+    MipResult result;
+    result.nodes = nodes_;
+    result.seconds = timer_.Seconds();
+    if (have_incumbent_) {
+      result.x = incumbent_;
+      result.objective = incumbent_obj_;
+      result.status = exhausted_ ? MipStatus::kOptimal : MipStatus::kFeasible;
+      // stop_at_first_incumbent abandons the rest of the tree by design; the
+      // incumbent is still a valid feasible point.
+      if (stopped_early_ && options_.stop_at_first_incumbent) {
+        result.status = MipStatus::kFeasible;
+      }
+    } else {
+      result.status = exhausted_ ? MipStatus::kInfeasible : MipStatus::kUnknown;
+    }
+    return result;
+  }
+
+ private:
+  /// Returns true when the search should unwind completely.
+  bool ShouldStop() {
+    if (stopped_early_) return true;
+    if (nodes_ >= options_.max_nodes ||
+        timer_.Seconds() >= options_.time_limit_seconds) {
+      exhausted_ = false;
+      stopped_early_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void Dfs() {
+    if (ShouldStop()) return;
+    ++nodes_;
+
+    const LpResult lp = SolveLp(model_, options_.lp, &lb_, &ub_);
+    if (lp.status == LpStatus::kInfeasible) return;  // prune
+    if (lp.status == LpStatus::kIterationLimit) {
+      // Cannot trust this subtree either way.
+      exhausted_ = false;
+      return;
+    }
+    if (lp.status == LpStatus::kUnbounded) {
+      // A zero-objective LP is never unbounded; with a real objective an
+      // unbounded relaxation cannot prune, so we must treat the subtree as
+      // undecided unless branching fixes it. Branch on any fractional var;
+      // if none, give up on this subtree.
+      exhausted_ = false;
+      return;
+    }
+
+    // Bound pruning against the incumbent (minimization).
+    if (have_incumbent_ && !model_.objective().empty() &&
+        lp.objective > incumbent_obj_ - 1e-9) {
+      return;
+    }
+
+    // Find the most fractional integer variable.
+    int branch_var = -1;
+    double branch_frac = options_.integer_tol;
+    for (std::size_t j = 0; j < model_.num_variables(); ++j) {
+      if (!model_.variable(j).is_integer) continue;
+      const double v = lp.x[j];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > branch_frac) {
+        branch_frac = frac;
+        branch_var = static_cast<int>(j);
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: round and accept as incumbent.
+      std::vector<double> x = lp.x;
+      for (std::size_t j = 0; j < model_.num_variables(); ++j) {
+        if (model_.variable(j).is_integer) x[j] = std::round(x[j]);
+      }
+      if (!model_.IsFeasible(x, 1e-5)) {
+        // Rounding broke a tight constraint; treat the node as undecided
+        // rather than derive a wrong incumbent.
+        exhausted_ = false;
+        return;
+      }
+      const double obj = model_.ObjectiveValue(x);
+      if (!have_incumbent_ || obj < incumbent_obj_) {
+        have_incumbent_ = true;
+        incumbent_ = std::move(x);
+        incumbent_obj_ = obj;
+        if (options_.stop_at_first_incumbent) stopped_early_ = true;
+      }
+      return;
+    }
+
+    const double v = lp.x[branch_var];
+    const double floor_v = std::floor(v);
+    const double ceil_v = floor_v + 1.0;
+    const double saved_lb = lb_[branch_var];
+    const double saved_ub = ub_[branch_var];
+
+    // Nearest side first (diving): below if frac < 0.5.
+    const bool down_first = (v - floor_v) < 0.5;
+    for (int side = 0; side < 2; ++side) {
+      const bool down = (side == 0) == down_first;
+      if (down) {
+        ub_[branch_var] = floor_v;
+        if (lb_[branch_var] <= ub_[branch_var]) Dfs();
+        ub_[branch_var] = saved_ub;
+      } else {
+        lb_[branch_var] = ceil_v;
+        if (lb_[branch_var] <= ub_[branch_var]) Dfs();
+        lb_[branch_var] = saved_lb;
+      }
+      if (stopped_early_) return;
+    }
+  }
+
+  const Model& model_;
+  const MipOptions& options_;
+  std::vector<double> lb_, ub_;
+  WallTimer timer_;
+
+  long long nodes_ = 0;
+  bool exhausted_ = true;
+  bool stopped_early_ = false;
+  bool have_incumbent_ = false;
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+MipResult SolveMip(const Model& model, const MipOptions& options) {
+  if (!options.use_presolve) {
+    BranchAndBound solver(model, options);
+    return solver.Run();
+  }
+  const PresolveResult pre = Presolve(model);
+  if (pre.proven_infeasible) {
+    MipResult result;
+    result.status = MipStatus::kInfeasible;
+    return result;
+  }
+  BranchAndBound solver(pre.reduced, options);
+  MipResult result = solver.Run();
+  if (!result.x.empty() || pre.reduced.num_variables() == 0) {
+    if (result.status == MipStatus::kOptimal ||
+        result.status == MipStatus::kFeasible) {
+      result.x = pre.RestoreSolution(result.x);
+      result.objective += pre.objective_offset;
+    }
+  }
+  return result;
+}
+
+}  // namespace rdfsr::ilp

@@ -1,0 +1,110 @@
+#include "ilp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace rdfsr::ilp {
+
+int Model::AddVariable(std::string name, double lower, double upper,
+                       bool is_integer) {
+  RDFSR_CHECK_LE(lower, upper) << "variable '" << name << "' has empty domain";
+  Variable v;
+  v.name = std::move(name);
+  v.lower = lower;
+  v.upper = upper;
+  v.is_integer = is_integer;
+  variables_.push_back(std::move(v));
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+namespace {
+
+std::vector<LinTerm> MergeTerms(std::vector<LinTerm> terms,
+                                std::size_t num_variables) {
+  std::map<int, double> merged;
+  for (const LinTerm& t : terms) {
+    RDFSR_CHECK_GE(t.var, 0);
+    RDFSR_CHECK_LT(static_cast<std::size_t>(t.var), num_variables);
+    merged[t.var] += t.coef;
+  }
+  std::vector<LinTerm> out;
+  out.reserve(merged.size());
+  for (const auto& [var, coef] : merged) {
+    if (coef != 0.0) out.push_back({var, coef});
+  }
+  return out;
+}
+
+}  // namespace
+
+int Model::AddConstraint(std::string name, std::vector<LinTerm> terms,
+                         double lower, double upper) {
+  RDFSR_CHECK_LE(lower, upper) << "constraint '" << name << "' is empty";
+  Constraint c;
+  c.name = std::move(name);
+  c.terms = MergeTerms(std::move(terms), variables_.size());
+  c.lower = lower;
+  c.upper = upper;
+  constraints_.push_back(std::move(c));
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+void Model::SetObjective(std::vector<LinTerm> terms) {
+  objective_ = MergeTerms(std::move(terms), variables_.size());
+}
+
+double Model::ObjectiveValue(const std::vector<double>& x) const {
+  double value = 0.0;
+  for (const LinTerm& t : objective_) value += t.coef * x[t.var];
+  return value;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != variables_.size()) return false;
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    const Variable& v = variables_[j];
+    if (x[j] < v.lower - tol || x[j] > v.upper + tol) return false;
+    if (v.is_integer && std::abs(x[j] - std::round(x[j])) > tol) return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double sum = 0.0;
+    for (const LinTerm& t : c.terms) sum += t.coef * x[t.var];
+    // Scale the tolerance by the constraint's magnitude so rows with large
+    // counts (threshold rows) are judged relatively.
+    double scale = 1.0;
+    for (const LinTerm& t : c.terms) scale = std::max(scale, std::abs(t.coef));
+    if (sum < c.lower - tol * scale || sum > c.upper + tol * scale) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Model::ToString() const {
+  std::ostringstream out;
+  out << "model: " << variables_.size() << " vars, " << constraints_.size()
+      << " constraints\n";
+  auto print_terms = [&](const std::vector<LinTerm>& terms) {
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0) out << " + ";
+      out << terms[i].coef << "*" << variables_[terms[i].var].name;
+    }
+  };
+  if (!objective_.empty()) {
+    out << "min ";
+    print_terms(objective_);
+    out << "\n";
+  }
+  for (const Constraint& c : constraints_) {
+    out << c.name << ": ";
+    if (c.lower > -kInfinity) out << c.lower << " <= ";
+    print_terms(c.terms);
+    if (c.upper < kInfinity) out << " <= " << c.upper;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rdfsr::ilp

@@ -1,0 +1,373 @@
+#include "ilp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rdfsr::ilp {
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "Optimal";
+    case LpStatus::kInfeasible:
+      return "Infeasible";
+    case LpStatus::kUnbounded:
+      return "Unbounded";
+    case LpStatus::kIterationLimit:
+      return "IterationLimit";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+constexpr double kPivotEps = 1e-9;
+
+enum class VarState : std::uint8_t {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kAtZero,  // free nonbasic, parked at 0
+};
+
+/// Internal solver state for one LP solve.
+class Simplex {
+ public:
+  Simplex(const Model& model, const SimplexOptions& options,
+          const std::vector<double>* lower, const std::vector<double>* upper)
+      : options_(options),
+        feas_tol_(std::max(10 * options.tol, 1e-6)),
+        n_struct_(static_cast<int>(model.num_variables())),
+        m_(static_cast<int>(model.num_constraints())),
+        n_(n_struct_ + m_) {
+    lb_.resize(n_);
+    ub_.resize(n_);
+    cost_.assign(n_, 0.0);
+    cols_.resize(n_);
+    for (int j = 0; j < n_struct_; ++j) {
+      lb_[j] = lower != nullptr ? (*lower)[j] : model.variable(j).lower;
+      ub_[j] = upper != nullptr ? (*upper)[j] : model.variable(j).upper;
+    }
+    for (int r = 0; r < m_; ++r) {
+      const Constraint& c = model.constraint(r);
+      for (const LinTerm& t : c.terms) {
+        cols_[t.var].push_back({r, t.coef});
+      }
+      const int slack = n_struct_ + r;
+      cols_[slack].push_back({r, -1.0});
+      lb_[slack] = c.lower;
+      ub_[slack] = c.upper;
+    }
+    for (const LinTerm& t : model.objective()) cost_[t.var] = t.coef;
+
+    // Initial basis: the slack columns (B = -I, so Binv = -I).
+    basic_.resize(m_);
+    state_.assign(n_, VarState::kAtLower);
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int r = 0; r < m_; ++r) {
+      basic_[r] = n_struct_ + r;
+      state_[n_struct_ + r] = VarState::kBasic;
+      binv_[static_cast<std::size_t>(r) * m_ + r] = -1.0;
+    }
+    x_.assign(n_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      if (lb_[j] > -kInfinity) {
+        state_[j] = VarState::kAtLower;
+        x_[j] = lb_[j];
+      } else if (ub_[j] < kInfinity) {
+        state_[j] = VarState::kAtUpper;
+        x_[j] = ub_[j];
+      } else {
+        state_[j] = VarState::kAtZero;
+        x_[j] = 0.0;
+      }
+    }
+    RecomputeBasics();
+  }
+
+  LpResult Run() {
+    LpResult result;
+    const int bland_after = 2000 + 20 * (m_ + n_);
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      if (iter > 0 && iter % options_.refresh_interval == 0) RecomputeBasics();
+      const bool phase1 = ComputePhase1Costs();
+      const std::vector<double>& cost = phase1 ? phase1_cost_ : cost_;
+
+      // Pricing: y = c_B * Binv, then reduced costs for nonbasic columns.
+      ComputeDuals(cost);
+      const bool bland = iter >= bland_after;
+      int entering = -1;
+      int direction = 0;
+      double best_score = options_.tol;
+      for (int j = 0; j < n_; ++j) {
+        if (state_[j] == VarState::kBasic) continue;
+        const double d = cost[j] - ColumnDual(j);
+        int dir = 0;
+        if (state_[j] == VarState::kAtLower && d < -options_.tol) {
+          dir = +1;
+        } else if (state_[j] == VarState::kAtUpper && d > options_.tol) {
+          dir = -1;
+        } else if (state_[j] == VarState::kAtZero &&
+                   std::abs(d) > options_.tol) {
+          dir = d < 0 ? +1 : -1;
+        } else {
+          continue;
+        }
+        if (bland) {  // first eligible index
+          entering = j;
+          direction = dir;
+          break;
+        }
+        if (std::abs(d) > best_score) {
+          best_score = std::abs(d);
+          entering = j;
+          direction = dir;
+        }
+      }
+
+      if (entering < 0) {
+        RecomputeBasics();
+        if (TotalInfeasibility() > feas_tol_) {
+          result.status = LpStatus::kInfeasible;
+        } else if (phase1) {
+          // Violations were within tolerance after the refresh; re-price with
+          // the true objective (ComputePhase1Costs will come back false).
+          continue;
+        } else {
+          result.status = LpStatus::kOptimal;
+        }
+        result.iterations = iter;
+        Extract(&result);
+        return result;
+      }
+
+      // Column of the entering variable in the current basis: w = Binv * A_j.
+      ComputePivotColumn(entering);
+
+      // Ratio test (composite rule: infeasible basics block only at the bound
+      // they are approaching from outside).
+      double t_limit = std::numeric_limits<double>::infinity();
+      int blocking_row = -1;
+      double blocking_target = 0.0;
+      // Bound flip of the entering variable itself.
+      if (lb_[entering] > -kInfinity && ub_[entering] < kInfinity) {
+        t_limit = ub_[entering] - lb_[entering];
+      }
+      for (int r = 0; r < m_; ++r) {
+        const double wr = w_[r];
+        if (std::abs(wr) < kPivotEps) continue;
+        const int i = basic_[r];
+        const double rate = -direction * wr;
+        double target;
+        if (rate > 0) {
+          if (x_[i] < lb_[i] - feas_tol_) {
+            target = lb_[i];  // infeasible below, improving: block at lower
+          } else if (x_[i] > ub_[i] + feas_tol_) {
+            continue;  // infeasible above, worsening: no block (the phase-1
+                       // objective prices the worsening; composite rule)
+          } else if (ub_[i] < kInfinity) {
+            target = ub_[i];
+          } else {
+            continue;
+          }
+        } else {
+          if (x_[i] > ub_[i] + feas_tol_) {
+            target = ub_[i];  // infeasible above, improving: block at upper
+          } else if (x_[i] < lb_[i] - feas_tol_) {
+            continue;  // infeasible below, worsening: no block
+          } else if (lb_[i] > -kInfinity) {
+            target = lb_[i];
+          } else {
+            continue;
+          }
+        }
+        double t = (target - x_[i]) / rate;
+        if (t < 0) t = 0;  // degenerate step
+        // Prefer the smallest ratio; break ties toward larger |pivot| for
+        // numerical stability, then smaller row index for determinism.
+        if (t < t_limit - 1e-12 ||
+            (blocking_row >= 0 && t < t_limit + 1e-12 &&
+             std::abs(wr) > std::abs(w_[blocking_row]) + 1e-12)) {
+          t_limit = t;
+          blocking_row = r;
+          blocking_target = target;
+        }
+      }
+
+      if (std::isinf(t_limit)) {
+        result.status = LpStatus::kUnbounded;
+        result.iterations = iter;
+        Extract(&result);
+        return result;
+      }
+
+      // Apply the step.
+      for (int r = 0; r < m_; ++r) {
+        if (w_[r] != 0.0) x_[basic_[r]] -= direction * t_limit * w_[r];
+      }
+      x_[entering] += direction * t_limit;
+
+      if (blocking_row < 0) {
+        // Bound flip: entering stays nonbasic at its other bound.
+        state_[entering] = direction > 0 ? VarState::kAtUpper
+                                         : VarState::kAtLower;
+        x_[entering] = direction > 0 ? ub_[entering] : lb_[entering];
+        continue;
+      }
+
+      // Pivot: entering becomes basic in blocking_row.
+      const int leaving = basic_[blocking_row];
+      x_[leaving] = blocking_target;
+      state_[leaving] = blocking_target == ub_[leaving] ? VarState::kAtUpper
+                                                        : VarState::kAtLower;
+      UpdateInverse(blocking_row);
+      basic_[blocking_row] = entering;
+      state_[entering] = VarState::kBasic;
+    }
+
+    result.status = LpStatus::kIterationLimit;
+    result.iterations = options_.max_iterations;
+    Extract(&result);
+    return result;
+  }
+
+ private:
+  /// Fills phase1_cost_ from current basic violations; returns true when any
+  /// basic variable is out of bounds (phase 1 needed).
+  bool ComputePhase1Costs() {
+    bool any = false;
+    phase1_cost_.assign(n_, 0.0);
+    for (int r = 0; r < m_; ++r) {
+      const int i = basic_[r];
+      if (x_[i] < lb_[i] - feas_tol_) {
+        phase1_cost_[i] = -1.0;
+        any = true;
+      } else if (x_[i] > ub_[i] + feas_tol_) {
+        phase1_cost_[i] = 1.0;
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  double TotalInfeasibility() const {
+    double total = 0.0;
+    for (int r = 0; r < m_; ++r) {
+      const int i = basic_[r];
+      if (x_[i] < lb_[i]) {
+        total += lb_[i] - x_[i];
+      } else if (x_[i] > ub_[i]) {
+        total += x_[i] - ub_[i];
+      }
+    }
+    return total;
+  }
+
+  /// y = c_B * Binv.
+  void ComputeDuals(const std::vector<double>& cost) {
+    y_.assign(m_, 0.0);
+    for (int r = 0; r < m_; ++r) {
+      const double cb = cost[basic_[r]];
+      if (cb == 0.0) continue;
+      const double* row = &binv_[static_cast<std::size_t>(r) * m_];
+      for (int k = 0; k < m_; ++k) y_[k] += cb * row[k];
+    }
+  }
+
+  /// y . A_j over the sparse column.
+  double ColumnDual(int j) const {
+    double dual = 0.0;
+    for (const auto& [row, coef] : cols_[j]) dual += y_[row] * coef;
+    return dual;
+  }
+
+  /// w = Binv * A_j.
+  void ComputePivotColumn(int j) {
+    w_.assign(m_, 0.0);
+    for (const auto& [row, coef] : cols_[j]) {
+      if (coef == 0.0) continue;
+      for (int r = 0; r < m_; ++r) {
+        w_[r] += binv_[static_cast<std::size_t>(r) * m_ + row] * coef;
+      }
+    }
+  }
+
+  /// Elementary row operations turning column w into the unit vector e_row.
+  void UpdateInverse(int pivot_row) {
+    const double pivot = w_[pivot_row];
+    RDFSR_CHECK(std::abs(pivot) > kPivotEps) << "numerically singular pivot";
+    double* prow = &binv_[static_cast<std::size_t>(pivot_row) * m_];
+    for (int k = 0; k < m_; ++k) prow[k] /= pivot;
+    for (int r = 0; r < m_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = w_[r];
+      if (factor == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(r) * m_];
+      for (int k = 0; k < m_; ++k) row[k] -= factor * prow[k];
+    }
+  }
+
+  /// x_B = -Binv * (A_N x_N)  (right-hand side is 0).
+  void RecomputeBasics() {
+    std::vector<double> v(m_, 0.0);
+    for (int j = 0; j < n_; ++j) {
+      if (state_[j] == VarState::kBasic || x_[j] == 0.0) continue;
+      for (const auto& [row, coef] : cols_[j]) v[row] += coef * x_[j];
+    }
+    for (int r = 0; r < m_; ++r) {
+      const double* row = &binv_[static_cast<std::size_t>(r) * m_];
+      double sum = 0.0;
+      for (int k = 0; k < m_; ++k) sum += row[k] * v[k];
+      x_[basic_[r]] = -sum;
+    }
+  }
+
+  void Extract(LpResult* result) const {
+    result->x.assign(x_.begin(), x_.begin() + n_struct_);
+    double obj = 0.0;
+    for (int j = 0; j < n_struct_; ++j) obj += cost_[j] * x_[j];
+    result->objective = obj;
+  }
+
+  const SimplexOptions options_;
+  const double feas_tol_;
+  const int n_struct_;
+  const int m_;
+  const int n_;
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;  // (row, coef)
+  std::vector<double> lb_, ub_, cost_, phase1_cost_;
+  std::vector<int> basic_;
+  std::vector<VarState> state_;
+  std::vector<double> binv_;  // m x m row-major
+  std::vector<double> x_;
+  std::vector<double> y_, w_;
+};
+
+}  // namespace
+
+LpResult SolveLp(const Model& model, const SimplexOptions& options,
+                 const std::vector<double>* lower,
+                 const std::vector<double>* upper) {
+  if (lower != nullptr) {
+    RDFSR_CHECK_EQ(lower->size(), model.num_variables());
+  }
+  if (upper != nullptr) {
+    RDFSR_CHECK_EQ(upper->size(), model.num_variables());
+  }
+  // Trivially check for empty variable domains (branch bounds may cross).
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    const double lo = lower ? (*lower)[j] : model.variable(j).lower;
+    const double hi = upper ? (*upper)[j] : model.variable(j).upper;
+    if (lo > hi) {
+      LpResult result;
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+  }
+  Simplex solver(model, options, lower, upper);
+  return solver.Run();
+}
+
+}  // namespace rdfsr::ilp

@@ -1,0 +1,58 @@
+// Bounded-variable revised primal simplex.
+//
+// Solves min c.x subject to the model's range constraints and variable bounds
+// (integrality ignored — this is the LP relaxation used by branch-and-bound).
+//
+// Formulation: each range row lo <= a.x <= hi becomes the equality
+// a.x - s = 0 with a slack s bounded by [lo, hi], so the constraint matrix is
+// [A | -I] with right-hand side 0 and the slack columns form the initial
+// basis. Feasibility is restored with a composite phase-1 (minimize the sum of
+// basic bound violations, costs recomputed each iteration), then phase 2
+// optimizes the true objective. The basis inverse is kept explicitly (dense)
+// and updated by elementary row operations per pivot; Dantzig pricing with a
+// Bland fallback guards against cycling; basic values are refreshed from the
+// inverse periodically for numerical hygiene.
+
+#ifndef RDFSR_ILP_SIMPLEX_H_
+#define RDFSR_ILP_SIMPLEX_H_
+
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace rdfsr::ilp {
+
+/// Outcome of an LP solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* LpStatusName(LpStatus status);
+
+/// LP solution.
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< Structural variable values (model order).
+  int iterations = 0;
+};
+
+/// Solver options.
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double tol = 1e-7;           ///< Feasibility / reduced-cost tolerance.
+  int refresh_interval = 128;  ///< Recompute basic values every N pivots.
+};
+
+/// Solves the LP relaxation of `model`. When `lower`/`upper` are non-null they
+/// override the model's variable bounds (branch-and-bound node bounds).
+LpResult SolveLp(const Model& model, const SimplexOptions& options = {},
+                 const std::vector<double>* lower = nullptr,
+                 const std::vector<double>* upper = nullptr);
+
+}  // namespace rdfsr::ilp
+
+#endif  // RDFSR_ILP_SIMPLEX_H_

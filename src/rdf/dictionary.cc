@@ -1,0 +1,19 @@
+#include "rdf/dictionary.h"
+
+namespace rdfsr::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  ids_.emplace(term, id);
+  return id;
+}
+
+TermId Dictionary::Find(const Term& term) const {
+  auto it = ids_.find(term);
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+}  // namespace rdfsr::rdf

@@ -1,0 +1,67 @@
+// Dictionary encoding: interning of RDF terms to dense 32-bit ids.
+//
+// This is the standard triple-store trick (see the horizontal-database view of
+// Section 2.1): all structural computation downstream works on integer ids; the
+// strings are only needed at the I/O boundary.
+
+#ifndef RDFSR_RDF_DICTIONARY_H_
+#define RDFSR_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "rdf/term.h"
+#include "util/check.h"
+
+namespace rdfsr::rdf {
+
+/// Dense id of an interned term. Valid ids are < Dictionary::size().
+using TermId = std::uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// Bidirectional Term <-> TermId map. Ids are assigned in interning order and
+/// are stable for the dictionary's lifetime. Not thread-safe.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable: graphs share dictionaries by reference.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns a term, returning its id (existing id if already present).
+  TermId Intern(const Term& term);
+
+  /// Convenience: interns an IRI given by string.
+  TermId InternIri(const std::string& iri) { return Intern(Term::Iri(iri)); }
+
+  /// Looks up a term's id without interning; kInvalidTermId when absent.
+  TermId Find(const Term& term) const;
+
+  /// Looks up an IRI's id without interning; kInvalidTermId when absent.
+  TermId FindIri(const std::string& iri) const {
+    return Find(Term::Iri(iri));
+  }
+
+  /// The term for a (valid) id.
+  const Term& term(TermId id) const {
+    RDFSR_CHECK_LT(id, terms_.size());
+    return terms_[id];
+  }
+
+  /// Number of interned terms.
+  std::size_t size() const { return terms_.size(); }
+
+ private:
+  std::deque<Term> terms_;  // deque: stable references across growth
+  std::unordered_map<Term, TermId, TermHash> ids_;
+};
+
+}  // namespace rdfsr::rdf
+
+#endif  // RDFSR_RDF_DICTIONARY_H_

@@ -1,0 +1,82 @@
+#include "rdf/graph.h"
+
+#include <unordered_set>
+
+#include "rdf/vocab.h"
+
+namespace rdfsr::rdf {
+
+namespace {
+std::uint64_t PackPair(TermId a, TermId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+bool Graph::Add(Triple t) {
+  RDFSR_CHECK_LT(t.subject, dict_->size());
+  RDFSR_CHECK_LT(t.predicate, dict_->size());
+  RDFSR_CHECK_LT(t.object, dict_->size());
+  if (!triple_set_.insert(t).second) return false;
+  triples_.push_back(t);
+  if (subject_set_.insert(t.subject).second) subjects_.push_back(t.subject);
+  if (property_set_.insert(t.predicate).second) {
+    properties_.push_back(t.predicate);
+  }
+  subject_property_.insert(PackPair(t.subject, t.predicate));
+  return true;
+}
+
+bool Graph::Add(const Term& s, const Term& p, const Term& o) {
+  Triple t;
+  t.subject = dict_->Intern(s);
+  t.predicate = dict_->Intern(p);
+  t.object = dict_->Intern(o);
+  return Add(t);
+}
+
+bool Graph::AddIri(const std::string& s, const std::string& p,
+                   const std::string& o) {
+  return Add(Term::Iri(s), Term::Iri(p), Term::Iri(o));
+}
+
+bool Graph::AddLiteral(const std::string& s, const std::string& p,
+                       const std::string& literal) {
+  return Add(Term::Iri(s), Term::Iri(p), Term::Literal(literal));
+}
+
+bool Graph::HasProperty(TermId s, TermId p) const {
+  return subject_property_.count(PackPair(s, p)) > 0;
+}
+
+Graph Graph::SortSlice(const std::string& type_iri, bool include_type) const {
+  Graph slice(dict_);
+  const TermId type_prop = dict_->FindIri(vocab::kRdfType);
+  const TermId sort = dict_->FindIri(type_iri);
+  if (type_prop == kInvalidTermId || sort == kInvalidTermId) return slice;
+
+  std::unordered_set<TermId> members;
+  for (const Triple& t : triples_) {
+    if (t.predicate == type_prop && t.object == sort) members.insert(t.subject);
+  }
+  for (const Triple& t : triples_) {
+    if (!members.count(t.subject)) continue;
+    if (!include_type && t.predicate == type_prop) continue;
+    slice.Add(t);
+  }
+  return slice;
+}
+
+std::vector<TermId> Graph::SortConstants() const {
+  const TermId type_prop = dict_->FindIri(vocab::kRdfType);
+  std::vector<TermId> sorts;
+  if (type_prop == kInvalidTermId) return sorts;
+  std::unordered_set<TermId> seen;
+  for (const Triple& t : triples_) {
+    if (t.predicate == type_prop && seen.insert(t.object).second) {
+      sorts.push_back(t.object);
+    }
+  }
+  return sorts;
+}
+
+}  // namespace rdfsr::rdf

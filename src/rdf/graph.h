@@ -1,0 +1,109 @@
+// RDF graphs: finite sets of triples over dictionary-encoded terms.
+//
+// Implements the schema-oriented representation of Section 2.1:
+//  * S(D), P(D) — subjects and properties mentioned in D,
+//  * "s has property p in D",
+//  * the sort slice D_t = { (s,p,o) in D | (s, type, t) in D }.
+
+#ifndef RDFSR_RDF_GRAPH_H_
+#define RDFSR_RDF_GRAPH_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfsr::rdf {
+
+/// A dictionary-encoded RDF triple (subject, predicate, object).
+struct Triple {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+
+  bool operator==(const Triple& o) const {
+    return subject == o.subject && predicate == o.predicate &&
+           object == o.object;
+  }
+};
+
+/// Hash functor for Triple (set semantics of RDF graphs).
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const {
+    std::uint64_t h = t.subject;
+    h = h * 0x100000001b3ULL ^ t.predicate;
+    h = h * 0x100000001b3ULL ^ t.object;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A finite set of RDF triples sharing a Dictionary. Insertion order of the
+/// first occurrence of each triple/subject/property is preserved, which keeps
+/// downstream views (matrices, signature indexes) deterministic.
+class Graph {
+ public:
+  /// Creates a graph with a fresh dictionary.
+  Graph() : dict_(std::make_shared<Dictionary>()) {}
+
+  /// Creates a graph sharing an existing dictionary (used by slices).
+  explicit Graph(std::shared_ptr<Dictionary> dict) : dict_(std::move(dict)) {}
+
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
+
+  /// Adds a triple by id; duplicate triples are ignored (set semantics).
+  /// Returns true if the triple was newly inserted.
+  bool Add(Triple t);
+
+  /// Adds a triple of terms, interning them first.
+  bool Add(const Term& s, const Term& p, const Term& o);
+
+  /// Convenience: adds (<s>, <p>, <o>) with all-IRI terms.
+  bool AddIri(const std::string& s, const std::string& p, const std::string& o);
+
+  /// Convenience: adds (<s>, <p>, "literal").
+  bool AddLiteral(const std::string& s, const std::string& p,
+                  const std::string& literal);
+
+  /// Number of triples |D|.
+  std::size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+
+  /// All triples in first-insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// S(D): distinct subjects in first-appearance order.
+  const std::vector<TermId>& subjects() const { return subjects_; }
+
+  /// P(D): distinct properties in first-appearance order.
+  const std::vector<TermId>& properties() const { return properties_; }
+
+  /// Whether s has property p in D (some (s, p, o) in D).
+  bool HasProperty(TermId s, TermId p) const;
+
+  /// D_t: the subgraph of all triples whose subject is declared of sort t via
+  /// (s, type, t). The slice shares this graph's dictionary. `include_type`
+  /// controls whether the (s, type, t) triples themselves are copied (the
+  /// paper's datasets exclude the type property from the analysis).
+  Graph SortSlice(const std::string& type_iri, bool include_type = false) const;
+
+  /// All sort constants t appearing in (s, type, t) triples.
+  std::vector<TermId> SortConstants() const;
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> triple_set_;
+  std::vector<TermId> subjects_;
+  std::vector<TermId> properties_;
+  std::unordered_set<std::uint64_t> subject_property_;  // packed (s,p)
+  std::unordered_set<TermId> subject_set_;
+  std::unordered_set<TermId> property_set_;
+};
+
+}  // namespace rdfsr::rdf
+
+#endif  // RDFSR_RDF_GRAPH_H_

@@ -1,0 +1,291 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace rdfsr::rdf {
+
+namespace {
+
+// Local early-return helper (kept file-private; not part of the public API).
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::rdfsr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Cursor over a single N-Triples line.
+class LineParser {
+ public:
+  LineParser(std::string_view line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  Status ParseTriple(Term* s, Term* p, Term* o) {
+    SkipWs();
+    RETURN_IF_ERROR(ParseSubject(s));
+    SkipWs();
+    RETURN_IF_ERROR(ParseIriTerm(p, "predicate"));
+    SkipWs();
+    RETURN_IF_ERROR(ParseObject(o));
+    SkipWs();
+    if (!Consume('.')) return Error("expected '.' terminating triple");
+    SkipWs();
+    if (pos_ != line_.size() && line_[pos_] != '#') {
+      return Error("trailing characters after '.'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status ParseSubject(Term* out) {
+    if (Peek() == '<') return ParseIriTerm(out, "subject");
+    if (Peek() == '_') return ParseBlank(out);
+    return Error("subject must be an IRI or blank node");
+  }
+
+  Status ParseObject(Term* out) {
+    if (Peek() == '<') return ParseIriTerm(out, "object");
+    if (Peek() == '_') return ParseBlank(out);
+    if (Peek() == '"') return ParseLiteral(out);
+    return Error("object must be an IRI, blank node, or literal");
+  }
+
+  Status ParseIriTerm(Term* out, const char* role) {
+    if (!Consume('<')) {
+      return Error(std::string("expected '<' starting ") + role);
+    }
+    std::string iri;
+    while (pos_ < line_.size() && line_[pos_] != '>') {
+      char c = line_[pos_++];
+      if (c == ' ' || c == '\t') return Error("whitespace inside IRI");
+      if (c == '\\') {
+        // IRIs only allow \u / \U escapes.
+        std::string decoded;
+        RETURN_IF_ERROR(DecodeUnicodeEscape(&decoded));
+        iri += decoded;
+        continue;
+      }
+      iri.push_back(c);
+    }
+    if (!Consume('>')) return Error("unterminated IRI");
+    if (iri.empty()) return Error("empty IRI");
+    *out = Term::Iri(std::move(iri));
+    return Status::OK();
+  }
+
+  Status ParseBlank(Term* out) {
+    if (!Consume('_') || !Consume(':')) {
+      return Error("expected '_:' starting blank node");
+    }
+    std::string label;
+    while (pos_ < line_.size() && !IsWs(line_[pos_]) && line_[pos_] != '.') {
+      label.push_back(line_[pos_++]);
+    }
+    if (label.empty()) return Error("empty blank node label");
+    *out = Term::Blank(std::move(label));
+    return Status::OK();
+  }
+
+  Status ParseLiteral(Term* out) {
+    if (!Consume('"')) return Error("expected '\"' starting literal");
+    std::string lex;
+    bool closed = false;
+    while (pos_ < line_.size()) {
+      char c = line_[pos_++];
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      if (c == '\\') {
+        if (pos_ >= line_.size()) return Error("dangling escape in literal");
+        char e = line_[pos_];
+        switch (e) {
+          case 't':
+            lex.push_back('\t');
+            ++pos_;
+            break;
+          case 'b':
+            lex.push_back('\b');
+            ++pos_;
+            break;
+          case 'n':
+            lex.push_back('\n');
+            ++pos_;
+            break;
+          case 'r':
+            lex.push_back('\r');
+            ++pos_;
+            break;
+          case 'f':
+            lex.push_back('\f');
+            ++pos_;
+            break;
+          case '"':
+            lex.push_back('"');
+            ++pos_;
+            break;
+          case '\'':
+            lex.push_back('\'');
+            ++pos_;
+            break;
+          case '\\':
+            lex.push_back('\\');
+            ++pos_;
+            break;
+          case 'u':
+          case 'U': {
+            // Cursor already sits on the escape letter.
+            std::string decoded;
+            RETURN_IF_ERROR(DecodeUnicodeEscape(&decoded));
+            lex += decoded;
+            break;
+          }
+          default:
+            return Error(std::string("invalid escape '\\") + e + "'");
+        }
+        continue;
+      }
+      lex.push_back(c);
+    }
+    if (!closed) return Error("unterminated literal");
+
+    std::string lang, datatype;
+    if (Peek() == '@') {
+      ++pos_;
+      while (pos_ < line_.size() &&
+             (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+              line_[pos_] == '-')) {
+        lang.push_back(line_[pos_++]);
+      }
+      if (lang.empty()) return Error("empty language tag");
+    } else if (Peek() == '^') {
+      ++pos_;
+      if (!Consume('^')) return Error("expected '^^' before datatype");
+      Term dt;
+      RETURN_IF_ERROR(ParseIriTerm(&dt, "datatype"));
+      datatype = dt.lexical;
+    }
+    *out = Term::Literal(std::move(lex), std::move(datatype), std::move(lang));
+    return Status::OK();
+  }
+
+  /// Decodes \uXXXX or \UXXXXXXXX to UTF-8. The cursor must sit on the escape
+  /// letter ('u' or 'U'); the backslash has already been consumed.
+  Status DecodeUnicodeEscape(std::string* out) {
+    if (pos_ >= line_.size()) return Error("dangling unicode escape");
+    char kind = line_[pos_++];
+    int digits = kind == 'u' ? 4 : kind == 'U' ? 8 : -1;
+    if (digits < 0) return Error("invalid escape in IRI");
+    if (pos_ + digits > line_.size()) return Error("truncated unicode escape");
+    std::uint32_t cp = 0;
+    for (int i = 0; i < digits; ++i) {
+      char c = line_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in unicode escape");
+      }
+    }
+    // Encode code point as UTF-8.
+    if (cp <= 0x7f) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7ff) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp <= 0xffff) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp <= 0x10ffff) {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      return Error("unicode escape out of range");
+    }
+    return Status::OK();
+  }
+
+  static bool IsWs(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+  void SkipWs() {
+    while (pos_ < line_.size() && IsWs(line_[pos_])) ++pos_;
+  }
+  char Peek() const { return pos_ < line_.size() ? line_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(line_no_) + ": " + msg);
+  }
+
+  std::string_view line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseNTriplesInto(std::string_view text, Graph* graph) {
+  RDFSR_CHECK(graph != nullptr);
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    start = end + 1;
+    // Strip leading whitespace; skip blank lines and comment lines.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    if (line[first] == '#') continue;
+    Term s, p, o;
+    LineParser parser(line, line_no);
+    Status st = parser.ParseTriple(&s, &p, &o);
+    if (!st.ok()) return st;
+    graph->Add(s, p, o);
+  }
+  return Status::OK();
+}
+
+Result<Graph> ParseNTriples(std::string_view text) {
+  Graph g;
+  Status st = ParseNTriplesInto(text, &g);
+  if (!st.ok()) return st;
+  return g;
+}
+
+Result<Graph> ParseNTriplesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNTriples(buf.str());
+}
+
+void WriteNTriples(const Graph& graph, std::ostream* out) {
+  RDFSR_CHECK(out != nullptr);
+  const Dictionary& dict = graph.dict();
+  for (const Triple& t : graph.triples()) {
+    *out << dict.term(t.subject).ToString() << " "
+         << dict.term(t.predicate).ToString() << " "
+         << dict.term(t.object).ToString() << " .\n";
+  }
+}
+
+std::string WriteNTriples(const Graph& graph) {
+  std::ostringstream out;
+  WriteNTriples(graph, &out);
+  return out.str();
+}
+
+}  // namespace rdfsr::rdf

@@ -1,0 +1,36 @@
+// N-Triples (RDF 1.1 line-based syntax) reader and writer.
+//
+// Supports IRIs, blank nodes, plain / language-tagged / datatyped literals,
+// string escapes (\t \b \n \r \f \" \' \\ \uXXXX \UXXXXXXXX), comments, and
+// blank lines. Errors report 1-based line numbers.
+
+#ifndef RDFSR_RDF_NTRIPLES_H_
+#define RDFSR_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfsr::rdf {
+
+/// Parses N-Triples text into a fresh graph.
+Result<Graph> ParseNTriples(std::string_view text);
+
+/// Parses N-Triples text, appending into an existing graph.
+Status ParseNTriplesInto(std::string_view text, Graph* graph);
+
+/// Parses an N-Triples file from disk.
+Result<Graph> ParseNTriplesFile(const std::string& path);
+
+/// Serializes a graph in N-Triples syntax (one triple per line, trailing " .").
+std::string WriteNTriples(const Graph& graph);
+
+/// Serializes a graph to a stream.
+void WriteNTriples(const Graph& graph, std::ostream* out);
+
+}  // namespace rdfsr::rdf
+
+#endif  // RDFSR_RDF_NTRIPLES_H_

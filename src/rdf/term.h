@@ -1,0 +1,59 @@
+// RDF terms: IRIs, literals, and blank nodes.
+//
+// The paper's model (Section 2.1) assumes two countably infinite disjoint sets U
+// (URIs) and L (literals); triples are (s, p, o) in U x U x (U ∪ L). We add blank
+// nodes for practical N-Triples compatibility; they behave like URIs throughout
+// the structuredness machinery (only subject identity and property presence
+// matter there).
+
+#ifndef RDFSR_RDF_TERM_H_
+#define RDFSR_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rdfsr::rdf {
+
+/// Which set a term belongs to.
+enum class TermKind : std::uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// An RDF term. Literals carry an optional datatype IRI and language tag
+/// (mutually exclusive per RDF 1.1; enforced by the N-Triples parser).
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;   ///< IRI string, literal lexical form, or blank label.
+  std::string datatype;  ///< Datatype IRI for typed literals, else empty.
+  std::string lang;      ///< Language tag for lang-tagged literals, else empty.
+
+  static Term Iri(std::string iri);
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string lang = "");
+  static Term Blank(std::string label);
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && lexical == o.lexical && datatype == o.datatype &&
+           lang == o.lang;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+  /// N-Triples surface form: <iri>, "literal"^^<dt>, "literal"@lang, _:label.
+  std::string ToString() const;
+};
+
+/// Hash functor so Term can key unordered maps (dictionary interning).
+struct TermHash {
+  std::size_t operator()(const Term& t) const;
+};
+
+}  // namespace rdfsr::rdf
+
+#endif  // RDFSR_RDF_TERM_H_

@@ -1,0 +1,34 @@
+// Well-known vocabulary constants used by the paper and its experiments.
+
+#ifndef RDFSR_RDF_VOCAB_H_
+#define RDFSR_RDF_VOCAB_H_
+
+namespace rdfsr::rdf::vocab {
+
+/// rdf:type — the constant `type` of Section 2.1: (s, type, t) declares subject
+/// s to be of sort t.
+inline constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// owl:sameAs — one of the RDF-plumbing properties the Section 7.4 modified Cov
+/// rule excludes.
+inline constexpr const char* kOwlSameAs = "http://www.w3.org/2002/07/owl#sameAs";
+
+/// rdfs:subClassOf — RDF plumbing (Section 7.4).
+inline constexpr const char* kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+
+/// rdfs:label — RDF plumbing (Section 7.4).
+inline constexpr const char* kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+
+/// foaf:Person — the sort of the DBpedia Persons dataset (Section 7.1).
+inline constexpr const char* kFoafPerson = "http://xmlns.com/foaf/0.1/Person";
+
+/// WordNet 2.0 NounSynset — the sort of the WordNet Nouns dataset (Section 7.2).
+inline constexpr const char* kWnNounSynset =
+    "http://www.w3.org/2006/03/wn/wn20/schema/NounSynset";
+
+}  // namespace rdfsr::rdf::vocab
+
+#endif  // RDFSR_RDF_VOCAB_H_

@@ -1,0 +1,184 @@
+#include "rules/ast.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfsr::rules {
+
+namespace {
+
+std::shared_ptr<Formula> MakeNode(FormulaKind kind) {
+  auto node = std::make_shared<Formula>();
+  node->kind = kind;
+  return node;
+}
+
+}  // namespace
+
+FormulaPtr ValEqConst(std::string var, int value) {
+  RDFSR_CHECK(value == 0 || value == 1) << "val(c) compares only against 0/1";
+  auto node = MakeNode(FormulaKind::kValEqConst);
+  node->var1 = std::move(var);
+  node->value = value;
+  return node;
+}
+
+FormulaPtr SubjEqConst(std::string var, std::string constant) {
+  auto node = MakeNode(FormulaKind::kSubjEqConst);
+  node->var1 = std::move(var);
+  node->constant = std::move(constant);
+  return node;
+}
+
+FormulaPtr PropEqConst(std::string var, std::string constant) {
+  auto node = MakeNode(FormulaKind::kPropEqConst);
+  node->var1 = std::move(var);
+  node->constant = std::move(constant);
+  return node;
+}
+
+FormulaPtr VarEq(std::string var1, std::string var2) {
+  auto node = MakeNode(FormulaKind::kVarEq);
+  node->var1 = std::move(var1);
+  node->var2 = std::move(var2);
+  return node;
+}
+
+FormulaPtr ValEqVal(std::string var1, std::string var2) {
+  auto node = MakeNode(FormulaKind::kValEqVal);
+  node->var1 = std::move(var1);
+  node->var2 = std::move(var2);
+  return node;
+}
+
+FormulaPtr SubjEqSubj(std::string var1, std::string var2) {
+  auto node = MakeNode(FormulaKind::kSubjEqSubj);
+  node->var1 = std::move(var1);
+  node->var2 = std::move(var2);
+  return node;
+}
+
+FormulaPtr PropEqProp(std::string var1, std::string var2) {
+  auto node = MakeNode(FormulaKind::kPropEqProp);
+  node->var1 = std::move(var1);
+  node->var2 = std::move(var2);
+  return node;
+}
+
+FormulaPtr Not(FormulaPtr phi) {
+  RDFSR_CHECK(phi != nullptr);
+  auto node = MakeNode(FormulaKind::kNot);
+  node->left = std::move(phi);
+  return node;
+}
+
+FormulaPtr And(FormulaPtr left, FormulaPtr right) {
+  RDFSR_CHECK(left != nullptr && right != nullptr);
+  auto node = MakeNode(FormulaKind::kAnd);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+FormulaPtr AndAll(const std::vector<FormulaPtr>& formulas) {
+  RDFSR_CHECK(!formulas.empty());
+  FormulaPtr acc = formulas[0];
+  for (std::size_t i = 1; i < formulas.size(); ++i) acc = And(acc, formulas[i]);
+  return acc;
+}
+
+FormulaPtr Or(FormulaPtr left, FormulaPtr right) {
+  RDFSR_CHECK(left != nullptr && right != nullptr);
+  auto node = MakeNode(FormulaKind::kOr);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+namespace {
+
+void AppendUnique(const std::string& value, std::vector<std::string>* out) {
+  if (std::find(out->begin(), out->end(), value) == out->end()) {
+    out->push_back(value);
+  }
+}
+
+}  // namespace
+
+void CollectVariables(const FormulaPtr& formula,
+                      std::vector<std::string>* out) {
+  if (formula == nullptr) return;
+  switch (formula->kind) {
+    case FormulaKind::kValEqConst:
+    case FormulaKind::kSubjEqConst:
+    case FormulaKind::kPropEqConst:
+      AppendUnique(formula->var1, out);
+      break;
+    case FormulaKind::kVarEq:
+    case FormulaKind::kValEqVal:
+    case FormulaKind::kSubjEqSubj:
+    case FormulaKind::kPropEqProp:
+      AppendUnique(formula->var1, out);
+      AppendUnique(formula->var2, out);
+      break;
+    case FormulaKind::kNot:
+      CollectVariables(formula->left, out);
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      CollectVariables(formula->left, out);
+      CollectVariables(formula->right, out);
+      break;
+  }
+}
+
+void CollectSubjectConstants(const FormulaPtr& formula,
+                             std::vector<std::string>* out) {
+  if (formula == nullptr) return;
+  if (formula->kind == FormulaKind::kSubjEqConst) {
+    AppendUnique(formula->constant, out);
+  }
+  CollectSubjectConstants(formula->left, out);
+  CollectSubjectConstants(formula->right, out);
+}
+
+void CollectPropertyConstants(const FormulaPtr& formula,
+                              std::vector<std::string>* out) {
+  if (formula == nullptr) return;
+  if (formula->kind == FormulaKind::kPropEqConst) {
+    AppendUnique(formula->constant, out);
+  }
+  CollectPropertyConstants(formula->left, out);
+  CollectPropertyConstants(formula->right, out);
+}
+
+Result<Rule> Rule::Create(FormulaPtr antecedent, FormulaPtr consequent,
+                          std::string name) {
+  if (antecedent == nullptr || consequent == nullptr) {
+    return Status::InvalidArgument("rule requires antecedent and consequent");
+  }
+  std::vector<std::string> ante_vars;
+  CollectVariables(antecedent, &ante_vars);
+  std::vector<std::string> cons_vars;
+  CollectVariables(consequent, &cons_vars);
+  for (const std::string& v : cons_vars) {
+    if (std::find(ante_vars.begin(), ante_vars.end(), v) == ante_vars.end()) {
+      return Status::InvalidArgument(
+          "consequent variable '" + v +
+          "' does not appear in the antecedent (var(phi2) must be a subset of "
+          "var(phi1))");
+    }
+  }
+  if (ante_vars.empty()) {
+    return Status::InvalidArgument("rule must mention at least one variable");
+  }
+  Rule rule;
+  rule.antecedent_ = std::move(antecedent);
+  rule.consequent_ = std::move(consequent);
+  rule.variables_ = std::move(ante_vars);
+  rule.name_ = std::move(name);
+  return rule;
+}
+
+}  // namespace rdfsr::rules

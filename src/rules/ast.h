@@ -1,0 +1,116 @@
+// Abstract syntax for the structuredness-rule language of Section 3.
+//
+// Terms: 0, 1, URIs, variables c in V, and the functional terms val(c),
+// subj(c), prop(c). Formulas: the eight atom shapes of Section 3.1 plus
+// negation, conjunction, disjunction. A rule is "phi1 |-> phi2" with
+// var(phi2) ⊆ var(phi1); its semantics sigma_r(M) is the fraction of variable
+// assignments satisfying phi1 that also satisfy phi2 (Section 3.2).
+
+#ifndef RDFSR_RULES_AST_H_
+#define RDFSR_RULES_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfsr::rules {
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// The syntactic shape of a formula node.
+enum class FormulaKind {
+  kValEqConst,   ///< val(c) = 0 | 1
+  kSubjEqConst,  ///< subj(c) = u
+  kPropEqConst,  ///< prop(c) = u
+  kVarEq,        ///< c1 = c2 (same cell)
+  kValEqVal,     ///< val(c1) = val(c2)
+  kSubjEqSubj,   ///< subj(c1) = subj(c2)
+  kPropEqProp,   ///< prop(c1) = prop(c2)
+  kNot,          ///< ¬ phi
+  kAnd,          ///< phi1 ∧ phi2
+  kOr,           ///< phi1 ∨ phi2
+};
+
+/// An immutable formula tree node. Which fields are meaningful depends on
+/// `kind`; construction goes through the factory functions below which enforce
+/// the invariants.
+struct Formula {
+  FormulaKind kind;
+  std::string var1;      ///< First (or only) variable, for atoms.
+  std::string var2;      ///< Second variable, for two-variable atoms.
+  int value = -1;        ///< 0 or 1, for kValEqConst.
+  std::string constant;  ///< URI constant, for kSubjEqConst / kPropEqConst.
+  FormulaPtr left;       ///< Child (kNot) or left child (kAnd/kOr).
+  FormulaPtr right;      ///< Right child (kAnd/kOr).
+};
+
+/// val(c) = value, value in {0, 1}.
+FormulaPtr ValEqConst(std::string var, int value);
+/// subj(c) = u.
+FormulaPtr SubjEqConst(std::string var, std::string constant);
+/// prop(c) = u.
+FormulaPtr PropEqConst(std::string var, std::string constant);
+/// c1 = c2.
+FormulaPtr VarEq(std::string var1, std::string var2);
+/// val(c1) = val(c2).
+FormulaPtr ValEqVal(std::string var1, std::string var2);
+/// subj(c1) = subj(c2).
+FormulaPtr SubjEqSubj(std::string var1, std::string var2);
+/// prop(c1) = prop(c2).
+FormulaPtr PropEqProp(std::string var1, std::string var2);
+/// ¬ phi.
+FormulaPtr Not(FormulaPtr phi);
+/// phi1 ∧ phi2.
+FormulaPtr And(FormulaPtr left, FormulaPtr right);
+/// Conjunction of one or more formulas (left fold); requires non-empty input.
+FormulaPtr AndAll(const std::vector<FormulaPtr>& formulas);
+/// phi1 ∨ phi2.
+FormulaPtr Or(FormulaPtr left, FormulaPtr right);
+
+/// Appends the variables of `formula` to `out` in order of first appearance
+/// (duplicates skipped).
+void CollectVariables(const FormulaPtr& formula, std::vector<std::string>* out);
+
+/// Appends every subject constant u mentioned in subj(c)=u atoms.
+void CollectSubjectConstants(const FormulaPtr& formula,
+                             std::vector<std::string>* out);
+
+/// Appends every property constant u mentioned in prop(c)=u atoms.
+void CollectPropertyConstants(const FormulaPtr& formula,
+                              std::vector<std::string>* out);
+
+/// A structuredness rule phi1 |-> phi2.
+class Rule {
+ public:
+  /// Validates var(consequent) ⊆ var(antecedent) and builds the rule. The
+  /// rule's variable order is the order of first appearance in the antecedent.
+  static Result<Rule> Create(FormulaPtr antecedent, FormulaPtr consequent,
+                             std::string name = "");
+
+  const FormulaPtr& antecedent() const { return antecedent_; }
+  const FormulaPtr& consequent() const { return consequent_; }
+
+  /// var(phi1): all rule variables, in canonical order.
+  const std::vector<std::string>& variables() const { return variables_; }
+
+  /// Optional display name ("Cov", "Sim[...]", ...). Empty for ad-hoc rules.
+  const std::string& name() const { return name_; }
+
+  /// Antecedent ∧ consequent (the favorable-case formula).
+  FormulaPtr Conjunction() const { return And(antecedent_, consequent_); }
+
+ private:
+  Rule() = default;
+
+  FormulaPtr antecedent_;
+  FormulaPtr consequent_;
+  std::vector<std::string> variables_;
+  std::string name_;
+};
+
+}  // namespace rdfsr::rules
+
+#endif  // RDFSR_RULES_AST_H_

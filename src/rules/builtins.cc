@@ -1,0 +1,74 @@
+#include "rules/builtins.h"
+
+#include "util/check.h"
+
+namespace rdfsr::rules {
+
+namespace {
+
+/// Unwraps Rule::Create for builtin rules (which are correct by construction).
+Rule MustCreate(FormulaPtr ante, FormulaPtr cons, std::string name) {
+  Result<Rule> rule = Rule::Create(std::move(ante), std::move(cons),
+                                   std::move(name));
+  RDFSR_CHECK(rule.ok()) << rule.status().ToString();
+  return std::move(rule).value();
+}
+
+}  // namespace
+
+Rule CovRule() {
+  return MustCreate(VarEq("c", "c"), ValEqConst("c", 1), "Cov");
+}
+
+Rule CovRuleIgnoring(const std::vector<std::string>& ignored_properties) {
+  std::vector<FormulaPtr> conjuncts = {VarEq("c", "c")};
+  for (const std::string& p : ignored_properties) {
+    conjuncts.push_back(Not(PropEqConst("c", p)));
+  }
+  return MustCreate(AndAll(conjuncts), ValEqConst("c", 1), "CovIgnoring");
+}
+
+Rule SimRule() {
+  FormulaPtr ante = AndAll({
+      Not(VarEq("c1", "c2")),
+      PropEqProp("c1", "c2"),
+      ValEqConst("c1", 1),
+  });
+  return MustCreate(std::move(ante), ValEqConst("c2", 1), "Sim");
+}
+
+Rule DepRule(const std::string& p1, const std::string& p2) {
+  FormulaPtr ante = AndAll({
+      SubjEqSubj("c1", "c2"),
+      PropEqConst("c1", p1),
+      PropEqConst("c2", p2),
+      ValEqConst("c1", 1),
+  });
+  return MustCreate(std::move(ante), ValEqConst("c2", 1),
+                    "Dep[" + p1 + "," + p2 + "]");
+}
+
+Rule SymDepRule(const std::string& p1, const std::string& p2) {
+  FormulaPtr ante = AndAll({
+      SubjEqSubj("c1", "c2"),
+      PropEqConst("c1", p1),
+      PropEqConst("c2", p2),
+      Or(ValEqConst("c1", 1), ValEqConst("c2", 1)),
+  });
+  FormulaPtr cons = And(ValEqConst("c1", 1), ValEqConst("c2", 1));
+  return MustCreate(std::move(ante), std::move(cons),
+                    "SymDep[" + p1 + "," + p2 + "]");
+}
+
+Rule DepDisjunctiveRule(const std::string& p1, const std::string& p2) {
+  FormulaPtr ante = AndAll({
+      SubjEqSubj("c1", "c2"),
+      PropEqConst("c1", p1),
+      PropEqConst("c2", p2),
+  });
+  FormulaPtr cons = Or(ValEqConst("c1", 0), ValEqConst("c2", 1));
+  return MustCreate(std::move(ante), std::move(cons),
+                    "DepDisj[" + p1 + "," + p2 + "]");
+}
+
+}  // namespace rdfsr::rules

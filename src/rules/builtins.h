@@ -1,0 +1,44 @@
+// The structuredness functions of Section 2.2, expressed as rules (Section 3.2).
+//
+// These are the three families the paper evaluates (plus documented variants):
+//   Cov          c = c -> val(c) = 1
+//   Sim          !(c1 = c2) && prop(c1) = prop(c2) && val(c1) = 1 -> val(c2)=1
+//   Dep[p1,p2]   subj-joined pair, val(c1)=1 -> val(c2)=1
+//   SymDep[p1,p2] subj-joined pair, either -> both
+
+#ifndef RDFSR_RULES_BUILTINS_H_
+#define RDFSR_RULES_BUILTINS_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/ast.h"
+
+namespace rdfsr::rules {
+
+/// sigma_Cov of Duan et al. [5]: the fraction of 1-cells in M(D).
+Rule CovRule();
+
+/// Cov restricted to ignore the given properties: the antecedent conjoins
+/// !(prop(c) = p) for each p (the Section 3.2 "ignore a column" example; also
+/// the Section 7.4 modified Cov that skips RDF-plumbing properties).
+Rule CovRuleIgnoring(const std::vector<std::string>& ignored_properties);
+
+/// sigma_Sim: probability that a property held by one subject is held by
+/// another random subject.
+Rule SimRule();
+
+/// sigma_Dep[p1,p2]: probability that a subject with p1 also has p2.
+Rule DepRule(const std::string& p1, const std::string& p2);
+
+/// sigma_SymDep[p1,p2]: probability that a subject with p1 or p2 has both.
+Rule SymDepRule(const std::string& p1, const std::string& p2);
+
+/// The disjunctive-consequent Dep variant from Section 3.2: probability that a
+/// random subject satisfies "has p1 implies has p2"
+/// (-> val(c1) = 0 || val(c2) = 1).
+Rule DepDisjunctiveRule(const std::string& p1, const std::string& p2);
+
+}  // namespace rdfsr::rules
+
+#endif  // RDFSR_RULES_BUILTINS_H_

@@ -1,0 +1,170 @@
+#include "rules/normalize.h"
+
+
+#include <algorithm>
+#include <functional>
+#include "util/check.h"
+
+namespace rdfsr::rules {
+
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  if (a->var1 != b->var1 || a->var2 != b->var2) return false;
+  if (a->value != b->value || a->constant != b->constant) return false;
+  return StructurallyEqual(a->left, b->left) &&
+         StructurallyEqual(a->right, b->right);
+}
+
+namespace {
+
+/// Constant truth of an ATOM (reflexive equalities are tautologies).
+ConstantTruth AtomTruth(const FormulaPtr& f) {
+  switch (f->kind) {
+    case FormulaKind::kVarEq:
+    case FormulaKind::kValEqVal:
+    case FormulaKind::kSubjEqSubj:
+    case FormulaKind::kPropEqProp:
+      if (f->var1 == f->var2) return ConstantTruth::kTrue;
+      return ConstantTruth::kUnknown;
+    default:
+      return ConstantTruth::kUnknown;
+  }
+}
+
+/// Sentinel tautology/contradiction markers: we reuse val(c)=0/1 shapes is
+/// not possible (they are not constant), so folding keeps a three-valued
+/// result alongside the rewritten formula.
+struct Folded {
+  FormulaPtr formula;  ///< null when the truth value is constant
+  ConstantTruth truth = ConstantTruth::kUnknown;
+};
+
+Folded MakeConstant(ConstantTruth truth) {
+  Folded f;
+  f.truth = truth;
+  return f;
+}
+
+Folded MakeFormula(FormulaPtr formula) {
+  Folded f;
+  f.formula = std::move(formula);
+  return f;
+}
+
+ConstantTruth Negate(ConstantTruth t) {
+  if (t == ConstantTruth::kTrue) return ConstantTruth::kFalse;
+  if (t == ConstantTruth::kFalse) return ConstantTruth::kTrue;
+  return ConstantTruth::kUnknown;
+}
+
+/// Core rewriter: returns the NNF of `f` (negated when `negate` is set),
+/// folding constants bottom-up.
+Folded Rewrite(const FormulaPtr& f, bool negate) {
+  RDFSR_CHECK(f != nullptr);
+  switch (f->kind) {
+    case FormulaKind::kNot:
+      return Rewrite(f->left, !negate);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      // De Morgan under negation: !(a && b) == !a || !b.
+      const bool is_and = (f->kind == FormulaKind::kAnd) != negate;
+      const FormulaKind op = is_and ? FormulaKind::kAnd : FormulaKind::kOr;
+      Folded left = Rewrite(f->left, negate);
+      Folded right = Rewrite(f->right, negate);
+      const ConstantTruth absorb =
+          is_and ? ConstantTruth::kFalse : ConstantTruth::kTrue;
+      const ConstantTruth neutral =
+          is_and ? ConstantTruth::kTrue : ConstantTruth::kFalse;
+      if (left.truth == absorb || right.truth == absorb) {
+        return MakeConstant(absorb);
+      }
+      if (left.truth == neutral && right.truth == neutral) {
+        return MakeConstant(neutral);
+      }
+      if (left.truth == neutral) return right;
+      if (right.truth == neutral) return left;
+      // Flatten the same-operator chain (children are already normalized
+      // left-folds of `op`) and dedupe structurally equal operands, so
+      // idempotence is caught across the whole chain: a && b && b == a && b.
+      std::vector<FormulaPtr> operands;
+      const std::function<void(const FormulaPtr&)> flatten =
+          [&](const FormulaPtr& node) {
+            if (node->kind == op) {
+              flatten(node->left);
+              flatten(node->right);
+              return;
+            }
+            for (const FormulaPtr& seen : operands) {
+              if (StructurallyEqual(seen, node)) return;
+            }
+            operands.push_back(node);
+          };
+      flatten(left.formula);
+      flatten(right.formula);
+      FormulaPtr acc = operands[0];
+      for (std::size_t i = 1; i < operands.size(); ++i) {
+        acc = is_and ? And(acc, operands[i]) : Or(acc, operands[i]);
+      }
+      return MakeFormula(std::move(acc));
+    }
+    default: {
+      const ConstantTruth truth = AtomTruth(f);
+      if (truth != ConstantTruth::kUnknown) {
+        return MakeConstant(negate ? Negate(truth) : truth);
+      }
+      return MakeFormula(negate ? Not(f) : f);
+    }
+  }
+}
+
+}  // namespace
+
+FormulaPtr Normalize(const FormulaPtr& formula) {
+  Folded folded = Rewrite(formula, false);
+  if (folded.formula != nullptr) return folded.formula;
+  // The formula is constant; the language has no literal true/false, so
+  // represent them canonically over some variable of the original formula:
+  // true  == (c = c), false == !(c = c).
+  std::vector<std::string> variables;
+  CollectVariables(formula, &variables);
+  RDFSR_CHECK(!variables.empty()) << "formulas always mention a variable";
+  FormulaPtr truth = VarEq(variables[0], variables[0]);
+  return folded.truth == ConstantTruth::kTrue ? truth : Not(truth);
+}
+
+ConstantTruth DecideConstant(const FormulaPtr& formula) {
+  Folded folded = Rewrite(formula, false);
+  return folded.truth;
+}
+
+Rule NormalizeRule(const Rule& rule) {
+  FormulaPtr ante = Normalize(rule.antecedent());
+  FormulaPtr cons = Normalize(rule.consequent());
+  // The rule's case counting quantifies over var(phi1): folding must not
+  // change the variable set (e.g. "c = c && val(d) = 1" must keep ranging
+  // over c). If it would, fall back to the original side.
+  std::vector<std::string> before, after;
+  CollectVariables(rule.antecedent(), &before);
+  CollectVariables(ante, &after);
+  if (before != after) ante = rule.antecedent();
+
+  std::vector<std::string> cons_vars;
+  CollectVariables(cons, &cons_vars);
+  for (const std::string& v : cons_vars) {
+    if (std::find(after.begin(), after.end(), v) == after.end() &&
+        std::find(before.begin(), before.end(), v) == before.end()) {
+      // Normalization introduced no new variables by construction; guard
+      // anyway.
+      cons = rule.consequent();
+      break;
+    }
+  }
+  Result<Rule> normalized = Rule::Create(std::move(ante), std::move(cons),
+                                         rule.name());
+  RDFSR_CHECK(normalized.ok()) << normalized.status().ToString();
+  return std::move(normalized).value();
+}
+
+}  // namespace rdfsr::rules

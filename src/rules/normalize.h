@@ -1,0 +1,52 @@
+// Formula normalization: negation normal form and algebraic simplification.
+//
+// The paper notes that the expressiveness/complexity frontier of the rule
+// language is open ("it would be interesting to explore subsets of our
+// language with possibly lower computational complexity"). A normalizer is
+// the first step of any such analysis, and it also speeds up the three-valued
+// enumerator (shallower formulas, fewer double negations). Semantics are
+// preserved exactly — property-tested against the brute-force evaluator.
+//
+// Transformations:
+//   * negations pushed to the atoms (De Morgan), double negations removed,
+//   * trivially-true / trivially-false atoms folded: c = c is true,
+//     subj(c) = subj(c) is true, val(c) = val(c) is true, ...,
+//   * idempotent / absorbing conjunctions and disjunctions folded:
+//     phi && phi -> phi, phi || phi -> phi (syntactic equality).
+//
+// Negated atoms have no positive equivalent in the language, so NNF keeps
+// kNot nodes, but only immediately above atoms.
+
+#ifndef RDFSR_RULES_NORMALIZE_H_
+#define RDFSR_RULES_NORMALIZE_H_
+
+#include "rules/ast.h"
+
+namespace rdfsr::rules {
+
+/// Truth value of a formula that is constant under every assignment, if the
+/// normalizer can prove it syntactically.
+enum class ConstantTruth {
+  kTrue,
+  kFalse,
+  kUnknown,
+};
+
+/// Normalizes a formula (NNF + folding). The result is semantically
+/// equivalent: it satisfies exactly the same (matrix, assignment) pairs.
+FormulaPtr Normalize(const FormulaPtr& formula);
+
+/// Syntactic constant-truth detection on a normalized formula.
+ConstantTruth DecideConstant(const FormulaPtr& formula);
+
+/// Structural equality of formulas (used for idempotence folding and tests).
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b);
+
+/// Normalizes both sides of a rule. The variable set of the antecedent must
+/// survive normalization (otherwise the rule's semantics would change); when
+/// folding would drop a variable, the original antecedent is kept.
+Rule NormalizeRule(const Rule& rule);
+
+}  // namespace rdfsr::rules
+
+#endif  // RDFSR_RULES_NORMALIZE_H_

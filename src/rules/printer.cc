@@ -1,0 +1,86 @@
+#include "rules/printer.h"
+
+#include "util/check.h"
+
+namespace rdfsr::rules {
+
+namespace {
+
+/// Wraps constants that are not plain identifiers in angle brackets.
+std::string PrintConstant(const std::string& constant) {
+  bool bare = !constant.empty();
+  for (char c : constant) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      bare = false;
+      break;
+    }
+  }
+  if (bare && constant != "val" && constant != "subj" && constant != "prop") {
+    return constant;
+  }
+  return "<" + constant + ">";
+}
+
+// Precedence: Or < And < Not/atom. Children with strictly lower precedence get
+// parenthesized.
+int Precedence(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kOr:
+      return 0;
+    case FormulaKind::kAnd:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+std::string Print(const FormulaPtr& f, int parent_prec) {
+  RDFSR_CHECK(f != nullptr);
+  std::string out;
+  const int prec = Precedence(f->kind);
+  switch (f->kind) {
+    case FormulaKind::kValEqConst:
+      out = "val(" + f->var1 + ") = " + std::to_string(f->value);
+      break;
+    case FormulaKind::kSubjEqConst:
+      out = "subj(" + f->var1 + ") = " + PrintConstant(f->constant);
+      break;
+    case FormulaKind::kPropEqConst:
+      out = "prop(" + f->var1 + ") = " + PrintConstant(f->constant);
+      break;
+    case FormulaKind::kVarEq:
+      out = f->var1 + " = " + f->var2;
+      break;
+    case FormulaKind::kValEqVal:
+      out = "val(" + f->var1 + ") = val(" + f->var2 + ")";
+      break;
+    case FormulaKind::kSubjEqSubj:
+      out = "subj(" + f->var1 + ") = subj(" + f->var2 + ")";
+      break;
+    case FormulaKind::kPropEqProp:
+      out = "prop(" + f->var1 + ") = prop(" + f->var2 + ")";
+      break;
+    case FormulaKind::kNot:
+      // Atoms under ! always get parens for readability: !(c1 = c2).
+      out = "!(" + Print(f->left, 0) + ")";
+      break;
+    case FormulaKind::kAnd:
+      out = Print(f->left, prec) + " && " + Print(f->right, prec);
+      break;
+    case FormulaKind::kOr:
+      out = Print(f->left, prec) + " || " + Print(f->right, prec);
+      break;
+  }
+  if (prec < parent_prec) return "(" + out + ")";
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const FormulaPtr& formula) { return Print(formula, 0); }
+
+std::string ToString(const Rule& rule) {
+  return Print(rule.antecedent(), 0) + " -> " + Print(rule.consequent(), 0);
+}
+
+}  // namespace rdfsr::rules

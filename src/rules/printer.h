@@ -1,0 +1,23 @@
+// Concrete-syntax printing of formulas and rules.
+//
+// The printed form round-trips through rules/parser.h:
+//   val(c1) = 1 && prop(c1) = prop(c2) && !(c1 = c2) -> val(c2) = 1
+
+#ifndef RDFSR_RULES_PRINTER_H_
+#define RDFSR_RULES_PRINTER_H_
+
+#include <string>
+
+#include "rules/ast.h"
+
+namespace rdfsr::rules {
+
+/// Prints a formula in the concrete syntax accepted by ParseFormula.
+std::string ToString(const FormulaPtr& formula);
+
+/// Prints a rule as "<antecedent> -> <consequent>".
+std::string ToString(const Rule& rule);
+
+}  // namespace rdfsr::rules
+
+#endif  // RDFSR_RULES_PRINTER_H_

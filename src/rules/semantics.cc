@@ -1,0 +1,133 @@
+#include "rules/semantics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rdfsr::rules {
+
+namespace {
+
+int VarIndex(const std::vector<std::string>& variables, const std::string& v) {
+  auto it = std::find(variables.begin(), variables.end(), v);
+  RDFSR_CHECK(it != variables.end()) << "unbound rule variable '" << v << "'";
+  return static_cast<int>(it - variables.begin());
+}
+
+}  // namespace
+
+bool Satisfies(const FormulaPtr& phi, const schema::PropertyMatrix& matrix,
+               const std::vector<std::string>& variables,
+               const std::vector<Cell>& cells) {
+  RDFSR_CHECK(phi != nullptr);
+  RDFSR_CHECK_EQ(variables.size(), cells.size());
+  switch (phi->kind) {
+    case FormulaKind::kValEqConst: {
+      const Cell c = cells[VarIndex(variables, phi->var1)];
+      return matrix.At(c.first, c.second) == phi->value;
+    }
+    case FormulaKind::kSubjEqConst: {
+      const Cell c = cells[VarIndex(variables, phi->var1)];
+      return matrix.subject_name(c.first) == phi->constant;
+    }
+    case FormulaKind::kPropEqConst: {
+      const Cell c = cells[VarIndex(variables, phi->var1)];
+      return matrix.property_name(c.second) == phi->constant;
+    }
+    case FormulaKind::kVarEq: {
+      const Cell a = cells[VarIndex(variables, phi->var1)];
+      const Cell b = cells[VarIndex(variables, phi->var2)];
+      return a == b;
+    }
+    case FormulaKind::kValEqVal: {
+      const Cell a = cells[VarIndex(variables, phi->var1)];
+      const Cell b = cells[VarIndex(variables, phi->var2)];
+      return matrix.At(a.first, a.second) == matrix.At(b.first, b.second);
+    }
+    case FormulaKind::kSubjEqSubj: {
+      const Cell a = cells[VarIndex(variables, phi->var1)];
+      const Cell b = cells[VarIndex(variables, phi->var2)];
+      return a.first == b.first;
+    }
+    case FormulaKind::kPropEqProp: {
+      const Cell a = cells[VarIndex(variables, phi->var1)];
+      const Cell b = cells[VarIndex(variables, phi->var2)];
+      return a.second == b.second;
+    }
+    case FormulaKind::kNot:
+      return !Satisfies(phi->left, matrix, variables, cells);
+    case FormulaKind::kAnd:
+      return Satisfies(phi->left, matrix, variables, cells) &&
+             Satisfies(phi->right, matrix, variables, cells);
+    case FormulaKind::kOr:
+      return Satisfies(phi->left, matrix, variables, cells) ||
+             Satisfies(phi->right, matrix, variables, cells);
+  }
+  return false;
+}
+
+namespace {
+
+/// Enumerates all assignments of `variables` over the matrix cells, invoking
+/// `visit` for each; returns how many satisfied phi (and, when phi_and is
+/// non-null, also counts assignments satisfying phi ∧ phi_and).
+struct EnumerationCounts {
+  std::int64_t phi_count = 0;
+  std::int64_t both_count = 0;
+};
+
+EnumerationCounts EnumerateAll(const FormulaPtr& phi, const FormulaPtr& phi2,
+                               const schema::PropertyMatrix& matrix,
+                               const std::vector<std::string>& variables) {
+  EnumerationCounts counts;
+  const std::int64_t subjects = static_cast<std::int64_t>(matrix.num_subjects());
+  const std::int64_t props = static_cast<std::int64_t>(matrix.num_properties());
+  const std::int64_t cells = subjects * props;
+  if (cells == 0 || variables.empty()) return counts;
+
+  std::vector<Cell> assignment(variables.size());
+  std::vector<std::int64_t> odometer(variables.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < variables.size(); ++i) {
+      assignment[i] = {static_cast<int>(odometer[i] / props),
+                       static_cast<int>(odometer[i] % props)};
+    }
+    if (Satisfies(phi, matrix, variables, assignment)) {
+      ++counts.phi_count;
+      if (phi2 != nullptr &&
+          Satisfies(phi2, matrix, variables, assignment)) {
+        ++counts.both_count;
+      }
+    }
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < odometer.size()) {
+      if (++odometer[pos] < cells) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == odometer.size()) break;
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::int64_t CountSatisfying(const FormulaPtr& phi,
+                             const schema::PropertyMatrix& matrix) {
+  std::vector<std::string> variables;
+  CollectVariables(phi, &variables);
+  return EnumerateAll(phi, nullptr, matrix, variables).phi_count;
+}
+
+SigmaValue EvaluateBruteForce(const Rule& rule,
+                              const schema::PropertyMatrix& matrix) {
+  const EnumerationCounts counts = EnumerateAll(
+      rule.antecedent(), rule.consequent(), matrix, rule.variables());
+  SigmaValue sigma;
+  sigma.total = counts.phi_count;
+  sigma.favorable = counts.both_count;
+  return sigma;
+}
+
+}  // namespace rdfsr::rules

@@ -1,0 +1,55 @@
+// Reference (brute-force) semantics of the rule language, Section 3.2.
+//
+// A variable assignment rho maps each rule variable to a cell (s, p) of the
+// matrix M. sigma_r(M) = |total(phi1 ∧ phi2, M)| / |total(phi1, M)| (defined as
+// 1 when the denominator is 0). This implementation enumerates all |S x P|^n
+// assignments and is exponential in the number of variables: it exists as the
+// ground truth against which the signature-level machinery in eval/ is
+// property-tested, and for tiny teaching examples.
+
+#ifndef RDFSR_RULES_SEMANTICS_H_
+#define RDFSR_RULES_SEMANTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rules/ast.h"
+#include "schema/property_matrix.h"
+
+namespace rdfsr::rules {
+
+/// A cell position (subject row, property column).
+using Cell = std::pair<int, int>;
+
+/// Evaluates the satisfaction relation (M, rho) |= phi. `variables` and
+/// `cells` are parallel: variables[i] is assigned cells[i]. All variables of
+/// phi must be assigned.
+bool Satisfies(const FormulaPtr& phi, const schema::PropertyMatrix& matrix,
+               const std::vector<std::string>& variables,
+               const std::vector<Cell>& cells);
+
+/// |total(phi, M)|: the number of satisfying assignments with domain exactly
+/// var(phi) (enumerated brute-force).
+std::int64_t CountSatisfying(const FormulaPtr& phi,
+                             const schema::PropertyMatrix& matrix);
+
+/// An exact structuredness value: favorable / total case counts.
+struct SigmaValue {
+  std::int64_t favorable = 0;
+  std::int64_t total = 0;
+
+  /// sigma as a double; 1.0 when there are no total cases (paper convention).
+  double Value() const {
+    return total == 0 ? 1.0 : static_cast<double>(favorable) / total;
+  }
+};
+
+/// sigma_r(M) by brute-force enumeration over assignments of var(phi1).
+SigmaValue EvaluateBruteForce(const Rule& rule,
+                              const schema::PropertyMatrix& matrix);
+
+}  // namespace rdfsr::rules
+
+#endif  // RDFSR_RULES_SEMANTICS_H_

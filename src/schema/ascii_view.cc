@@ -1,0 +1,101 @@
+#include "schema/ascii_view.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace rdfsr::schema {
+
+std::string AbbreviateProperty(const std::string& name, std::size_t width) {
+  std::size_t cut = name.find_last_of("/#");
+  std::string tail = cut == std::string::npos ? name : name.substr(cut + 1);
+  if (tail.empty()) tail = name;
+  if (tail.size() > width) tail = tail.substr(0, width - 1) + "~";
+  return tail;
+}
+
+namespace {
+
+/// Renders the property header as vertical-ish column labels: one line listing
+/// abbreviated names with column markers.
+std::string RenderHeader(const SignatureIndex& index) {
+  std::ostringstream out;
+  for (std::size_t p = 0; p < index.num_properties(); ++p) {
+    out << "  col " << p << ": " << AbbreviateProperty(index.property_name(p))
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderRows(const SignatureIndex& index,
+                       const AsciiViewOptions& options) {
+  std::ostringstream out;
+  const std::size_t rows = std::min(options.max_rows, index.num_signatures());
+  for (std::size_t i = 0; i < rows; ++i) {
+    out << "  ";
+    for (std::size_t p = 0; p < index.num_properties(); ++p) {
+      out << (index.Has(i, p) ? options.present : options.absent);
+    }
+    if (options.show_counts) {
+      out << "  x " << FormatCount(index.signature(i).count);
+    }
+    out << "\n";
+  }
+  if (rows < index.num_signatures()) {
+    out << "  ... (" << (index.num_signatures() - rows)
+        << " more signature sets)\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderSignatureView(const SignatureIndex& index,
+                                const AsciiViewOptions& options) {
+  std::ostringstream out;
+  out << "subjects=" << FormatCount(index.total_subjects())
+      << " properties=" << index.num_properties()
+      << " signatures=" << index.num_signatures() << "\n";
+  if (options.show_property_header) out << RenderHeader(index);
+  out << RenderRows(index, options);
+  return out.str();
+}
+
+std::string RenderRefinementView(const SignatureIndex& index,
+                                 const std::vector<std::vector<int>>& partition,
+                                 const AsciiViewOptions& options) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < partition.size(); ++i) {
+    std::int64_t subjects = 0;
+    for (int sig : partition[i]) subjects += index.signature(sig).count;
+    out << "sort " << (i + 1) << ": " << FormatCount(subjects) << " subjects, "
+        << partition[i].size() << " signatures\n";
+    // Render member signatures against the full (global) property axis so the
+    // sorts line up column-wise, as in the paper's figures.
+    std::vector<int> sorted = partition[i];
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      if (index.signature(a).count != index.signature(b).count) {
+        return index.signature(a).count > index.signature(b).count;
+      }
+      return index.signature(a).support < index.signature(b).support;
+    });
+    const std::size_t rows = std::min(options.max_rows, sorted.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+      out << "  ";
+      for (std::size_t p = 0; p < index.num_properties(); ++p) {
+        out << (index.Has(sorted[r], p) ? options.present : options.absent);
+      }
+      if (options.show_counts) {
+        out << "  x " << FormatCount(index.signature(sorted[r]).count);
+      }
+      out << "\n";
+    }
+    if (rows < sorted.size()) {
+      out << "  ... (" << (sorted.size() - rows) << " more signature sets)\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rdfsr::schema

@@ -1,0 +1,44 @@
+// ASCII rendering of the horizontal-table visualizations of Figures 2-7.
+//
+// The paper draws each dataset as a subjects x properties bitmap with rows
+// grouped into signature sets in descending size order (black = property
+// present). We render one text row per signature set, scaled bar-style, so the
+// structural difference between e.g. DBpedia Persons (ragged) and WordNet Nouns
+// (five solid columns) is visible in a terminal.
+
+#ifndef RDFSR_SCHEMA_ASCII_VIEW_H_
+#define RDFSR_SCHEMA_ASCII_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/signature_index.h"
+
+namespace rdfsr::schema {
+
+/// Rendering options.
+struct AsciiViewOptions {
+  std::size_t max_rows = 24;        ///< Max signature rows to print.
+  bool show_property_header = true; ///< Print abbreviated property names.
+  bool show_counts = true;          ///< Print signature-set sizes at row ends.
+  char present = '#';               ///< Glyph for a present property.
+  char absent = '.';                ///< Glyph for an absent property.
+};
+
+/// Renders the signature view of a dataset (Figures 2 and 3).
+std::string RenderSignatureView(const SignatureIndex& index,
+                                const AsciiViewOptions& options = {});
+
+/// Renders a sort refinement side by side: each element of `partition` is a
+/// list of signature ids of `index` (Figures 4-7). Sorts are rendered one
+/// after another, each with its own header line.
+std::string RenderRefinementView(const SignatureIndex& index,
+                                 const std::vector<std::vector<int>>& partition,
+                                 const AsciiViewOptions& options = {});
+
+/// Shortens a property IRI/name to its final segment, clipped to `width`.
+std::string AbbreviateProperty(const std::string& name, std::size_t width = 14);
+
+}  // namespace rdfsr::schema
+
+#endif  // RDFSR_SCHEMA_ASCII_VIEW_H_

@@ -1,0 +1,83 @@
+#include "schema/property_matrix.h"
+
+#include <unordered_map>
+
+namespace rdfsr::schema {
+
+PropertyMatrix PropertyMatrix::FromGraph(const rdf::Graph& graph) {
+  PropertyMatrix m;
+  const rdf::Dictionary& dict = graph.dict();
+
+  std::unordered_map<rdf::TermId, std::size_t> subj_index;
+  std::unordered_map<rdf::TermId, std::size_t> prop_index;
+  for (rdf::TermId s : graph.subjects()) {
+    subj_index.emplace(s, m.subject_names_.size());
+    m.subject_names_.push_back(dict.term(s).lexical);
+  }
+  for (rdf::TermId p : graph.properties()) {
+    prop_index.emplace(p, m.property_names_.size());
+    m.property_names_.push_back(dict.term(p).lexical);
+  }
+
+  m.cells_.assign(m.num_subjects() * m.num_properties(), 0);
+  for (const rdf::Triple& t : graph.triples()) {
+    const std::size_t r = subj_index.at(t.subject);
+    const std::size_t c = prop_index.at(t.predicate);
+    m.cells_[r * m.num_properties() + c] = 1;
+  }
+  return m;
+}
+
+PropertyMatrix PropertyMatrix::FromRows(
+    const std::vector<std::vector<int>>& rows,
+    std::vector<std::string> subject_names,
+    std::vector<std::string> property_names) {
+  PropertyMatrix m;
+  const std::size_t ncols = rows.empty() ? property_names.size() : rows[0].size();
+  if (subject_names.empty()) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      subject_names.push_back("s" + std::to_string(r));
+    }
+  }
+  if (property_names.empty()) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      property_names.push_back("p" + std::to_string(c));
+    }
+  }
+  RDFSR_CHECK_EQ(subject_names.size(), rows.size());
+  RDFSR_CHECK_EQ(property_names.size(), ncols);
+
+  m.subject_names_ = std::move(subject_names);
+  m.property_names_ = std::move(property_names);
+  m.cells_.assign(rows.size() * ncols, 0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    RDFSR_CHECK_EQ(rows[r].size(), ncols) << "ragged row " << r;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      RDFSR_CHECK(rows[r][c] == 0 || rows[r][c] == 1);
+      m.cells_[r * ncols + c] = static_cast<std::uint8_t>(rows[r][c]);
+    }
+  }
+  return m;
+}
+
+int PropertyMatrix::FindProperty(const std::string& name) const {
+  for (std::size_t c = 0; c < property_names_.size(); ++c) {
+    if (property_names_[c] == name) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+int PropertyMatrix::FindSubject(const std::string& name) const {
+  for (std::size_t r = 0; r < subject_names_.size(); ++r) {
+    if (subject_names_[r] == name) return static_cast<int>(r);
+  }
+  return -1;
+}
+
+std::int64_t PropertyMatrix::CountOnes() const {
+  std::int64_t total = 0;
+  for (std::uint8_t v : cells_) total += v;
+  return total;
+}
+
+}  // namespace rdfsr::schema

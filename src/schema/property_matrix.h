@@ -1,0 +1,73 @@
+// The property-structure view M(D) of Section 2.1.
+//
+// M(D) is the |S(D)| x |P(D)| 0/1 matrix with M[s][p] = 1 iff subject s has
+// property p in D ("horizontal database" view). This explicit matrix is the
+// reference representation: the rule semantics of Section 3 are defined on it,
+// and the brute-force evaluator in rules/semantics.h works directly on it. The
+// compact SignatureIndex (schema/signature_index.h) is the production
+// representation.
+
+#ifndef RDFSR_SCHEMA_PROPERTY_MATRIX_H_
+#define RDFSR_SCHEMA_PROPERTY_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/check.h"
+
+namespace rdfsr::schema {
+
+/// Explicit 0/1 subject x property matrix with named rows and columns.
+class PropertyMatrix {
+ public:
+  PropertyMatrix() = default;
+
+  /// Builds M(D) from a graph. Row order follows first appearance of each
+  /// subject in D; column order follows first appearance of each property.
+  static PropertyMatrix FromGraph(const rdf::Graph& graph);
+
+  /// Builds a matrix directly from rows of 0/1 cells (test / example helper).
+  /// Subjects are named "s0","s1",... and properties "p0","p1",... unless
+  /// names are given.
+  static PropertyMatrix FromRows(const std::vector<std::vector<int>>& rows,
+                                 std::vector<std::string> subject_names = {},
+                                 std::vector<std::string> property_names = {});
+
+  std::size_t num_subjects() const { return subject_names_.size(); }
+  std::size_t num_properties() const { return property_names_.size(); }
+
+  /// Cell value (0 or 1).
+  int At(std::size_t subject, std::size_t property) const {
+    RDFSR_CHECK_LT(subject, num_subjects());
+    RDFSR_CHECK_LT(property, num_properties());
+    return cells_[subject * num_properties() + property] ? 1 : 0;
+  }
+
+  const std::string& subject_name(std::size_t s) const {
+    RDFSR_CHECK_LT(s, subject_names_.size());
+    return subject_names_[s];
+  }
+  const std::string& property_name(std::size_t p) const {
+    RDFSR_CHECK_LT(p, property_names_.size());
+    return property_names_[p];
+  }
+
+  /// Index of a property by name, or -1 when absent.
+  int FindProperty(const std::string& name) const;
+  /// Index of a subject by name, or -1 when absent.
+  int FindSubject(const std::string& name) const;
+
+  /// Total number of 1-cells (Σ_sp M_sp).
+  std::int64_t CountOnes() const;
+
+ private:
+  std::vector<std::string> subject_names_;
+  std::vector<std::string> property_names_;
+  std::vector<std::uint8_t> cells_;  // row-major
+};
+
+}  // namespace rdfsr::schema
+
+#endif  // RDFSR_SCHEMA_PROPERTY_MATRIX_H_

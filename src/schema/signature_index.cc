@@ -1,0 +1,198 @@
+#include "schema/signature_index.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rdfsr::schema {
+
+SignatureIndex SignatureIndex::FromMatrix(const PropertyMatrix& matrix,
+                                          bool keep_subject_names) {
+  SignatureIndex index;
+  for (std::size_t p = 0; p < matrix.num_properties(); ++p) {
+    index.property_names_.push_back(matrix.property_name(p));
+  }
+
+  // Group subjects by support vector.
+  std::map<std::vector<int>, std::vector<std::size_t>> groups;
+  for (std::size_t s = 0; s < matrix.num_subjects(); ++s) {
+    std::vector<int> support;
+    for (std::size_t p = 0; p < matrix.num_properties(); ++p) {
+      if (matrix.At(s, p)) support.push_back(static_cast<int>(p));
+    }
+    groups[support].push_back(s);
+  }
+
+  for (auto& [support, members] : groups) {
+    Signature sig;
+    sig.support = support;
+    sig.count = static_cast<std::int64_t>(members.size());
+    index.signatures_.push_back(std::move(sig));
+    std::vector<std::string> names;
+    if (keep_subject_names) {
+      for (std::size_t s : members) names.push_back(matrix.subject_name(s));
+    }
+    index.subject_names_.push_back(std::move(names));
+  }
+  index.Canonicalize();
+  return index;
+}
+
+SignatureIndex SignatureIndex::FromSignatures(
+    std::vector<std::string> property_names, std::vector<Signature> signatures) {
+  SignatureIndex index;
+  index.property_names_ = std::move(property_names);
+  index.signatures_ = std::move(signatures);
+  for (const Signature& sig : index.signatures_) {
+    RDFSR_CHECK_GT(sig.count, 0) << "empty signature set";
+    for (std::size_t j = 0; j < sig.support.size(); ++j) {
+      RDFSR_CHECK_GE(sig.support[j], 0);
+      RDFSR_CHECK_LT(static_cast<std::size_t>(sig.support[j]),
+                     index.property_names_.size());
+      if (j > 0) {
+        RDFSR_CHECK_LT(sig.support[j - 1], sig.support[j]);
+      }
+    }
+  }
+  // A valid dataset view has no unused columns (P(D) only contains properties
+  // mentioned by some triple) and no empty supports (every subject in S(D)
+  // appears in a triple, hence has at least one property).
+  std::vector<bool> used(index.property_names_.size(), false);
+  for (const Signature& sig : index.signatures_) {
+    RDFSR_CHECK(!sig.support.empty()) << "signature with empty support";
+    for (int p : sig.support) used[p] = true;
+  }
+  for (std::size_t p = 0; p < used.size(); ++p) {
+    RDFSR_CHECK(used[p]) << "property '" << index.property_names_[p]
+                         << "' unused by every signature";
+  }
+  index.subject_names_.resize(index.signatures_.size());
+  index.Canonicalize();
+  return index;
+}
+
+void SignatureIndex::Canonicalize() {
+  std::vector<std::size_t> order(signatures_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (signatures_[a].count != signatures_[b].count) {
+      return signatures_[a].count > signatures_[b].count;
+    }
+    return signatures_[a].support < signatures_[b].support;
+  });
+
+  std::vector<Signature> sigs;
+  std::vector<std::vector<std::string>> names;
+  sigs.reserve(signatures_.size());
+  names.reserve(signatures_.size());
+  for (std::size_t i : order) {
+    sigs.push_back(std::move(signatures_[i]));
+    names.push_back(std::move(subject_names_[i]));
+  }
+  signatures_ = std::move(sigs);
+  subject_names_ = std::move(names);
+
+  total_subjects_ = 0;
+  subject_signature_.clear();
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    total_subjects_ += signatures_[i].count;
+    for (const std::string& name : subject_names_[i]) {
+      subject_signature_.emplace(name, static_cast<int>(i));
+    }
+  }
+  RebuildFlags();
+}
+
+void SignatureIndex::RebuildFlags() {
+  has_.assign(signatures_.size() * property_names_.size(), 0);
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    for (int p : signatures_[i].support) {
+      has_[i * property_names_.size() + p] = 1;
+    }
+  }
+}
+
+int SignatureIndex::FindProperty(const std::string& name) const {
+  for (std::size_t p = 0; p < property_names_.size(); ++p) {
+    if (property_names_[p] == name) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+std::int64_t SignatureIndex::PropertyCount(std::size_t prop) const {
+  RDFSR_CHECK_LT(prop, property_names_.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    if (Has(i, prop)) total += signatures_[i].count;
+  }
+  return total;
+}
+
+int SignatureIndex::FindSubjectSignature(const std::string& subject_name) const {
+  auto it = subject_signature_.find(subject_name);
+  return it == subject_signature_.end() ? -1 : it->second;
+}
+
+std::int64_t SignatureIndex::CountNamedSubjects(
+    const std::vector<std::string>& names, std::size_t sig) const {
+  std::int64_t total = 0;
+  for (const std::string& name : names) {
+    auto it = subject_signature_.find(name);
+    if (it != subject_signature_.end() &&
+        it->second == static_cast<int>(sig)) {
+      ++total;
+    }
+  }
+  return total;
+}
+
+SignatureIndex SignatureIndex::Restrict(const std::vector<int>& sig_ids,
+                                        std::vector<int>* kept_props) const {
+  // Union of member supports defines the retained columns P(D_i).
+  std::vector<std::uint8_t> used(property_names_.size(), 0);
+  for (int id : sig_ids) {
+    RDFSR_CHECK_GE(id, 0);
+    RDFSR_CHECK_LT(static_cast<std::size_t>(id), signatures_.size());
+    for (int p : signatures_[id].support) used[p] = 1;
+  }
+  std::vector<int> prop_map(property_names_.size(), -1);
+  SignatureIndex sub;
+  for (std::size_t p = 0; p < property_names_.size(); ++p) {
+    if (used[p]) {
+      prop_map[p] = static_cast<int>(sub.property_names_.size());
+      sub.property_names_.push_back(property_names_[p]);
+      if (kept_props != nullptr) kept_props->push_back(static_cast<int>(p));
+    }
+  }
+  for (int id : sig_ids) {
+    Signature sig;
+    sig.count = signatures_[id].count;
+    for (int p : signatures_[id].support) sig.support.push_back(prop_map[p]);
+    std::sort(sig.support.begin(), sig.support.end());
+    sub.signatures_.push_back(std::move(sig));
+    sub.subject_names_.push_back(subject_names_[id]);
+  }
+  sub.Canonicalize();
+  return sub;
+}
+
+PropertyMatrix SignatureIndex::ToMatrix() const {
+  std::vector<std::vector<int>> rows;
+  std::vector<std::string> subject_names;
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    std::vector<int> row(property_names_.size(), 0);
+    for (int p : signatures_[i].support) row[p] = 1;
+    for (std::int64_t j = 0; j < signatures_[i].count; ++j) {
+      rows.push_back(row);
+      if (!subject_names_[i].empty()) {
+        subject_names.push_back(subject_names_[i][j]);
+      } else {
+        subject_names.push_back("sig" + std::to_string(i) + "_" +
+                                std::to_string(j));
+      }
+    }
+  }
+  return PropertyMatrix::FromRows(rows, std::move(subject_names),
+                                  property_names_);
+}
+
+}  // namespace rdfsr::schema

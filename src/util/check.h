@@ -1,0 +1,54 @@
+// Fatal invariant checking, modeled on glog-style CHECK.
+//
+// RDFSR_CHECK(cond) << "context";   aborts with file/line + streamed message when
+// cond is false. Used for programmer errors; recoverable errors use Status.
+
+#ifndef RDFSR_UTIL_CHECK_H_
+#define RDFSR_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rdfsr {
+namespace internal {
+
+/// Accumulates the streamed message and aborts the process on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rdfsr
+
+#define RDFSR_CHECK(cond)                 \
+  switch (0)                              \
+  case 0:                                 \
+  default:                                \
+    if (cond) {                           \
+    } else /* NOLINT */                   \
+      ::rdfsr::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define RDFSR_CHECK_EQ(a, b) RDFSR_CHECK((a) == (b))
+#define RDFSR_CHECK_NE(a, b) RDFSR_CHECK((a) != (b))
+#define RDFSR_CHECK_LT(a, b) RDFSR_CHECK((a) < (b))
+#define RDFSR_CHECK_LE(a, b) RDFSR_CHECK((a) <= (b))
+#define RDFSR_CHECK_GT(a, b) RDFSR_CHECK((a) > (b))
+#define RDFSR_CHECK_GE(a, b) RDFSR_CHECK((a) >= (b))
+
+#endif  // RDFSR_UTIL_CHECK_H_

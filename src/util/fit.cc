@@ -1,0 +1,77 @@
+#include "util/fit.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rdfsr {
+
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  RDFSR_CHECK_EQ(xs.size(), ys.size());
+  RDFSR_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0) {
+    fit.slope = 0;
+    fit.intercept = sy / n;
+    fit.r2 = 0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += r * r;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerFit FitPower(const std::vector<double>& xs, const std::vector<double>& ys) {
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > 0 && ys[i] > 0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  PowerFit fit;
+  if (lx.size() < 2) return fit;
+  const LinearFit lin = FitLinear(lx, ly);
+  fit.a = std::exp(lin.intercept);
+  fit.b = lin.slope;
+  fit.r2 = lin.r2;
+  return fit;
+}
+
+ExpFit FitExponential(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i] > 0) {
+      lx.push_back(xs[i]);
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  ExpFit fit;
+  if (lx.size() < 2) return fit;
+  const LinearFit lin = FitLinear(lx, ly);
+  fit.a = std::exp(lin.intercept);
+  fit.b = lin.slope;
+  fit.r2 = lin.r2;
+  return fit;
+}
+
+}  // namespace rdfsr

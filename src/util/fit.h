@@ -1,0 +1,48 @@
+// Least-squares curve fitting for the Figure 8 scalability analysis.
+//
+// The paper fits runtime ~ s^2.53 against signature count (power law) and
+// runtime ~ e^{0.28 p} against property count (exponential). Both reduce to
+// ordinary least squares in log space; we reproduce that here and report R^2.
+
+#ifndef RDFSR_UTIL_FIT_H_
+#define RDFSR_UTIL_FIT_H_
+
+#include <vector>
+
+namespace rdfsr {
+
+/// y ≈ a * x^b (fit in log-log space). r2 is the coefficient of determination of
+/// the underlying linear fit.
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+};
+
+/// y ≈ a * e^{b x} (fit in semi-log space).
+struct ExpFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+};
+
+/// Simple linear regression y ≈ a + b x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares; xs and ys must have equal size >= 2.
+LinearFit FitLinear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Power-law fit; all xs and ys must be > 0 (points violating this are skipped).
+PowerFit FitPower(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Exponential fit; all ys must be > 0 (points violating this are skipped).
+ExpFit FitExponential(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+}  // namespace rdfsr
+
+#endif  // RDFSR_UTIL_FIT_H_

@@ -1,0 +1,83 @@
+#include "util/rational.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace rdfsr {
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  RDFSR_CHECK_NE(den, 0) << "Rational with zero denominator";
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Rational Rational::FromDouble(double value, std::int64_t max_den) {
+  RDFSR_CHECK_GT(max_den, 0);
+  if (std::isnan(value)) return Rational(0);
+  // Continued-fraction expansion with convergent denominators capped at max_den.
+  bool negative = value < 0;
+  double x = negative ? -value : value;
+  std::int64_t p0 = 0, q0 = 1, p1 = 1, q1 = 0;
+  double frac = x;
+  for (int iter = 0; iter < 64; ++iter) {
+    double fa = std::floor(frac);
+    if (fa > 9.0e18) break;
+    std::int64_t a = static_cast<std::int64_t>(fa);
+    std::int64_t p2 = a * p1 + p0;
+    std::int64_t q2 = a * q1 + q0;
+    if (q2 > max_den || q2 <= 0) break;
+    p0 = p1;
+    q0 = q1;
+    p1 = p2;
+    q1 = q2;
+    double rem = frac - fa;
+    if (rem < 1e-12) break;
+    frac = 1.0 / rem;
+  }
+  if (q1 == 0) return Rational(negative ? -p0 : p0, q0 == 0 ? 1 : q0);
+  return Rational(negative ? -p1 : p1, q1);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  RDFSR_CHECK_NE(o.num_, 0) << "Rational division by zero";
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // Cross-multiply in 128-bit to avoid overflow.
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+}  // namespace rdfsr

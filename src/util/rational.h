@@ -1,0 +1,63 @@
+// Exact rational arithmetic for structuredness thresholds.
+//
+// Definition 4.2 of the paper requires the threshold theta to be rational "for
+// compatibility with the reduction to the Integer Linear Programming instance":
+// the threshold row of the ILP multiplies integer counts by theta's numerator and
+// denominator. Rational keeps that exact.
+
+#ifndef RDFSR_UTIL_RATIONAL_H_
+#define RDFSR_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rdfsr {
+
+/// An exact rational number num/den with den > 0, always stored normalized
+/// (gcd(|num|, den) == 1). Arithmetic is checked against int64 overflow only via
+/// normalization; intended operand magnitudes here are small (thresholds,
+/// counts under ~2^40).
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// Whole number.
+  Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  /// num/den; den must be non-zero.
+  Rational(std::int64_t num, std::int64_t den);
+
+  /// Closest rational p/q to `value` with q <= max_den (continued fractions).
+  /// Used to turn user-facing double thresholds into exact theta1/theta2.
+  static Rational FromDouble(double value, std::int64_t max_den = 10000);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double ToDouble() const { return static_cast<double>(num_) / den_; }
+  std::string ToString() const;
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+ private:
+  void Normalize();
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+}  // namespace rdfsr
+
+#endif  // RDFSR_UTIL_RATIONAL_H_

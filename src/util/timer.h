@@ -1,0 +1,32 @@
+// Wall-clock timing for the benchmark harness (Figure 8 runtime series).
+
+#ifndef RDFSR_UTIL_TIMER_H_
+#define RDFSR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rdfsr {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdfsr
+
+#endif  // RDFSR_UTIL_TIMER_H_

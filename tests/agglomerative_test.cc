@@ -1,0 +1,139 @@
+// Tests for the agglomerative merge heuristics (core/greedy.h): lowest-k
+// upper bounds, fixed-k clustering, determinism, and interaction with the
+// solver's heuristic ladder.
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/solver.h"
+#include "eval/evaluator.h"
+#include "gen/persons.h"
+#include "gen/random_graph.h"
+#include "rules/builtins.h"
+
+namespace rdfsr::core {
+namespace {
+
+TEST(AgglomerativeTest, SingletonSortsHaveSigmaOneUnderBuiltins) {
+  // The lowest-k heuristic's starting point: one sort per signature. For the
+  // builtin families each singleton sort is perfectly structured.
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 6;
+  spec.num_properties = 4;
+  spec.seed = 21;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  auto sim = eval::MakeEvaluator(rules::SimRule(), &index);
+  for (std::size_t i = 0; i < index.num_signatures(); ++i) {
+    EXPECT_DOUBLE_EQ(cov->Sigma({static_cast<int>(i)}), 1.0);
+    EXPECT_DOUBLE_EQ(sim->Sigma({static_cast<int>(i)}), 1.0);
+  }
+}
+
+TEST(AgglomerativeTest, LowestKRespectsThresholdExactly) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    gen::RandomIndexSpec spec;
+    spec.num_signatures = 8;
+    spec.num_properties = 5;
+    spec.seed = seed;
+    const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+    auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+    const Rational theta(9, 10);
+    const SortRefinement ref = AgglomerativeLowestK(*cov, theta);
+    EXPECT_TRUE(ValidateRefinement(*cov, ref, theta).ok()) << "seed " << seed;
+  }
+}
+
+TEST(AgglomerativeTest, ThresholdZeroMergesEverything) {
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 7;
+  spec.seed = 4;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  const SortRefinement ref = AgglomerativeLowestK(*cov, Rational(0));
+  EXPECT_EQ(ref.num_sorts(), 1u);
+  EXPECT_EQ(ref.sorts[0].size(), 7u);
+}
+
+TEST(AgglomerativeTest, ThresholdOneMergesOnlyCompatibleSignatures) {
+  // Three mutually incompatible supports: under Cov, theta = 1 forbids every
+  // merge (each pair's union view has empty cells), so the heuristic must
+  // stop at three singleton sorts.
+  std::vector<schema::Signature> sigs = {{{0, 1}, 8}, {{2}, 4}, {{0}, 2}};
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"a", "b", "c"}, sigs);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  const SortRefinement ref = AgglomerativeLowestK(*cov, Rational(1));
+  // No pair of distinct supports can share a sort at Cov = 1.
+  EXPECT_EQ(ref.num_sorts(), 3u);
+  EXPECT_TRUE(ValidateRefinement(*cov, ref, Rational(1)).ok());
+}
+
+TEST(AgglomerativeTest, FixedKReachesExactlyK) {
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 9;
+  spec.seed = 13;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  for (int k = 1; k <= 4; ++k) {
+    const SortRefinement ref = AgglomerativeFixedK(*cov, k);
+    EXPECT_EQ(ref.num_sorts(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(ValidateRefinement(*cov, ref, Rational(0)).ok());
+  }
+}
+
+TEST(AgglomerativeTest, FixedKBeyondSignatureCountKeepsSingletons) {
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 4;
+  spec.seed = 2;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  const SortRefinement ref = AgglomerativeFixedK(*cov, 10);
+  EXPECT_EQ(ref.num_sorts(), 4u);
+}
+
+TEST(AgglomerativeTest, Deterministic) {
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 10;
+  spec.seed = 31;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto sim = eval::MakeEvaluator(rules::SimRule(), &index);
+  const SortRefinement a = AgglomerativeLowestK(*sim, Rational(95, 100));
+  const SortRefinement b = AgglomerativeLowestK(*sim, Rational(95, 100));
+  ASSERT_EQ(a.num_sorts(), b.num_sorts());
+  for (std::size_t i = 0; i < a.num_sorts(); ++i) {
+    EXPECT_EQ(a.sorts[i], b.sorts[i]);
+  }
+}
+
+TEST(AgglomerativeTest, UpperBoundsLowestKOnPersons) {
+  // On the calibrated Persons twin the merge heuristic should find a
+  // theta = 0.9 Cov refinement with a k in the vicinity of the paper's 9
+  // (it is an upper bound on the true lowest k).
+  gen::PersonsConfig config;
+  config.num_subjects = 2000;
+  const schema::SignatureIndex index = gen::GeneratePersons(config);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  const SortRefinement ref = AgglomerativeLowestK(*cov, Rational(9, 10));
+  EXPECT_TRUE(ValidateRefinement(*cov, ref, Rational(9, 10)).ok());
+  EXPECT_LE(ref.num_sorts(), 16u);
+  EXPECT_GE(ref.num_sorts(), 5u);
+}
+
+TEST(AgglomerativeTest, SolverUsesHeuristicLadder) {
+  // A dataset where the agglomerative bound is tight: two compatible
+  // families. The solver should answer via heuristics (no MIP nodes).
+  std::vector<schema::Signature> sigs = {
+      {{0, 1}, 10}, {{0, 1, 2}, 6}, {{3}, 9}, {{3, 4}, 5}};
+  const schema::SignatureIndex index = schema::SignatureIndex::FromSignatures(
+      {"a", "b", "c", "d", "e"}, sigs);
+  auto sim = eval::MakeEvaluator(rules::SimRule(), &index);
+  RefinementSolver solver(sim.get());
+  const DecisionResult r = solver.Exists(2, Rational(8, 10));
+  EXPECT_EQ(r.decision, Decision::kExists);
+  EXPECT_TRUE(r.via_greedy);
+  EXPECT_EQ(r.mip_nodes, 0);
+}
+
+}  // namespace
+}  // namespace rdfsr::core

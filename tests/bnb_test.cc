@@ -1,0 +1,159 @@
+// Branch-and-bound MIP tests: knapsacks, covers, infeasibility proofs, limits.
+
+#include <gtest/gtest.h>
+
+#include "ilp/branch_and_bound.h"
+
+namespace rdfsr::ilp {
+namespace {
+
+TEST(BnbTest, SolvesSmallKnapsack) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binaries.
+  // Best: a + c = 17 (weight 5); b + c = 20 (weight 6) <- optimum.
+  Model m;
+  const int a = m.AddBinary("a");
+  const int b = m.AddBinary("b");
+  const int c = m.AddBinary("c");
+  m.AddConstraint("w", {{a, 3.0}, {b, 4.0}, {c, 2.0}}, -kInfinity, 6);
+  m.SetObjective({{a, -10.0}, {b, -13.0}, {c, -7.0}});
+  MipOptions options;
+  options.stop_at_first_incumbent = false;
+  const MipResult r = SolveMip(m, options);
+  ASSERT_EQ(r.status, MipStatus::kOptimal) << MipStatusName(r.status);
+  EXPECT_NEAR(r.objective, -20.0, 1e-6);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-6);
+}
+
+TEST(BnbTest, IntegralityChangesTheAnswer) {
+  // LP relaxation of knapsack takes fractions; MIP may not.
+  // max 5x + 4y, 6x + 5y <= 8, binaries: LP opt ~ 6.67, MIP opt = 5.
+  Model m;
+  const int x = m.AddBinary("x");
+  const int y = m.AddBinary("y");
+  m.AddConstraint("w", {{x, 6.0}, {y, 5.0}}, -kInfinity, 8);
+  m.SetObjective({{x, -5.0}, {y, -4.0}});
+  MipOptions options;
+  options.stop_at_first_incumbent = false;
+  const MipResult r = SolveMip(m, options);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-6);
+}
+
+TEST(BnbTest, ProvesInfeasibility) {
+  // x + y = 1 with x = y (binaries) has no integer solution.
+  Model m;
+  const int x = m.AddBinary("x");
+  const int y = m.AddBinary("y");
+  m.AddConstraint("sum", {{x, 1.0}, {y, 1.0}}, 1, 1);
+  m.AddConstraint("eq", {{x, 1.0}, {y, -1.0}}, 0, 0);
+  const MipResult r = SolveMip(m);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+}
+
+TEST(BnbTest, LpInfeasibleImmediately) {
+  Model m;
+  const int x = m.AddBinary("x");
+  m.AddConstraint("no", {{x, 1.0}}, 2, 3);
+  const MipResult r = SolveMip(m);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  EXPECT_LE(r.nodes, 1);
+}
+
+TEST(BnbTest, FeasibilityModeStopsAtFirstIncumbent) {
+  // Set cover: pick at least one of each pair; many solutions exist.
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(m.AddBinary("v"));
+  for (int i = 0; i < 5; ++i) {
+    m.AddConstraint("cover", {{vars[i], 1.0}, {vars[i + 1], 1.0}}, 1,
+                    kInfinity);
+  }
+  const MipResult r = SolveMip(m);  // zero objective, first-incumbent mode
+  ASSERT_TRUE(r.status == MipStatus::kFeasible ||
+              r.status == MipStatus::kOptimal);
+  EXPECT_TRUE(m.IsFeasible(r.x));
+}
+
+TEST(BnbTest, MixedIntegerContinuous) {
+  // min y s.t. y >= x - 0.5, y >= 0.5 - x, x binary, y continuous:
+  // at x in {0,1}, y = 0.5.
+  Model m;
+  const int x = m.AddBinary("x");
+  const int y = m.AddVariable("y", 0, kInfinity, false);
+  m.AddConstraint("a", {{y, 1.0}, {x, -1.0}}, -0.5, kInfinity);
+  m.AddConstraint("b", {{y, 1.0}, {x, 1.0}}, 0.5, kInfinity);
+  m.SetObjective({{y, 1.0}});
+  MipOptions options;
+  options.stop_at_first_incumbent = false;
+  const MipResult r = SolveMip(m, options);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.5, 1e-6);
+}
+
+TEST(BnbTest, NodeLimitYieldsUnknown) {
+  // An infeasibility proof needing more than 1 node, capped at 1 node.
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 10; ++i) vars.push_back(m.AddBinary("v"));
+  // Sum must be 5.5-ish: LP feasible (fractional), IP infeasible.
+  std::vector<LinTerm> sum;
+  for (int v : vars) sum.push_back({v, 2.0});
+  m.AddConstraint("half", std::move(sum), 11, 11);  // sum of evens = 11
+  MipOptions options;
+  options.max_nodes = 1;
+  const MipResult r = SolveMip(m, options);
+  EXPECT_EQ(r.status, MipStatus::kUnknown);
+}
+
+TEST(BnbTest, InfeasibleParityProblemFullProof) {
+  // 2 * sum(binaries) = 11 is infeasible; the full tree proves it.
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(m.AddBinary("v"));
+  std::vector<LinTerm> sum;
+  for (int v : vars) sum.push_back({v, 2.0});
+  m.AddConstraint("parity", std::move(sum), 7, 7);
+  const MipResult r = SolveMip(m);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+}
+
+TEST(BnbTest, EqualityAssignmentProblem) {
+  // Three items into two groups, each group at most 2 items, groups
+  // balanced by weight: weights 3, 3, 4; |w(A) - w(B)| <= 2 is feasible
+  // (A = {4, 3}? diff 3-... A={3,3}=6, B={4}: diff 2 -> feasible).
+  Model m;
+  int assign[3];  // 1 = group A
+  for (int i = 0; i < 3; ++i) assign[i] = m.AddBinary("a");
+  const double w[3] = {3, 3, 4};
+  // diff = sum w_i (2 a_i - 1) in [-2, 2]  <=>  sum 2 w_i a_i in [w-2, w+2].
+  std::vector<LinTerm> terms;
+  for (int i = 0; i < 3; ++i) terms.push_back({assign[i], 2 * w[i]});
+  m.AddConstraint("balance", std::move(terms), 10 - 2, 10 + 2);
+  const MipResult r = SolveMip(m);
+  ASSERT_TRUE(r.status == MipStatus::kFeasible ||
+              r.status == MipStatus::kOptimal);
+  const double sum = 2 * (3 * r.x[assign[0]] + 3 * r.x[assign[1]] +
+                          4 * r.x[assign[2]]);
+  EXPECT_GE(sum, 8 - 1e-6);
+  EXPECT_LE(sum, 12 + 1e-6);
+}
+
+TEST(BnbTest, TimeLimitRespected) {
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 24; ++i) vars.push_back(m.AddBinary("v"));
+  std::vector<LinTerm> sum;
+  for (int v : vars) sum.push_back({v, 2.0});
+  m.AddConstraint("odd", std::move(sum), 23, 23);  // infeasible parity
+  MipOptions options;
+  options.time_limit_seconds = 0.05;
+  const MipResult r = SolveMip(m, options);
+  // Either it proves infeasibility very fast or it hits the limit.
+  EXPECT_TRUE(r.status == MipStatus::kInfeasible ||
+              r.status == MipStatus::kUnknown);
+  EXPECT_LT(r.seconds, 5.0);
+}
+
+}  // namespace
+}  // namespace rdfsr::ilp

@@ -1,0 +1,184 @@
+// Property tests: closed-form structuredness (Cov/Sim/Dep/SymDep/DepDisj and
+// CovIgnoring) must agree exactly with the generic signature-level enumerator
+// on full indexes and on restricted subsets (implicit sorts).
+
+#include <gtest/gtest.h>
+
+#include "eval/closed_form.h"
+#include "eval/enumerator.h"
+#include "eval/evaluator.h"
+#include "gen/random_graph.h"
+#include "rules/builtins.h"
+#include "rules/parser.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::eval {
+namespace {
+
+void ExpectSameCounts(const SigmaCounts& a, const SigmaCounts& b,
+                      const std::string& label) {
+  EXPECT_EQ(static_cast<long long>(a.total), static_cast<long long>(b.total))
+      << label << " totals";
+  EXPECT_EQ(static_cast<long long>(a.favorable),
+            static_cast<long long>(b.favorable))
+      << label << " favorables";
+}
+
+class ClosedFormPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  schema::SignatureIndex MakeIndex() const {
+    gen::RandomIndexSpec spec;
+    spec.num_signatures = 4 + static_cast<int>(GetParam() % 4);
+    spec.num_properties = 4;
+    spec.max_count = 12;
+    spec.density = 0.5;
+    spec.seed = GetParam();
+    return gen::GenerateRandomIndex(spec);
+  }
+};
+
+TEST_P(ClosedFormPropertyTest, CovMatchesGeneric) {
+  const schema::SignatureIndex index = MakeIndex();
+  const std::vector<int> all = AllSignatures(index);
+  ExpectSameCounts(CovCounts(index, all),
+                   EvaluateRuleOnIndex(rules::CovRule(), index), "Cov");
+}
+
+TEST_P(ClosedFormPropertyTest, SimMatchesGeneric) {
+  const schema::SignatureIndex index = MakeIndex();
+  const std::vector<int> all = AllSignatures(index);
+  ExpectSameCounts(SimCounts(index, all),
+                   EvaluateRuleOnIndex(rules::SimRule(), index), "Sim");
+}
+
+TEST_P(ClosedFormPropertyTest, DepMatchesGeneric) {
+  const schema::SignatureIndex index = MakeIndex();
+  const std::vector<int> all = AllSignatures(index);
+  ExpectSameCounts(
+      DepCounts(index, all, "p0", "p1"),
+      EvaluateRuleOnIndex(rules::DepRule("p0", "p1"), index), "Dep");
+}
+
+TEST_P(ClosedFormPropertyTest, SymDepMatchesGeneric) {
+  const schema::SignatureIndex index = MakeIndex();
+  const std::vector<int> all = AllSignatures(index);
+  ExpectSameCounts(
+      SymDepCounts(index, all, "p1", "p2"),
+      EvaluateRuleOnIndex(rules::SymDepRule("p1", "p2"), index), "SymDep");
+}
+
+TEST_P(ClosedFormPropertyTest, DepDisjMatchesGeneric) {
+  const schema::SignatureIndex index = MakeIndex();
+  const std::vector<int> all = AllSignatures(index);
+  ExpectSameCounts(
+      DepDisjCounts(index, all, "p0", "p2"),
+      EvaluateRuleOnIndex(rules::DepDisjunctiveRule("p0", "p2"), index),
+      "DepDisj");
+}
+
+TEST_P(ClosedFormPropertyTest, CovIgnoringMatchesGeneric) {
+  const schema::SignatureIndex index = MakeIndex();
+  const std::vector<int> all = AllSignatures(index);
+  const std::vector<std::string> ignored = {"p0", "p3"};
+  ExpectSameCounts(
+      CovIgnoringCounts(index, all, ignored),
+      EvaluateRuleOnIndex(rules::CovRuleIgnoring(ignored), index),
+      "CovIgnoring");
+}
+
+TEST_P(ClosedFormPropertyTest, SubsetsMatchGenericOnRestriction) {
+  const schema::SignatureIndex index = MakeIndex();
+  // Take every second signature as an implicit sort.
+  std::vector<int> subset;
+  for (std::size_t i = 0; i < index.num_signatures(); i += 2) {
+    subset.push_back(static_cast<int>(i));
+  }
+  const schema::SignatureIndex sub = index.Restrict(subset);
+
+  ExpectSameCounts(CovCounts(index, subset),
+                   EvaluateRuleOnIndex(rules::CovRule(), sub), "Cov/subset");
+  ExpectSameCounts(SimCounts(index, subset),
+                   EvaluateRuleOnIndex(rules::SimRule(), sub), "Sim/subset");
+  ExpectSameCounts(DepCounts(index, subset, "p0", "p1"),
+                   EvaluateRuleOnIndex(rules::DepRule("p0", "p1"), sub),
+                   "Dep/subset");
+  ExpectSameCounts(SymDepCounts(index, subset, "p2", "p3"),
+                   EvaluateRuleOnIndex(rules::SymDepRule("p2", "p3"), sub),
+                   "SymDep/subset");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedFormPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(ClosedFormTest, DepMissingColumnIsTriviallyOne) {
+  std::vector<schema::Signature> sigs = {{{0}, 5}, {{0, 1}, 5}};
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"a", "b"}, sigs);
+  // Restricting to the {a}-only signature removes column b entirely.
+  const SigmaCounts counts = DepCounts(index, {0}, "a", "b");
+  EXPECT_EQ(static_cast<long long>(counts.total), 0);
+  EXPECT_DOUBLE_EQ(counts.Value(), 1.0);
+  // Unknown property names behave the same way.
+  const SigmaCounts unknown = DepCounts(index, {0, 1}, "a", "zzz");
+  EXPECT_EQ(static_cast<long long>(unknown.total), 0);
+}
+
+TEST(ClosedFormTest, SymDepPaperExample) {
+  // sigma_SymDep[deathPlace, deathDate] = |both| / |either|.
+  std::vector<schema::Signature> sigs = {
+      {{0, 1}, 39},  // both
+      {{0}, 20},     // place only
+      {{1}, 41},     // date only
+      {{0, 1, 2}, 0 + 1},  // both + extra (keeps p2 used)
+  };
+  const schema::SignatureIndex index = schema::SignatureIndex::FromSignatures(
+      {"deathPlace", "deathDate", "x"}, sigs);
+  const SigmaCounts counts = SymDepCounts(index, AllSignatures(index),
+                                          "deathPlace", "deathDate");
+  EXPECT_EQ(static_cast<long long>(counts.favorable), 40);
+  EXPECT_EQ(static_cast<long long>(counts.total), 101);
+  EXPECT_NEAR(counts.Value(), 0.396, 0.001);
+}
+
+TEST(ClosedFormTest, EvaluatorDispatchesClosedForms) {
+  gen::RandomIndexSpec spec;
+  spec.seed = 5;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  const std::vector<int> all = AllSignatures(index);
+
+  auto cov = MakeEvaluator(rules::CovRule(), &index);
+  ExpectSameCounts(cov->Counts(all), CovCounts(index, all), "factory Cov");
+  auto sim = MakeEvaluator(rules::SimRule(), &index);
+  ExpectSameCounts(sim->Counts(all), SimCounts(index, all), "factory Sim");
+  auto dep = MakeEvaluator(rules::DepRule("p0", "p1"), &index);
+  ExpectSameCounts(dep->Counts(all), DepCounts(index, all, "p0", "p1"),
+                   "factory Dep");
+  auto symdep = MakeEvaluator(rules::SymDepRule("p0", "p1"), &index);
+  ExpectSameCounts(symdep->Counts(all), SymDepCounts(index, all, "p0", "p1"),
+                   "factory SymDep");
+}
+
+TEST(ClosedFormTest, FactoryFallsBackToGenericForAdHocRules) {
+  gen::RandomIndexSpec spec;
+  spec.seed = 6;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto parsed =
+      rules::ParseRule("val(c1) = 1 && subj(c1) = subj(c2) -> val(c2) = 1");
+  ASSERT_TRUE(parsed.ok());
+  auto evaluator = MakeEvaluator(*parsed, &index);
+  // Generic evaluator must agree with direct enumeration.
+  ExpectSameCounts(evaluator->Counts(AllSignatures(index)),
+                   EvaluateRuleOnIndex(*parsed, index), "generic");
+}
+
+TEST(ClosedFormTest, EvaluatorSigmaAllHelpers) {
+  std::vector<schema::Signature> sigs = {{{0}, 1}, {{0, 1}, 1}};
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"a", "b"}, sigs);
+  auto cov = ClosedFormEvaluator::Cov(&index);
+  EXPECT_NEAR(cov->SigmaAll(), 0.75, 1e-12);  // 3 ones / 4 cells
+  EXPECT_NEAR(cov->Sigma({0}), 1.0, 1e-12);   // {a}-only sort is complete
+}
+
+}  // namespace
+}  // namespace rdfsr::eval

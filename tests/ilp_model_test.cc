@@ -1,0 +1,73 @@
+// Unit tests for the MIP model container.
+
+#include <gtest/gtest.h>
+
+#include "ilp/model.h"
+
+namespace rdfsr::ilp {
+namespace {
+
+TEST(ModelTest, AddVariablesAndConstraints) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 10, false);
+  const int y = m.AddBinary("y");
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  EXPECT_EQ(m.num_variables(), 2u);
+  EXPECT_TRUE(m.variable(y).is_integer);
+  EXPECT_DOUBLE_EQ(m.variable(y).upper, 1.0);
+
+  m.AddConstraint("c0", {{x, 1.0}, {y, 2.0}}, 0, 5);
+  EXPECT_EQ(m.num_constraints(), 1u);
+}
+
+TEST(ModelTest, MergesDuplicateTerms) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 1, false);
+  const int r = m.AddConstraint("c", {{x, 1.0}, {x, 2.0}}, 0, 1);
+  ASSERT_EQ(m.constraint(r).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.constraint(r).terms[0].coef, 3.0);
+}
+
+TEST(ModelTest, DropsZeroCoefficients) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 1, false);
+  const int y = m.AddVariable("y", 0, 1, false);
+  const int r = m.AddConstraint("c", {{x, 1.0}, {y, 1.0}, {y, -1.0}}, 0, 1);
+  ASSERT_EQ(m.constraint(r).terms.size(), 1u);
+  EXPECT_EQ(m.constraint(r).terms[0].var, x);
+}
+
+TEST(ModelTest, ObjectiveValue) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 5, false);
+  const int y = m.AddVariable("y", 0, 5, false);
+  m.SetObjective({{x, 2.0}, {y, -1.0}});
+  EXPECT_DOUBLE_EQ(m.ObjectiveValue({3.0, 1.0}), 5.0);
+}
+
+TEST(ModelTest, IsFeasibleChecksEverything) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 2, true);
+  const int y = m.AddVariable("y", 0, 1, false);
+  m.AddConstraint("c", {{x, 1.0}, {y, 1.0}}, 1, 2);
+
+  EXPECT_TRUE(m.IsFeasible({1.0, 0.5}));
+  EXPECT_FALSE(m.IsFeasible({1.5, 0.0}));  // integrality
+  EXPECT_FALSE(m.IsFeasible({3.0, 0.0}));  // bound
+  EXPECT_FALSE(m.IsFeasible({0.0, 0.5}));  // constraint lower
+  EXPECT_FALSE(m.IsFeasible({2.0, 1.0}));  // constraint upper
+  EXPECT_FALSE(m.IsFeasible({1.0}));       // arity
+}
+
+TEST(ModelTest, ToStringMentionsNamesAndBounds) {
+  Model m;
+  const int x = m.AddVariable("price", 0, 1, false);
+  m.AddConstraint("limit", {{x, 2.0}}, -kInfinity, 1);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("price"), std::string::npos);
+  EXPECT_NE(s.find("limit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfsr::ilp

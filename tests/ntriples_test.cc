@@ -1,0 +1,132 @@
+// Unit tests for the N-Triples parser and writer, including escape handling
+// and error reporting (failure injection).
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+
+namespace rdfsr::rdf {
+namespace {
+
+TEST(NTriplesTest, ParsesIriTriple) {
+  auto g = ParseNTriples("<http://x/s> <http://x/p> <http://x/o> .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->size(), 1u);
+}
+
+TEST(NTriplesTest, ParsesLiteralForms) {
+  const char* text =
+      "<s> <p> \"plain\" .\n"
+      "<s> <p> \"tagged\"@en-GB .\n"
+      "<s> <p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  auto g = ParseNTriples(text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->size(), 3u);
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  auto g = ParseNTriples("_:a <p> _:b .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->size(), 1u);
+  EXPECT_TRUE(g->dict().term(g->triples()[0].subject).is_blank());
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  const char* text =
+      "# a comment\n"
+      "\n"
+      "   \n"
+      "<s> <p> <o> . # trailing comment\n";
+  auto g = ParseNTriples(text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->size(), 1u);
+}
+
+TEST(NTriplesTest, DecodesStringEscapes) {
+  auto g = ParseNTriples("<s> <p> \"a\\tb\\nc\\\"d\\\\e\" .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const Term& o = g->dict().term(g->triples()[0].object);
+  EXPECT_EQ(o.lexical, "a\tb\nc\"d\\e");
+}
+
+TEST(NTriplesTest, DecodesUnicodeEscapes) {
+  auto g = ParseNTriples("<s> <p> \"\\u00e9\\U0001F600\" .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const Term& o = g->dict().term(g->triples()[0].object);
+  EXPECT_EQ(o.lexical, "\xc3\xa9\xf0\x9f\x98\x80");  // é + 😀 in UTF-8
+}
+
+TEST(NTriplesTest, ErrorsCarryLineNumbers) {
+  auto g = ParseNTriples("<s> <p> <o> .\nnot a triple\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  EXPECT_FALSE(ParseNTriples("<s> <p> <o>\n").ok());
+}
+
+TEST(NTriplesTest, RejectsLiteralSubject) {
+  EXPECT_FALSE(ParseNTriples("\"lit\" <p> <o> .\n").ok());
+}
+
+TEST(NTriplesTest, RejectsUnterminatedIri) {
+  EXPECT_FALSE(ParseNTriples("<s <p> <o> .\n").ok());
+}
+
+TEST(NTriplesTest, RejectsUnterminatedLiteral) {
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"abc .\n").ok());
+}
+
+TEST(NTriplesTest, RejectsBadEscape) {
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"a\\qb\" .\n").ok());
+}
+
+TEST(NTriplesTest, RejectsTruncatedUnicode) {
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"\\u00\" .\n").ok());
+}
+
+TEST(NTriplesTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseNTriples("<s> <p> <o> . extra\n").ok());
+}
+
+TEST(NTriplesTest, RejectsEmptyLanguageTag) {
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"x\"@ .\n").ok());
+}
+
+TEST(NTriplesTest, WriterRoundTrips) {
+  const char* text =
+      "<http://x/s> <http://x/p> \"a\\tb \\\"q\\\" \\\\z\"@en .\n"
+      "<http://x/s> <http://x/p2> \"5\"^^<http://x/int> .\n"
+      "_:b <http://x/p> <http://x/o> .\n";
+  auto g1 = ParseNTriples(text);
+  ASSERT_TRUE(g1.ok()) << g1.status().ToString();
+  const std::string serialized = WriteNTriples(*g1);
+  auto g2 = ParseNTriples(serialized);
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString();
+  ASSERT_EQ(g1->size(), g2->size());
+  // Compare term-level content triple by triple.
+  for (std::size_t i = 0; i < g1->size(); ++i) {
+    const Triple& t1 = g1->triples()[i];
+    const Triple& t2 = g2->triples()[i];
+    EXPECT_EQ(g1->dict().term(t1.subject), g2->dict().term(t2.subject));
+    EXPECT_EQ(g1->dict().term(t1.predicate), g2->dict().term(t2.predicate));
+    EXPECT_EQ(g1->dict().term(t1.object), g2->dict().term(t2.object));
+  }
+}
+
+TEST(NTriplesTest, ParseIntoAppends) {
+  Graph g;
+  ASSERT_TRUE(ParseNTriplesInto("<s> <p> <o> .\n", &g).ok());
+  ASSERT_TRUE(ParseNTriplesInto("<s2> <p> <o> .\n", &g).ok());
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(NTriplesTest, MissingFileIsNotFound) {
+  auto g = ParseNTriplesFile("/nonexistent/path.nt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rdfsr::rdf

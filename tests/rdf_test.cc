@@ -1,0 +1,152 @@
+// Unit tests for rdf/: terms, dictionary interning, graphs, sort slices.
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "rdf/vocab.h"
+
+namespace rdfsr::rdf {
+namespace {
+
+TEST(TermTest, FactoryAndKinds) {
+  const Term iri = Term::Iri("http://example.org/a");
+  EXPECT_TRUE(iri.is_iri());
+  const Term lit = Term::Literal("hi", "", "en");
+  EXPECT_TRUE(lit.is_literal());
+  const Term blank = Term::Blank("b0");
+  EXPECT_TRUE(blank.is_blank());
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  EXPECT_NE(Term::Iri("x"), Term::Blank("x"));
+  EXPECT_NE(Term::Iri("x"), Term::Literal("x"));
+  EXPECT_EQ(Term::Iri("x"), Term::Iri("x"));
+}
+
+TEST(TermTest, EqualityDistinguishesLiteralDecorations) {
+  EXPECT_NE(Term::Literal("a"), Term::Literal("a", "xsd:string"));
+  EXPECT_NE(Term::Literal("a"), Term::Literal("a", "", "en"));
+  EXPECT_EQ(Term::Literal("a", "dt"), Term::Literal("a", "dt"));
+}
+
+TEST(TermTest, ToStringSurfaceForms) {
+  EXPECT_EQ(Term::Iri("http://x/a").ToString(), "<http://x/a>");
+  EXPECT_EQ(Term::Blank("n1").ToString(), "_:n1");
+  EXPECT_EQ(Term::Literal("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Term::Literal("hi", "", "en").ToString(), "\"hi\"@en");
+  EXPECT_EQ(Term::Literal("5", "http://x/int").ToString(),
+            "\"5\"^^<http://x/int>");
+  EXPECT_EQ(Term::Literal("a\"b\\c\nd").ToString(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const TermId a = dict.InternIri("http://x/a");
+  const TermId b = dict.InternIri("http://x/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.InternIri("http://x/a"), a);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, FindDoesNotIntern) {
+  Dictionary dict;
+  EXPECT_EQ(dict.FindIri("http://x/a"), kInvalidTermId);
+  EXPECT_EQ(dict.size(), 0u);
+  dict.InternIri("http://x/a");
+  EXPECT_NE(dict.FindIri("http://x/a"), kInvalidTermId);
+}
+
+TEST(DictionaryTest, RoundTripsTerms) {
+  Dictionary dict;
+  const Term lit = Term::Literal("x", "dt", "");
+  const TermId id = dict.Intern(lit);
+  EXPECT_EQ(dict.term(id), lit);
+}
+
+TEST(GraphTest, SetSemantics) {
+  Graph g;
+  EXPECT_TRUE(g.AddIri("s", "p", "o"));
+  EXPECT_FALSE(g.AddIri("s", "p", "o"));  // duplicate
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(GraphTest, SubjectsAndPropertiesInFirstAppearanceOrder) {
+  Graph g;
+  g.AddIri("s2", "p1", "o");
+  g.AddIri("s1", "p2", "o");
+  g.AddIri("s2", "p2", "o");
+  ASSERT_EQ(g.subjects().size(), 2u);
+  EXPECT_EQ(g.dict().term(g.subjects()[0]).lexical, "s2");
+  EXPECT_EQ(g.dict().term(g.subjects()[1]).lexical, "s1");
+  ASSERT_EQ(g.properties().size(), 2u);
+  EXPECT_EQ(g.dict().term(g.properties()[0]).lexical, "p1");
+}
+
+TEST(GraphTest, HasProperty) {
+  Graph g;
+  g.AddIri("s", "p", "o");
+  const TermId s = g.dict().FindIri("s");
+  const TermId p = g.dict().FindIri("p");
+  const TermId o = g.dict().FindIri("o");
+  EXPECT_TRUE(g.HasProperty(s, p));
+  EXPECT_FALSE(g.HasProperty(o, p));
+  EXPECT_FALSE(g.HasProperty(s, o));
+}
+
+TEST(GraphTest, SortSliceSelectsDeclaredSubjects) {
+  Graph g;
+  g.AddIri("alice", vocab::kRdfType, "Person");
+  g.AddIri("alice", "name", "n1");
+  g.AddIri("alice", "age", "a1");
+  g.AddIri("acme", vocab::kRdfType, "Company");
+  g.AddIri("acme", "name", "n2");
+  g.AddIri("bob", vocab::kRdfType, "Person");
+  g.AddIri("bob", "name", "n3");
+
+  const Graph persons = g.SortSlice("Person");
+  EXPECT_EQ(persons.subjects().size(), 2u);
+  EXPECT_EQ(persons.size(), 3u);  // alice:name, alice:age, bob:name
+  // The type triples themselves are excluded by default.
+  const TermId type_prop = persons.dict().FindIri(vocab::kRdfType);
+  for (const Triple& t : persons.triples()) {
+    EXPECT_NE(t.predicate, type_prop);
+  }
+}
+
+TEST(GraphTest, SortSliceCanKeepTypeTriples) {
+  Graph g;
+  g.AddIri("alice", vocab::kRdfType, "Person");
+  g.AddIri("alice", "name", "n1");
+  const Graph persons = g.SortSlice("Person", /*include_type=*/true);
+  EXPECT_EQ(persons.size(), 2u);
+}
+
+TEST(GraphTest, SortSliceOfUnknownSortIsEmpty) {
+  Graph g;
+  g.AddIri("s", "p", "o");
+  EXPECT_TRUE(g.SortSlice("Nothing").empty());
+}
+
+TEST(GraphTest, SortConstants) {
+  Graph g;
+  g.AddIri("a", vocab::kRdfType, "Person");
+  g.AddIri("b", vocab::kRdfType, "Company");
+  g.AddIri("c", vocab::kRdfType, "Person");
+  const std::vector<TermId> sorts = g.SortConstants();
+  ASSERT_EQ(sorts.size(), 2u);
+  EXPECT_EQ(g.dict().term(sorts[0]).lexical, "Person");
+  EXPECT_EQ(g.dict().term(sorts[1]).lexical, "Company");
+}
+
+TEST(GraphTest, SharedDictionaryAcrossSlices) {
+  Graph g;
+  g.AddIri("a", vocab::kRdfType, "T");
+  g.AddIri("a", "p", "o");
+  const Graph slice = g.SortSlice("T");
+  EXPECT_EQ(slice.dict_ptr().get(), g.dict_ptr().get());
+}
+
+}  // namespace
+}  // namespace rdfsr::rdf

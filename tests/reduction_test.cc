@@ -1,0 +1,169 @@
+// Appendix A reduction tests: the M_G construction, the rule r0, and the
+// correspondence between 3-colorings and row partitions.
+
+#include <gtest/gtest.h>
+
+#include "reduction/three_coloring.h"
+#include "rules/printer.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::reduction {
+namespace {
+
+TEST(GraphTest, CompleteAndCycleConstruction) {
+  const UndirectedGraph k4 = UndirectedGraph::Complete(4);
+  EXPECT_TRUE(k4.HasEdge(0, 3));
+  EXPECT_TRUE(k4.HasEdge(2, 1));
+  const UndirectedGraph c5 = UndirectedGraph::Cycle(5);
+  EXPECT_TRUE(c5.HasEdge(4, 0));
+  EXPECT_FALSE(c5.HasEdge(0, 2));
+}
+
+TEST(ThreeColorTest, TriangleIsColorable) {
+  const UndirectedGraph g = UndirectedGraph::Complete(3);
+  auto coloring = ThreeColor(g);
+  ASSERT_TRUE(coloring.has_value());
+  EXPECT_TRUE(IsValidColoring(g, *coloring));
+}
+
+TEST(ThreeColorTest, K4IsNotColorable) {
+  EXPECT_FALSE(ThreeColor(UndirectedGraph::Complete(4)).has_value());
+}
+
+TEST(ThreeColorTest, OddCycleNeedsThreeColors) {
+  const UndirectedGraph c5 = UndirectedGraph::Cycle(5);
+  auto coloring = ThreeColor(c5);
+  ASSERT_TRUE(coloring.has_value());
+  EXPECT_TRUE(IsValidColoring(c5, *coloring));
+  // And uses all three colors (C5 is not 2-colorable).
+  std::set<int> used(coloring->begin(), coloring->end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(ThreeColorTest, ValidColoringRejectsBadInput) {
+  const UndirectedGraph g = UndirectedGraph::Complete(3);
+  EXPECT_FALSE(IsValidColoring(g, {0, 0, 1}));      // adjacent same color
+  EXPECT_FALSE(IsValidColoring(g, {0, 1}));         // wrong arity
+  EXPECT_FALSE(IsValidColoring(g, {0, 1, 5}));      // out of range
+  EXPECT_TRUE(IsValidColoring(g, {0, 1, 2}));
+}
+
+TEST(ReductionMatrixTest, DimensionsAndBlocks) {
+  // Example A.1: the 3-node path graph 1-2 (edge), 3 isolated.
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1);
+  const schema::PropertyMatrix m = BuildReductionMatrix(g);
+  ASSERT_EQ(m.num_subjects(), 12u);   // 4n
+  ASSERT_EQ(m.num_properties(), 9u);  // 2n + 3
+
+  // Upper section: sp1/sp2 patterns per auxiliary group, idp = 1.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.At(i, 0), 0);      // group a: sp1 = 0
+    EXPECT_EQ(m.At(i, 1), 0);      // group a: sp2 = 0
+    EXPECT_EQ(m.At(i, 2), 1);      // idp
+    EXPECT_EQ(m.At(3 + i, 1), 1);  // group b: sp2 = 1
+    EXPECT_EQ(m.At(6 + i, 0), 1);  // group c: sp1 = 1
+  }
+  // Diagonal blocks in the upper section.
+  for (int g_i = 0; g_i < 3; ++g_i) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_EQ(m.At(g_i * 3 + i, 3 + j), i == j ? 1 : 0);
+        EXPECT_EQ(m.At(g_i * 3 + i, 6 + j), i == j ? 1 : 0);
+      }
+    }
+  }
+  // Lower section: sp1 = sp2 = 1, idp = 0, complemented adjacency from
+  // Example A.1: rows (1 0 1 / 0 1 1 / 1 1 1).
+  const int expect[3][3] = {{1, 0, 1}, {0, 1, 1}, {1, 1, 1}};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.At(9 + i, 0), 1);
+    EXPECT_EQ(m.At(9 + i, 1), 1);
+    EXPECT_EQ(m.At(9 + i, 2), 0);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(m.At(9 + i, 6 + j), expect[i][j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(ReductionMatrixTest, EveryRowHasUniqueSignature) {
+  // The sp1/sp2 columns exist exactly so that no two rows share a signature
+  // (making the signature-closure requirement vacuous).
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  const schema::PropertyMatrix m = BuildReductionMatrix(g);
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromMatrix(m, false);
+  EXPECT_EQ(index.num_signatures(), m.num_subjects());
+  for (std::size_t i = 0; i < index.num_signatures(); ++i) {
+    EXPECT_EQ(index.signature(i).count, 1);
+  }
+}
+
+TEST(RuleR0Test, WellFormedElevenVariables) {
+  const rules::Rule r0 = BuildRuleR0();
+  EXPECT_EQ(r0.variables().size(), 11u);
+  EXPECT_EQ(r0.name(), "r0");
+  // The rule avoids subj(c) = <constant> atoms (as the paper notes).
+  std::vector<std::string> subject_constants;
+  rules::CollectSubjectConstants(r0.antecedent(), &subject_constants);
+  rules::CollectSubjectConstants(r0.consequent(), &subject_constants);
+  EXPECT_TRUE(subject_constants.empty());
+  // But mentions the marker properties.
+  std::vector<std::string> props;
+  rules::CollectPropertyConstants(r0.antecedent(), &props);
+  EXPECT_NE(std::find(props.begin(), props.end(), "sp1"), props.end());
+  EXPECT_NE(std::find(props.begin(), props.end(), "idp"), props.end());
+  // Printable and non-trivial.
+  EXPECT_GT(rules::ToString(r0).size(), 200u);
+}
+
+TEST(ColoringPartitionTest, PartitionCoversAllRowsOnce) {
+  const UndirectedGraph c5 = UndirectedGraph::Cycle(5);
+  auto coloring = ThreeColor(c5);
+  ASSERT_TRUE(coloring.has_value());
+  const auto parts = ColoringToRowPartition(c5, *coloring);
+  ASSERT_EQ(parts.size(), 3u);
+  std::vector<int> seen(4 * 5, 0);
+  for (const auto& part : parts) {
+    for (int row : part) {
+      ASSERT_GE(row, 0);
+      ASSERT_LT(row, 20);
+      ++seen[row];
+    }
+  }
+  for (int row = 0; row < 20; ++row) EXPECT_EQ(seen[row], 1) << row;
+  // Each part has one copy of the auxiliary rows (n rows) plus its color
+  // class.
+  for (int color = 0; color < 3; ++color) {
+    int aux = 0, nodes = 0;
+    for (int row : parts[color]) {
+      (row < 15) ? ++aux : ++nodes;
+    }
+    EXPECT_EQ(aux, 5);
+  }
+}
+
+TEST(ColoringPartitionTest, PartsAreIndependentSets) {
+  // The reduction's soundness hinges on color classes being independent
+  // sets; check the partition rows against the graph.
+  const UndirectedGraph c5 = UndirectedGraph::Cycle(5);
+  auto coloring = ThreeColor(c5);
+  ASSERT_TRUE(coloring.has_value());
+  const auto parts = ColoringToRowPartition(c5, *coloring);
+  for (const auto& part : parts) {
+    std::vector<int> nodes;
+    for (int row : part) {
+      if (row >= 15) nodes.push_back(row - 15);
+    }
+    for (std::size_t a = 0; a < nodes.size(); ++a) {
+      for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+        EXPECT_FALSE(c5.HasEdge(nodes[a], nodes[b]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdfsr::reduction

@@ -1,0 +1,108 @@
+// Tests for the schema-report module (core/report.h).
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "gen/persons.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::core {
+namespace {
+
+schema::SignatureIndex AliveDeadIndex() {
+  // "Alive" signatures lack the death properties entirely.
+  std::vector<schema::Signature> sigs = {
+      {{0, 1}, 10},        // name + birthDate           (alive)
+      {{0}, 5},            // name only                  (alive)
+      {{0, 1, 2, 3}, 4},   // + deathDate, deathPlace    (dead)
+      {{0, 2, 3}, 2},      // name + death props         (dead)
+  };
+  return schema::SignatureIndex::FromSignatures(
+      {"name", "birthDate", "deathDate", "deathPlace"}, sigs);
+}
+
+TEST(ReportTest, ProfilesDetectAbsentColumns) {
+  const schema::SignatureIndex index = AliveDeadIndex();
+  SortRefinement refinement;
+  // index canonical order: count 10 {name,birthDate}=0, 5 {name}=1,
+  // 4 {all}=2, 2 {name,dD,dP}=3.
+  refinement.sorts = {{0, 1}, {2, 3}};
+  const std::vector<SortProfile> profiles =
+      ProfileRefinement(index, refinement);
+  ASSERT_EQ(profiles.size(), 2u);
+
+  const SortProfile& alive = profiles[0];
+  EXPECT_EQ(alive.subjects, 15);
+  EXPECT_EQ(alive.signatures, 2u);
+  // The paper's "alive" reading: death columns are absent.
+  EXPECT_EQ(alive.absent_properties,
+            (std::vector<std::string>{"deathDate", "deathPlace"}));
+  EXPECT_EQ(alive.universal_properties, (std::vector<std::string>{"name"}));
+  EXPECT_EQ(alive.common_properties, (std::vector<std::string>{"birthDate"}));
+
+  const SortProfile& dead = profiles[1];
+  EXPECT_EQ(dead.subjects, 6);
+  EXPECT_TRUE(dead.absent_properties.empty());
+  // deathDate and deathPlace are universal among the dead sorts.
+  EXPECT_NE(std::find(dead.universal_properties.begin(),
+                      dead.universal_properties.end(), "deathDate"),
+            dead.universal_properties.end());
+}
+
+TEST(ReportTest, DiscriminatingPropertiesPointAtDeathColumns) {
+  const schema::SignatureIndex index = AliveDeadIndex();
+  SortRefinement refinement;
+  refinement.sorts = {{0, 1}, {2, 3}};
+  const std::vector<SortProfile> profiles =
+      ProfileRefinement(index, refinement);
+  // For the dead sort the strongest discriminator is a death property with a
+  // +1.00 coverage difference.
+  const auto& top = profiles[1].discriminating_properties.front();
+  EXPECT_TRUE(top.first == "deathDate" || top.first == "deathPlace");
+  EXPECT_NEAR(top.second, 1.0, 1e-9);
+}
+
+TEST(ReportTest, RenderMentionsKeyFacts) {
+  const schema::SignatureIndex index = AliveDeadIndex();
+  SortRefinement refinement;
+  refinement.sorts = {{0, 1}, {2, 3}};
+  const std::string report = RenderReport(index, refinement);
+  EXPECT_NE(report.find("implicit sort 1"), std::string::npos);
+  EXPECT_NE(report.find("never present:  deathDate, deathPlace"),
+            std::string::npos);
+  EXPECT_NE(report.find("always present: name"), std::string::npos);
+}
+
+TEST(ReportTest, SingleSortReportIsWellFormed) {
+  const schema::SignatureIndex index = AliveDeadIndex();
+  SortRefinement refinement;
+  refinement.sorts = {{0, 1, 2, 3}};
+  const std::vector<SortProfile> profiles =
+      ProfileRefinement(index, refinement);
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].subjects, 21);
+  EXPECT_TRUE(profiles[0].absent_properties.empty());
+  // "vs rest" differences are all zero when the sort is the whole dataset.
+  for (const auto& [name, diff] : profiles[0].discriminating_properties) {
+    (void)name;
+    EXPECT_NEAR(diff, 0.0, 1e-9);
+  }
+}
+
+TEST(ReportTest, WorksOnGeneratedPersons) {
+  gen::PersonsConfig config;
+  config.num_subjects = 500;
+  const schema::SignatureIndex index = gen::GeneratePersons(config);
+  SortRefinement refinement;
+  std::vector<int> evens, odds;
+  for (std::size_t i = 0; i < index.num_signatures(); ++i) {
+    (i % 2 == 0 ? evens : odds).push_back(static_cast<int>(i));
+  }
+  refinement.sorts = {evens, odds};
+  const std::string report = RenderReport(index, refinement);
+  EXPECT_NE(report.find("implicit sort 2"), std::string::npos);
+  EXPECT_NE(report.find("name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfsr::core

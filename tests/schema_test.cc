@@ -1,0 +1,202 @@
+// Unit tests for schema/: property matrices, signatures, the signature index,
+// restriction (implicit-sort views), and ASCII rendering.
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graph.h"
+#include "rdf/graph.h"
+#include "rdf/vocab.h"
+#include "schema/ascii_view.h"
+#include "schema/property_matrix.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::schema {
+namespace {
+
+PropertyMatrix SampleMatrix() {
+  // Fig 1b-like: s0 has p and q, s1/s2 only p.
+  return PropertyMatrix::FromRows({{1, 1}, {1, 0}, {1, 0}}, {"s0", "s1", "s2"},
+                                  {"p", "q"});
+}
+
+TEST(PropertyMatrixTest, FromRowsBasics) {
+  const PropertyMatrix m = SampleMatrix();
+  EXPECT_EQ(m.num_subjects(), 3u);
+  EXPECT_EQ(m.num_properties(), 2u);
+  EXPECT_EQ(m.At(0, 1), 1);
+  EXPECT_EQ(m.At(2, 1), 0);
+  EXPECT_EQ(m.CountOnes(), 4);
+  EXPECT_EQ(m.FindProperty("q"), 1);
+  EXPECT_EQ(m.FindProperty("zz"), -1);
+  EXPECT_EQ(m.FindSubject("s2"), 2);
+  EXPECT_EQ(m.FindSubject("zz"), -1);
+}
+
+TEST(PropertyMatrixTest, FromGraphMatchesHasProperty) {
+  rdf::Graph g;
+  g.AddIri("s1", "p1", "o");
+  g.AddIri("s1", "p2", "o");
+  g.AddIri("s2", "p2", "o2");
+  const PropertyMatrix m = PropertyMatrix::FromGraph(g);
+  EXPECT_EQ(m.num_subjects(), 2u);
+  EXPECT_EQ(m.num_properties(), 2u);
+  EXPECT_EQ(m.At(0, 0), 1);
+  EXPECT_EQ(m.At(0, 1), 1);
+  EXPECT_EQ(m.At(1, 0), 0);
+  EXPECT_EQ(m.At(1, 1), 1);
+}
+
+TEST(PropertyMatrixTest, MultipleObjectsSameProperty) {
+  rdf::Graph g;
+  g.AddIri("s", "p", "o1");
+  g.AddIri("s", "p", "o2");  // same cell
+  const PropertyMatrix m = PropertyMatrix::FromGraph(g);
+  EXPECT_EQ(m.CountOnes(), 1);
+}
+
+TEST(SignatureIndexTest, GroupsIdenticalRows) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), true);
+  ASSERT_EQ(index.num_signatures(), 2u);
+  // Canonical order: larger signature set first.
+  EXPECT_EQ(index.signature(0).count, 2);  // {p} x2
+  EXPECT_EQ(index.signature(1).count, 1);  // {p,q}
+  EXPECT_EQ(index.total_subjects(), 3);
+}
+
+TEST(SignatureIndexTest, HasAndPropertyCount) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), true);
+  const int p = index.FindProperty("p");
+  const int q = index.FindProperty("q");
+  ASSERT_GE(p, 0);
+  ASSERT_GE(q, 0);
+  EXPECT_TRUE(index.Has(0, p));
+  EXPECT_FALSE(index.Has(0, q));
+  EXPECT_TRUE(index.Has(1, q));
+  EXPECT_EQ(index.PropertyCount(p), 3);
+  EXPECT_EQ(index.PropertyCount(q), 1);
+}
+
+TEST(SignatureIndexTest, SubjectSignatureLookup) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), true);
+  EXPECT_EQ(index.FindSubjectSignature("s0"), 1);
+  EXPECT_EQ(index.FindSubjectSignature("s1"), 0);
+  EXPECT_EQ(index.FindSubjectSignature("nope"), -1);
+  EXPECT_EQ(index.CountNamedSubjects({"s0", "s1", "s2"}, 0), 2);
+  EXPECT_EQ(index.CountNamedSubjects({"s0"}, 1), 1);
+}
+
+TEST(SignatureIndexTest, NamesNotKeptMeansNoLookup) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), false);
+  EXPECT_EQ(index.FindSubjectSignature("s0"), -1);
+}
+
+TEST(SignatureIndexTest, FromSignaturesValidates) {
+  std::vector<Signature> sigs;
+  sigs.push_back({{0, 1}, 10});
+  sigs.push_back({{0}, 5});
+  const SignatureIndex index =
+      SignatureIndex::FromSignatures({"a", "b"}, sigs);
+  EXPECT_EQ(index.num_signatures(), 2u);
+  EXPECT_EQ(index.total_subjects(), 15);
+}
+
+TEST(SignatureIndexTest, RestrictDropsUnusedColumns) {
+  // Signature 0: {p0}, signature 1: {p1,p2}; restricting to sig 0 keeps p0.
+  std::vector<Signature> sigs;
+  sigs.push_back({{0}, 10});
+  sigs.push_back({{1, 2}, 5});
+  const SignatureIndex index =
+      SignatureIndex::FromSignatures({"p0", "p1", "p2"}, sigs);
+  // Canonical order puts count-10 first.
+  std::vector<int> kept;
+  const SignatureIndex sub = index.Restrict({0}, &kept);
+  EXPECT_EQ(sub.num_signatures(), 1u);
+  EXPECT_EQ(sub.num_properties(), 1u);
+  EXPECT_EQ(sub.property_name(0), "p0");
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 0);
+  EXPECT_EQ(sub.total_subjects(), 10);
+}
+
+TEST(SignatureIndexTest, RestrictKeepsSubjectNames) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), true);
+  const SignatureIndex sub = index.Restrict({1});  // the {p,q} signature
+  EXPECT_EQ(sub.FindSubjectSignature("s0"), 0);
+}
+
+TEST(SignatureIndexTest, ToMatrixRoundTripsCounts) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), true);
+  const PropertyMatrix m = index.ToMatrix();
+  EXPECT_EQ(m.num_subjects(), 3u);
+  EXPECT_EQ(m.num_properties(), 2u);
+  EXPECT_EQ(m.CountOnes(), 4);
+  const SignatureIndex again = SignatureIndex::FromMatrix(m, false);
+  ASSERT_EQ(again.num_signatures(), index.num_signatures());
+  for (std::size_t i = 0; i < index.num_signatures(); ++i) {
+    EXPECT_EQ(again.signature(i).count, index.signature(i).count);
+    EXPECT_EQ(again.signature(i).support, index.signature(i).support);
+  }
+}
+
+TEST(SignatureIndexTest, CanonicalOrderIsDeterministic) {
+  // Same content presented in different input orders yields identical
+  // indexes.
+  std::vector<Signature> sigs1 = {{{0}, 5}, {{1}, 5}, {{0, 1}, 9}};
+  std::vector<Signature> sigs2 = {{{0, 1}, 9}, {{1}, 5}, {{0}, 5}};
+  const SignatureIndex a = SignatureIndex::FromSignatures({"x", "y"}, sigs1);
+  const SignatureIndex b = SignatureIndex::FromSignatures({"x", "y"}, sigs2);
+  ASSERT_EQ(a.num_signatures(), b.num_signatures());
+  for (std::size_t i = 0; i < a.num_signatures(); ++i) {
+    EXPECT_EQ(a.signature(i).support, b.signature(i).support);
+    EXPECT_EQ(a.signature(i).count, b.signature(i).count);
+  }
+}
+
+TEST(SignatureIndexTest, RandomMatrixGroupingPreservesSubjects) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::RandomMatrixSpec spec;
+    spec.num_subjects = 20;
+    spec.num_properties = 5;
+    spec.seed = seed;
+    const PropertyMatrix m = gen::GenerateRandomMatrix(spec);
+    const SignatureIndex index = SignatureIndex::FromMatrix(m, true);
+    EXPECT_EQ(index.total_subjects(), 20);
+    // Sizes are non-increasing in canonical order.
+    for (std::size_t i = 1; i < index.num_signatures(); ++i) {
+      EXPECT_GE(index.signature(i - 1).count, index.signature(i).count);
+    }
+  }
+}
+
+TEST(AsciiViewTest, AbbreviateProperty) {
+  EXPECT_EQ(AbbreviateProperty("http://xmlns.com/foaf/0.1/name"), "name");
+  EXPECT_EQ(AbbreviateProperty("http://x#frag"), "frag");
+  EXPECT_EQ(AbbreviateProperty("plain"), "plain");
+  EXPECT_EQ(AbbreviateProperty("averyveryverylongpropertyname", 8).size(), 8u);
+}
+
+TEST(AsciiViewTest, RendersSignatureView) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), false);
+  const std::string view = RenderSignatureView(index);
+  EXPECT_NE(view.find("subjects=3"), std::string::npos);
+  EXPECT_NE(view.find("#."), std::string::npos);   // {p} row
+  EXPECT_NE(view.find("##"), std::string::npos);   // {p,q} row
+}
+
+TEST(AsciiViewTest, RendersRefinementView) {
+  const SignatureIndex index =
+      SignatureIndex::FromMatrix(SampleMatrix(), false);
+  const std::string view = RenderRefinementView(index, {{0}, {1}});
+  EXPECT_NE(view.find("sort 1"), std::string::npos);
+  EXPECT_NE(view.find("sort 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfsr::schema

@@ -1,0 +1,179 @@
+// LP solver tests: textbook optima, infeasibility, unboundedness, bounds,
+// degenerate cases, and bound overrides.
+
+#include <gtest/gtest.h>
+
+#include "ilp/simplex.h"
+
+namespace rdfsr::ilp {
+namespace {
+
+TEST(SimplexTest, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min -3x -5y)
+  // Optimum: x = 2, y = 6, objective 36.
+  Model m;
+  const int x = m.AddVariable("x", 0, kInfinity, false);
+  const int y = m.AddVariable("y", 0, kInfinity, false);
+  m.AddConstraint("c1", {{x, 1.0}}, -kInfinity, 4);
+  m.AddConstraint("c2", {{y, 2.0}}, -kInfinity, 12);
+  m.AddConstraint("c3", {{x, 3.0}, {y, 2.0}}, -kInfinity, 18);
+  m.SetObjective({{x, -3.0}, {y, -5.0}});
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal) << LpStatusName(r.status);
+  EXPECT_NEAR(r.objective, -36.0, 1e-6);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[y], 6.0, 1e-6);
+}
+
+TEST(SimplexTest, HandlesEqualityConstraints) {
+  // min x + y s.t. x + y = 3, x - y = 1  ->  x = 2, y = 1.
+  Model m;
+  const int x = m.AddVariable("x", 0, kInfinity, false);
+  const int y = m.AddVariable("y", 0, kInfinity, false);
+  m.AddConstraint("sum", {{x, 1.0}, {y, 1.0}}, 3, 3);
+  m.AddConstraint("diff", {{x, 1.0}, {y, -1.0}}, 1, 1);
+  m.SetObjective({{x, 1.0}, {y, 1.0}});
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[y], 1.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 1, false);
+  m.AddConstraint("impossible", {{x, 1.0}}, 2, 3);
+  const LpResult r = SolveLp(m);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsConflictingRows) {
+  Model m;
+  const int x = m.AddVariable("x", 0, kInfinity, false);
+  const int y = m.AddVariable("y", 0, kInfinity, false);
+  m.AddConstraint("a", {{x, 1.0}, {y, 1.0}}, 4, 4);
+  m.AddConstraint("b", {{x, 1.0}, {y, 1.0}}, -kInfinity, 2);
+  const LpResult r = SolveLp(m);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  Model m;
+  const int x = m.AddVariable("x", 0, kInfinity, false);
+  m.SetObjective({{x, -1.0}});  // maximize x with no cap
+  const LpResult r = SolveLp(m);
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, RespectsVariableBounds) {
+  // min -x with 1 <= x <= 2.5: optimum at upper bound.
+  Model m;
+  const int x = m.AddVariable("x", 1, 2.5, false);
+  m.SetObjective({{x, -1.0}});
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.5, 1e-6);
+}
+
+TEST(SimplexTest, FeasibilityOnlyProblems) {
+  // Zero objective, need x + y >= 1 with binaries relaxed.
+  Model m;
+  const int x = m.AddVariable("x", 0, 1, false);
+  const int y = m.AddVariable("y", 0, 1, false);
+  m.AddConstraint("cover", {{x, 1.0}, {y, 1.0}}, 1, kInfinity);
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_GE(r.x[x] + r.x[y], 1.0 - 1e-6);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x with -5 <= x <= 5 and x >= -3  ->  x = -3.
+  Model m;
+  const int x = m.AddVariable("x", -5, 5, false);
+  m.AddConstraint("floor", {{x, 1.0}}, -3, kInfinity);
+  m.SetObjective({{x, 1.0}});
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], -3.0, 1e-6);
+}
+
+TEST(SimplexTest, FreeVariables) {
+  // min x + y, x free, x + y >= 2, x - y = 0 -> x = y = 1.
+  Model m;
+  const int x = m.AddVariable("x", -kInfinity, kInfinity, false);
+  const int y = m.AddVariable("y", -kInfinity, kInfinity, false);
+  m.AddConstraint("sum", {{x, 1.0}, {y, 1.0}}, 2, kInfinity);
+  m.AddConstraint("eq", {{x, 1.0}, {y, -1.0}}, 0, 0);
+  m.SetObjective({{x, 1.0}, {y, 1.0}});
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[y], 1.0, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  const int x = m.AddVariable("x", 0, kInfinity, false);
+  const int y = m.AddVariable("y", 0, kInfinity, false);
+  m.AddConstraint("a", {{x, 1.0}, {y, 1.0}}, -kInfinity, 1);
+  m.AddConstraint("b", {{x, 2.0}, {y, 2.0}}, -kInfinity, 2);
+  m.AddConstraint("c", {{x, 1.0}}, -kInfinity, 1);
+  m.AddConstraint("d", {{y, 1.0}}, -kInfinity, 1);
+  m.SetObjective({{x, -1.0}, {y, -1.0}});
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-6);
+}
+
+TEST(SimplexTest, BoundOverridesShrinkTheFeasibleSet) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 10, false);
+  m.SetObjective({{x, -1.0}});
+  std::vector<double> lb = {0.0}, ub = {3.0};
+  const LpResult r = SolveLp(m, {}, &lb, &ub);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 3.0, 1e-6);
+}
+
+TEST(SimplexTest, CrossedOverrideBoundsAreInfeasible) {
+  Model m;
+  (void)m.AddVariable("x", 0, 10, false);
+  std::vector<double> lb = {5.0}, ub = {4.0};
+  const LpResult r = SolveLp(m, {}, &lb, &ub);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, LargerAssignmentLikeProblem) {
+  // 4x4 assignment relaxation: min sum c_ij x_ij, doubly stochastic.
+  // LP optimum of assignment is integral.
+  const double cost[4][4] = {{9, 2, 7, 8}, {6, 4, 3, 7}, {5, 8, 1, 8},
+                             {7, 6, 9, 4}};
+  Model m;
+  int var[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      var[i][j] = m.AddVariable("x", 0, 1, false);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    std::vector<LinTerm> row, col;
+    for (int j = 0; j < 4; ++j) {
+      row.push_back({var[i][j], 1.0});
+      col.push_back({var[j][i], 1.0});
+    }
+    m.AddConstraint("row", std::move(row), 1, 1);
+    m.AddConstraint("col", std::move(col), 1, 1);
+  }
+  std::vector<LinTerm> obj;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) obj.push_back({var[i][j], cost[i][j]});
+  }
+  m.SetObjective(obj);
+  const LpResult r = SolveLp(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 13.0, 1e-6);  // r0c1 + r1c0 + r2c2 + r3c3 = 2+6+1+4
+}
+
+}  // namespace
+}  // namespace rdfsr::ilp

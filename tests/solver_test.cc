@@ -1,0 +1,179 @@
+// RefinementSolver tests: the decision procedure, the highest-theta and
+// lowest-k searches, and the paper's Section 7.1.3 analytic splits (Dep gives
+// theta=1 with k=2; SymDep gives theta=1 with k=3).
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "eval/evaluator.h"
+#include "gen/random_graph.h"
+#include "rules/builtins.h"
+
+namespace rdfsr::core {
+namespace {
+
+/// A small dataset where deathPlace/deathDate overlap partially: some have
+/// both, some only one, some neither — so SymDep needs 3 sorts for theta=1.
+schema::SignatureIndex MakeDeathIndex() {
+  std::vector<schema::Signature> sigs = {
+      {{0, 1, 2}, 10},  // deathPlace + deathDate + name
+      {{0, 2}, 7},      // deathPlace only
+      {{1, 2}, 8},      // deathDate only
+      {{2}, 20},        // neither
+  };
+  return schema::SignatureIndex::FromSignatures(
+      {"deathPlace", "deathDate", "name"}, sigs);
+}
+
+TEST(SolverTest, TrivialWhenWholeDatasetMeetsTheta) {
+  const schema::SignatureIndex index = MakeDeathIndex();
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  RefinementSolver solver(cov.get());
+  const double sigma_all = cov->SigmaAll();
+  const DecisionResult r =
+      solver.Exists(2, Rational::FromDouble(sigma_all * 0.9));
+  EXPECT_EQ(r.decision, Decision::kExists);
+  ASSERT_TRUE(r.refinement.has_value());
+  EXPECT_EQ(r.refinement->num_sorts(), 1u);  // one-sort shortcut
+}
+
+TEST(SolverTest, Section713DepSplitsWithKTwoThetaOne) {
+  // sigma_Dep[p1,p2] theta=1 k=2: (i) entities without p1, (ii) entities
+  // with p2 — here: without deathPlace / with deathDate... our dataset has
+  // subjects with deathPlace but no deathDate, so the paper's recipe needs
+  // the {deathPlace-only} group in the "no p1"... it has p1. The correct
+  // paper statement: sorts (i) all entities without p1 and (ii) all with p2;
+  // this covers the dataset only when p1 implies p2 is repairable — with our
+  // data {deathPlace only} breaks it, so instead verify on a dataset where
+  // every subject with p1 either has p2 or sits alone.
+  std::vector<schema::Signature> sigs = {
+      {{0, 1, 2}, 5},  // p1 + p2
+      {{1, 2}, 4},     // p2 only
+      {{2}, 9},        // neither
+  };
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"p1", "p2", "name"}, sigs);
+  auto dep = eval::MakeEvaluator(rules::DepRule("p1", "p2"), &index);
+  RefinementSolver solver(dep.get());
+  const DecisionResult r = solver.Exists(2, Rational(1));
+  EXPECT_EQ(r.decision, Decision::kExists);
+  ASSERT_TRUE(r.refinement.has_value());
+  EXPECT_TRUE(ValidateRefinement(*dep, *r.refinement, Rational(1)).ok());
+}
+
+TEST(SolverTest, Section713SymDepThetaOneNeedsThreeSorts) {
+  const schema::SignatureIndex index = MakeDeathIndex();
+  auto symdep = eval::MakeEvaluator(
+      rules::SymDepRule("deathPlace", "deathDate"), &index);
+  SolverOptions options;
+  RefinementSolver solver(symdep.get(), options);
+
+  // k = 2 cannot reach theta = 1 on this data: the three behaviours
+  // (p1-only, p2-only, both/neither) cannot be covered by two sorts.
+  const DecisionResult k2 = solver.Exists(2, Rational(1));
+  EXPECT_EQ(k2.decision, Decision::kNotExists);
+
+  // k = 3 can: {p1 only}, {p2 only}, {both or neither} (Section 7.1.3).
+  const DecisionResult k3 = solver.Exists(3, Rational(1));
+  EXPECT_EQ(k3.decision, Decision::kExists);
+  ASSERT_TRUE(k3.refinement.has_value());
+  EXPECT_TRUE(ValidateRefinement(*symdep, *k3.refinement, Rational(1)).ok());
+}
+
+TEST(SolverTest, FindLowestKMatchesSection713) {
+  const schema::SignatureIndex index = MakeDeathIndex();
+  auto symdep = eval::MakeEvaluator(
+      rules::SymDepRule("deathPlace", "deathDate"), &index);
+  RefinementSolver solver(symdep.get());
+  auto result = solver.FindLowestK(Rational(1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->k, 3);
+  EXPECT_TRUE(result->proven_minimal);
+}
+
+TEST(SolverTest, FindHighestThetaImprovesOverWholeDataset) {
+  // Two incompatible profiles: {a} x10 and {b} x10. Together Cov = 0.5;
+  // apart both are perfect.
+  std::vector<schema::Signature> sigs = {{{0}, 10}, {{1}, 10}};
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"a", "b"}, sigs);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  RefinementSolver solver(cov.get());
+  const HighestThetaResult best = solver.FindHighestTheta(2);
+  EXPECT_EQ(best.theta, Rational(1));
+  EXPECT_EQ(best.refinement.num_sorts(), 2u);
+  EXPECT_TRUE(
+      ValidateRefinement(*cov, best.refinement, best.theta).ok());
+}
+
+TEST(SolverTest, HighestThetaWithKOneIsSigmaOfDataset) {
+  std::vector<schema::Signature> sigs = {{{0}, 3}, {{0, 1}, 1}};
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"a", "b"}, sigs);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  RefinementSolver solver(cov.get());
+  const HighestThetaResult best = solver.FindHighestTheta(1);
+  // sigma_Cov(D) = 5 ones / 8 cells = 0.625; no k=1 refinement can beat it.
+  EXPECT_EQ(best.theta, Rational(5, 8));
+  EXPECT_EQ(best.refinement.num_sorts(), 1u);
+  EXPECT_TRUE(best.ceiling_proven);
+}
+
+TEST(SolverTest, LowestKOnRandomDataValidates) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    gen::RandomIndexSpec spec;
+    spec.num_signatures = 6;
+    spec.num_properties = 4;
+    spec.seed = seed;
+    const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+    auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+    RefinementSolver solver(cov.get());
+    auto result = solver.FindLowestK(Rational(9, 10));
+    if (!result.ok()) continue;  // 0.9 may be unreachable; that's fine
+    EXPECT_TRUE(
+        ValidateRefinement(*cov, result->refinement, Rational(9, 10)).ok())
+        << "seed " << seed;
+    // Minimality: k-1 must not admit a refinement (when proven).
+    if (result->proven_minimal && result->k > 1) {
+      const DecisionResult below = solver.Exists(result->k - 1,
+                                                 Rational(9, 10));
+      EXPECT_EQ(below.decision, Decision::kNotExists) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SolverTest, GreedyFirstAndPureMipAgree) {
+  for (std::uint64_t seed = 2; seed <= 5; ++seed) {
+    gen::RandomIndexSpec spec;
+    spec.num_signatures = 5;
+    spec.num_properties = 3;
+    spec.seed = seed;
+    const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+    auto sim = eval::MakeEvaluator(rules::SimRule(), &index);
+
+    SolverOptions with_greedy;
+    with_greedy.greedy_first = true;
+    SolverOptions without_greedy;
+    without_greedy.greedy_first = false;
+
+    RefinementSolver a(sim.get(), with_greedy);
+    RefinementSolver b(sim.get(), without_greedy);
+    for (const Rational& theta :
+         {Rational(1, 2), Rational(4, 5), Rational(1)}) {
+      const Decision da = a.Exists(2, theta).decision;
+      const Decision db = b.Exists(2, theta).decision;
+      EXPECT_EQ(da, db) << "seed=" << seed << " theta=" << theta.ToString();
+    }
+  }
+}
+
+TEST(SolverTest, EmptyDatasetExistsVacuously) {
+  const schema::SignatureIndex index;
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  RefinementSolver solver(cov.get());
+  const DecisionResult r = solver.Exists(1, Rational(1));
+  EXPECT_EQ(r.decision, Decision::kExists);
+}
+
+}  // namespace
+}  // namespace rdfsr::core

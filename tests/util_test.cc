@@ -1,0 +1,214 @@
+// Unit tests for util/: Status, Result, Rational, Rng, TextTable, fits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/fit.h"
+#include "util/rational.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace rdfsr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational r(6, -8);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(9, 10), Rational(8, 9));
+  EXPECT_GE(Rational(1), Rational(99, 100));
+}
+
+TEST(RationalTest, FromDoubleHitsGridValues) {
+  EXPECT_EQ(Rational::FromDouble(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::FromDouble(0.9), Rational(9, 10));
+  EXPECT_EQ(Rational::FromDouble(0.01), Rational(1, 100));
+  EXPECT_EQ(Rational::FromDouble(1.0), Rational(1));
+  EXPECT_EQ(Rational::FromDouble(0.0), Rational(0));
+}
+
+TEST(RationalTest, FromDoubleNegativeAndRounding) {
+  EXPECT_EQ(Rational::FromDouble(-0.25), Rational(-1, 4));
+  const Rational pi = Rational::FromDouble(M_PI, 1000);
+  EXPECT_NEAR(pi.ToDouble(), M_PI, 1e-5);
+  EXPECT_LE(pi.den(), 1000);
+}
+
+TEST(RationalTest, ToStringForms) {
+  EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(Rational(7).ToString(), "7");
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TextTable t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(0.5405, 2), "0.54");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatCount(790703), "790,703");
+  EXPECT_EQ(FormatCount(-1234567), "-1,234,567");
+  EXPECT_EQ(FormatCount(12), "12");
+}
+
+TEST(FitTest, LinearRecoversLine) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitTest, PowerRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 1; x <= 32; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 2.5));
+  }
+  const PowerFit fit = FitPower(xs, ys);
+  EXPECT_NEAR(fit.b, 2.5, 1e-6);
+  EXPECT_NEAR(fit.a, 3.0, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitTest, ExponentialRecoversRate) {
+  std::vector<double> xs, ys;
+  for (double x = 0; x <= 10; ++x) {
+    xs.push_back(x);
+    ys.push_back(2.0 * std::exp(0.28 * x));
+  }
+  const ExpFit fit = FitExponential(xs, ys);
+  EXPECT_NEAR(fit.b, 0.28, 1e-6);
+  EXPECT_NEAR(fit.a, 2.0, 1e-6);
+}
+
+TEST(FitTest, SkipsNonPositivePoints) {
+  std::vector<double> xs = {0, 1, 2, 4};
+  std::vector<double> ys = {-1, 2, 4, 8};
+  const PowerFit fit = FitPower(xs, ys);  // uses (1,2),(2,4),(4,8): y = 2x
+  EXPECT_NEAR(fit.b, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rdfsr
