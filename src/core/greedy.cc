@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <numeric>
 
+#include "schema/property_set.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -60,13 +62,26 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
 
     // Greedy construction: put each signature where the resulting score
     // vector is best; opening a new (empty) slot is allowed while slots
-    // remain.
+    // remain. Slots are tried in descending support overlap with the
+    // candidate (word-packed IntersectCount against the slot's support
+    // union), so score ties resolve toward the structurally closest sort.
     std::vector<std::vector<int>> slots(k);
+    std::vector<schema::PropertySet> slot_support(
+        k, schema::PropertySet(index.num_properties()));
     for (int sig : shuffled) {
+      const schema::PropertySet& sig_props = index.signature(sig).props();
+      std::vector<int> slot_order(k);
+      std::iota(slot_order.begin(), slot_order.end(), 0);
+      std::vector<std::size_t> overlap(k);
+      for (int s = 0; s < k; ++s) {
+        overlap[s] = slot_support[s].IntersectCount(sig_props);
+      }
+      std::stable_sort(slot_order.begin(), slot_order.end(),
+                       [&](int a, int b) { return overlap[a] > overlap[b]; });
       int best_slot = -1;
       std::vector<double> best_local;
       bool tried_empty = false;
-      for (int s = 0; s < k; ++s) {
+      for (int s : slot_order) {
         if (slots[s].empty()) {
           if (tried_empty) continue;  // empty slots are interchangeable
           tried_empty = true;
@@ -80,6 +95,7 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
         }
       }
       slots[best_slot].push_back(sig);
+      slot_support[best_slot].UnionWith(sig_props);
     }
 
     // Local search: move a single signature to a different slot when that

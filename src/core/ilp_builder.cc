@@ -22,24 +22,24 @@ struct TauShape {
 TauShape AnalyzeTau(const eval::TauCount& tc,
                     const schema::SignatureIndex& index, Rational theta) {
   TauShape shape;
+  // Distinct member signatures (first-appearance order) and the union of
+  // their supports: a property is "covered" when some member signature's
+  // support word already contains it.
+  schema::PropertySet seen_sigs(index.num_signatures());
+  schema::PropertySet covered(index.num_properties());
   for (const auto& [sig, prop] : tc.tau.cells) {
-    if (std::find(shape.sigs.begin(), shape.sigs.end(), sig) ==
-        shape.sigs.end()) {
+    (void)prop;
+    if (!seen_sigs.Contains(sig)) {
+      seen_sigs.Insert(sig);
       shape.sigs.push_back(sig);
+      covered.UnionWith(index.signature(sig).props());
     }
   }
+  schema::PropertySet linked(index.num_properties());
   for (const auto& [sig, prop] : tc.tau.cells) {
     (void)sig;
-    bool covered = false;
-    for (int s : shape.sigs) {
-      if (index.Has(s, prop)) {
-        covered = true;
-        break;
-      }
-    }
-    if (!covered && std::find(shape.linked_props.begin(),
-                              shape.linked_props.end(),
-                              prop) == shape.linked_props.end()) {
+    if (!covered.Contains(prop) && !linked.Contains(prop)) {
+      linked.Insert(prop);
       shape.linked_props.push_back(prop);
     }
   }
@@ -108,11 +108,18 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
 
   // (2) X_{i,mu} <= U_{i,p} for p in supp(mu);
   // (3) U_{i,p} <= sum of supporting X.
+  // Column generation from the support words: one pass over the packed
+  // signature supports yields, per property, the ascending list of supporting
+  // signatures, instead of probing every (mu, p) pair per sort.
+  std::vector<std::vector<int>> sigs_with(num_props);
+  for (int mu = 0; mu < enc.num_signatures; ++mu) {
+    index.signature(mu).props().ForEach(
+        [&](int p) { sigs_with[p].push_back(mu); });
+  }
   for (int i = 0; i < k; ++i) {
     for (int p = 0; p < num_props; ++p) {
       std::vector<ilp::LinTerm> supporters;
-      for (int mu = 0; mu < enc.num_signatures; ++mu) {
-        if (!index.Has(mu, p)) continue;
+      for (int mu : sigs_with[p]) {
         model.AddConstraint(
             "use_lo_" + std::to_string(i) + "_" + std::to_string(mu) + "_" +
                 std::to_string(p),

@@ -123,7 +123,7 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
   {
     std::size_t support_links = 0;
     for (std::size_t mu = 0; mu < index.num_signatures(); ++mu) {
-      support_links += index.signature(mu).support.size();
+      support_links += index.signature(mu).props().Popcount();
     }
     const std::size_t rows_estimate =
         index.num_signatures() +

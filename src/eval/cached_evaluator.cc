@@ -1,8 +1,5 @@
 #include "eval/cached_evaluator.h"
 
-#include <algorithm>
-#include <cstring>
-
 #include "util/check.h"
 
 namespace rdfsr::eval {
@@ -12,13 +9,15 @@ CachedEvaluator::CachedEvaluator(const Evaluator* inner) : inner_(inner) {
 }
 
 SigmaCounts CachedEvaluator::Counts(const std::vector<int>& sig_ids) const {
-  std::vector<int> sorted = sig_ids;
-  std::sort(sorted.begin(), sorted.end());
-  std::string key;
-  key.resize(sorted.size() * sizeof(int));
-  if (!sorted.empty()) {
-    std::memcpy(key.data(), sorted.data(), key.size());
+  schema::PropertySet key(inner_->index().num_signatures());
+  for (int id : sig_ids) {
+    RDFSR_CHECK_GE(id, 0);
+    key.Insert(static_cast<std::size_t>(id));
   }
+  // Subsets are sets: a repeated id would alias a different subset's slot
+  // (the inner evaluators count per occurrence, the key per member).
+  RDFSR_CHECK_EQ(key.Popcount(), sig_ids.size())
+      << "duplicate signature id in subset";
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;

@@ -3,9 +3,13 @@
 // Refinement search evaluates the same implicit sorts over and over: the
 // greedy local search re-scores unchanged slots, the agglomerative heuristic
 // re-probes pair merges, validation re-computes the final sorts. Counts are
-// pure functions of the subset, so a lookup table keyed by the sorted member
-// ids removes the recomputation — critical for GenericEvaluator, whose
-// Counts() run the full tau enumeration on a restricted index.
+// pure functions of the subset, so a lookup table keyed by the member set
+// removes the recomputation — critical for GenericEvaluator, whose Counts()
+// run the full tau enumeration on a restricted index.
+//
+// The key is the subset packed as a PropertySet over signature ids: building
+// it is a few word writes (no sort, no heap-allocated id copies), and hashing
+// and equality run word-at-a-time.
 
 #ifndef RDFSR_EVAL_CACHED_EVALUATOR_H_
 #define RDFSR_EVAL_CACHED_EVALUATOR_H_
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "eval/evaluator.h"
+#include "schema/property_set.h"
 
 namespace rdfsr::eval {
 
@@ -36,8 +41,10 @@ class CachedEvaluator : public Evaluator {
 
  private:
   const Evaluator* inner_;
-  // Key: sorted signature ids, encoded as a string of int32s.
-  mutable std::unordered_map<std::string, SigmaCounts> cache_;
+  // Key: the subset as a word-packed set of signature ids.
+  mutable std::unordered_map<schema::PropertySet, SigmaCounts,
+                             schema::PropertySetHash>
+      cache_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
 };

@@ -15,10 +15,10 @@ SubsetStats SubsetStats::Compute(const schema::SignatureIndex& index,
     RDFSR_CHECK_LT(static_cast<std::size_t>(id), index.num_signatures());
     const schema::Signature& sig = index.signature(id);
     stats.subjects += sig.count;
-    stats.support_sum +=
-        static_cast<BigCount>(sig.count) *
-        static_cast<BigCount>(sig.support.size());
-    for (int p : sig.support) stats.property_count[p] += sig.count;
+    stats.support_sum += static_cast<BigCount>(sig.count) *
+                         static_cast<BigCount>(sig.props().Popcount());
+    sig.props().ForEach(
+        [&](int p) { stats.property_count[p] += sig.count; });
   }
   for (const BigCount& c : stats.property_count) {
     if (c > 0) ++stats.used_properties;
@@ -29,16 +29,16 @@ SubsetStats SubsetStats::Compute(const schema::SignatureIndex& index,
 BigCount SubsetStats::CountHavingAll(const schema::SignatureIndex& index,
                                      const std::vector<int>& sig_ids,
                                      const std::vector<int>& props) {
+  for (int p : props) {
+    if (p < 0) return 0;
+  }
+  const schema::PropertySet needed =
+      schema::PropertySet::FromIndices(index.num_properties(), props);
   BigCount total = 0;
   for (int id : sig_ids) {
-    bool all = true;
-    for (int p : props) {
-      if (p < 0 || !index.Has(id, p)) {
-        all = false;
-        break;
-      }
+    if (needed.IsSubsetOf(index.signature(id).props())) {
+      total += index.signature(id).count;
     }
-    if (all) total += index.signature(id).count;
   }
   return total;
 }

@@ -20,6 +20,9 @@ struct AbstractContext {
   const std::vector<int>* class_constant = nullptr;  // per class; -1 = fresh
   const std::vector<std::string>* constants = nullptr;
   const schema::SignatureIndex* index = nullptr;
+  // Per variable, the word-packed support of its assigned signature
+  // (prefetched once per enumeration; val-atoms probe these words directly).
+  const std::vector<const schema::PropertySet*>* var_support = nullptr;
 
   int VarIndex(const std::string& v) const {
     auto it = std::find(variables->begin(), variables->end(), v);
@@ -35,8 +38,8 @@ bool SatisfiesAbstract(const rules::FormulaPtr& phi,
   switch (phi->kind) {
     case FormulaKind::kValEqConst: {
       const int v = ctx.VarIndex(phi->var1);
-      const auto [sig, prop] = ctx.tau->cells[v];
-      const bool bit = ctx.index->Has(sig, prop);
+      const int prop = ctx.tau->cells[v].second;
+      const bool bit = (*ctx.var_support)[v]->Contains(prop);
       return bit == (phi->value == 1);
     }
     case FormulaKind::kSubjEqConst: {
@@ -59,9 +62,10 @@ bool SatisfiesAbstract(const rules::FormulaPtr& phi,
     case FormulaKind::kValEqVal: {
       const int a = ctx.VarIndex(phi->var1);
       const int b = ctx.VarIndex(phi->var2);
-      const auto [sa, pa] = ctx.tau->cells[a];
-      const auto [sb, pb] = ctx.tau->cells[b];
-      return ctx.index->Has(sa, pa) == ctx.index->Has(sb, pb);
+      const int pa = ctx.tau->cells[a].second;
+      const int pb = ctx.tau->cells[b].second;
+      return (*ctx.var_support)[a]->Contains(pa) ==
+             (*ctx.var_support)[b]->Contains(pb);
     }
     case FormulaKind::kSubjEqSubj: {
       const int a = ctx.VarIndex(phi->var1);
@@ -135,11 +139,14 @@ SigmaCounts EnumeratePartitions(const rules::FormulaPtr& phi1,
                                 const RoughAssignment& tau,
                                 const schema::SignatureIndex& index) {
   RDFSR_CHECK_EQ(variables.size(), tau.cells.size());
+  std::vector<const schema::PropertySet*> var_support;
+  var_support.reserve(tau.cells.size());
   for (const auto& [sig, prop] : tau.cells) {
     RDFSR_CHECK_GE(sig, 0);
     RDFSR_CHECK_LT(static_cast<std::size_t>(sig), index.num_signatures());
     RDFSR_CHECK_GE(prop, 0);
     RDFSR_CHECK_LT(static_cast<std::size_t>(prop), index.num_properties());
+    var_support.push_back(&index.signature(sig).props());
   }
 
   std::vector<std::string> constants;
@@ -178,6 +185,7 @@ SigmaCounts EnumeratePartitions(const rules::FormulaPtr& phi1,
       ctx.class_constant = &class_constant;
       ctx.constants = &constants;
       ctx.index = &index;
+      ctx.var_support = &var_support;
       if (!SatisfiesAbstract(phi1, ctx)) return;
       const BigCount ways = CountSubjectChoices(class_of, class_constant,
                                                 class_sig, constants, index);

@@ -82,10 +82,7 @@ schema::SignatureIndex GenerateRandomIndex(const RandomIndexSpec& spec) {
 
   std::vector<schema::Signature> signatures;
   for (auto& s : final_supports) {
-    schema::Signature sig;
-    sig.support = std::move(s);
-    sig.count = rng.Range(1, spec.max_count);
-    signatures.push_back(std::move(sig));
+    signatures.emplace_back(std::move(s), rng.Range(1, spec.max_count));
   }
   std::vector<std::string> names;
   for (int p = 0; p < spec.num_properties; ++p) {

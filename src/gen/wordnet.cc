@@ -79,10 +79,7 @@ schema::SignatureIndex GenerateWordnet(const WordnetConfig& config) {
   std::vector<std::string> names(kWordnetProperties, kWordnetProperties + 12);
   std::vector<schema::Signature> signatures;
   for (const auto& [support, count] : histogram) {
-    schema::Signature sig;
-    sig.support = support;
-    sig.count = count;
-    signatures.push_back(std::move(sig));
+    signatures.emplace_back(support, count);
   }
   return schema::SignatureIndex::FromSignatures(std::move(names),
                                                 std::move(signatures));

@@ -87,12 +87,11 @@ schema::SignatureIndex GenerateYagoSort(const YagoSortSpec& spec) {
   }
   std::vector<schema::Signature> signatures;
   for (int i = 0; i < n; ++i) {
-    schema::Signature sig;
-    sig.support = final_supports[i];
-    sig.count = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(
-               std::llround(raw[i] / total_raw * spec.num_subjects)));
-    signatures.push_back(std::move(sig));
+    signatures.emplace_back(
+        final_supports[i],
+        std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   std::llround(raw[i] / total_raw * spec.num_subjects))));
   }
 
   std::vector<std::string> names;

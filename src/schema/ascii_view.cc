@@ -78,7 +78,8 @@ std::string RenderRefinementView(const SignatureIndex& index,
       if (index.signature(a).count != index.signature(b).count) {
         return index.signature(a).count > index.signature(b).count;
       }
-      return index.signature(a).support < index.signature(b).support;
+      return PropertySet::CompareLex(index.signature(a).props(),
+                                     index.signature(b).props()) < 0;
     });
     const std::size_t rows = std::min(options.max_rows, sorted.size());
     for (std::size_t r = 0; r < rows; ++r) {

@@ -20,8 +20,8 @@ std::string SerializeIndex(const SignatureIndex& index) {
   out << "signatures " << index.num_signatures() << "\n";
   for (std::size_t i = 0; i < index.num_signatures(); ++i) {
     const Signature& sig = index.signature(i);
-    out << sig.count << " " << sig.support.size();
-    for (int p : sig.support) out << " " << p;
+    out << sig.count << " " << sig.props().Popcount();
+    for (int p : sig.props()) out << " " << p;
     out << "\n";
   }
   return out.str();
@@ -80,14 +80,15 @@ Result<SignatureIndex> ParseIndex(std::string_view text) {
     Result<std::string> row = next_line("signature row");
     if (!row.ok()) return row.status();
     std::istringstream ls(*row);
-    Signature sig;
+    std::int64_t count = 0;
     std::size_t support_size = 0;
-    if (!(ls >> sig.count >> support_size)) {
+    if (!(ls >> count >> support_size)) {
       return Status::ParseError("bad signature row: '" + *row + "'");
     }
-    if (sig.count <= 0) {
+    if (count <= 0) {
       return Status::ParseError("signature with non-positive count");
     }
+    std::vector<int> support;
     int prev = -1;
     for (std::size_t j = 0; j < support_size; ++j) {
       int p = -1;
@@ -99,24 +100,24 @@ Result<SignatureIndex> ParseIndex(std::string_view text) {
             "support ids must be strictly increasing property ids: '" + *row +
             "'");
       }
-      sig.support.push_back(p);
+      support.push_back(p);
       prev = p;
     }
     int extra;
     if (ls >> extra) {
       return Status::ParseError("trailing tokens in row: '" + *row + "'");
     }
-    if (sig.support.empty()) {
+    if (support.empty()) {
       return Status::ParseError("signature with empty support");
     }
-    signatures.push_back(std::move(sig));
+    signatures.emplace_back(std::move(support), count);
   }
 
   // FromSignatures re-validates (all properties used, supports sorted).
   // Catch its invariants here with a friendlier error for unused columns.
   std::vector<bool> used(num_props, false);
   for (const Signature& sig : signatures) {
-    for (int p : sig.support) used[p] = true;
+    for (int p : sig.support()) used[p] = true;
   }
   for (std::size_t p = 0; p < num_props; ++p) {
     if (!used[p]) {

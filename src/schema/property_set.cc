@@ -1,0 +1,48 @@
+#include "schema/property_set.h"
+
+namespace rdfsr::schema {
+
+int PropertySet::NextSetBit(std::size_t from) const {
+  if (from >= capacity_) return -1;
+  std::size_t w = from >> 6;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0) {
+      return static_cast<int>(w * 64 +
+                              static_cast<std::size_t>(std::countr_zero(word)));
+    }
+    if (++w == words_.size()) return -1;
+    word = words_[w];
+  }
+}
+
+int PropertySet::CompareLex(const PropertySet& a, const PropertySet& b) {
+  RDFSR_CHECK_EQ(a.capacity_, b.capacity_);
+  // Find the smallest index d where membership differs. All smaller indices
+  // agree, so the ascending index sequences share a common prefix up to d.
+  // Let B be the set containing d. B's next sequence element is d itself; A's
+  // is its smallest element > d (if any). Hence B precedes A — unless A has
+  // no element above d at all, making A a strict prefix of B, and a prefix
+  // precedes its extension.
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    const std::uint64_t diff = a.words_[w] ^ b.words_[w];
+    if (diff == 0) continue;
+    const int bit = std::countr_zero(diff);
+    const bool in_a = (a.words_[w] >> bit) & 1u;
+    const PropertySet& holder = in_a ? a : b;
+    const PropertySet& other = in_a ? b : a;
+    // Does `other` have any element above d?
+    const std::uint64_t above_mask =
+        bit == 63 ? 0 : (~std::uint64_t{0} << (bit + 1));
+    bool other_has_above = (other.words_[w] & above_mask) != 0;
+    for (std::size_t w2 = w + 1; !other_has_above && w2 < other.words_.size();
+         ++w2) {
+      other_has_above = other.words_[w2] != 0;
+    }
+    if (other_has_above) return in_a ? -1 : 1;  // holder precedes other
+    return in_a ? 1 : -1;                       // other is a strict prefix
+  }
+  return 0;
+}
+
+}  // namespace rdfsr::schema

@@ -1,0 +1,231 @@
+// Word-packed property sets: the compact representation behind the signature
+// index.
+//
+// A PropertySet is a fixed-capacity bitset over property (or signature)
+// indices, packed 64 per machine word. Subset tests, intersections, and
+// popcounts run word-at-a-time, which is what makes every evaluator and
+// refinement inner loop scale with |P|/64 instead of |P| — the paper's
+// signature index stays tiny (64 signatures for DBpedia Persons), but each
+// sigma evaluation probes supports millions of times, so the per-probe
+// constant matters.
+//
+// Sets carry their capacity; binary operations require both operands to have
+// the same capacity (enforced with CHECK). Iteration is deterministic in
+// ascending index order, and CompareLex reproduces the lexicographic order of
+// the sorted index vectors the scalar representation used, so canonical
+// orderings are unchanged.
+
+#ifndef RDFSR_SCHEMA_PROPERTY_SET_H_
+#define RDFSR_SCHEMA_PROPERTY_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rdfsr::schema {
+
+/// Fixed-capacity bitset over [0, capacity) with 64-bit word storage.
+class PropertySet {
+ public:
+  /// Empty set of capacity 0. Binary operations on it only accept other
+  /// capacity-0 sets; resize by assigning a properly-sized set.
+  PropertySet() = default;
+
+  /// Empty set over indices [0, capacity).
+  explicit PropertySet(std::size_t capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64, 0) {}
+
+  /// Set containing exactly `indices`, each in [0, capacity).
+  static PropertySet FromIndices(std::size_t capacity,
+                                 const std::vector<int>& indices) {
+    PropertySet set(capacity);
+    for (int i : indices) {
+      RDFSR_CHECK_GE(i, 0);
+      set.Insert(static_cast<std::size_t>(i));
+    }
+    return set;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool Contains(std::size_t i) const {
+    RDFSR_CHECK_LT(i, capacity_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Insert(std::size_t i) {
+    RDFSR_CHECK_LT(i, capacity_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void Erase(std::size_t i) {
+    RDFSR_CHECK_LT(i, capacity_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Number of elements.
+  std::size_t Popcount() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool Empty() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Whether every element of *this is in `o`.
+  bool IsSubsetOf(const PropertySet& o) const {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    const std::uint64_t* a = words_.data();
+    const std::uint64_t* b = o.words_.data();
+    for (std::size_t w = 0, n = words_.size(); w < n; ++w) {
+      if (a[w] & ~b[w]) return false;
+    }
+    return true;
+  }
+
+  /// Whether the two sets share any element.
+  bool Intersects(const PropertySet& o) const {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] & o.words_[w]) return true;
+    }
+    return false;
+  }
+
+  /// |*this ∩ o|.
+  std::size_t IntersectCount(const PropertySet& o) const {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    const std::uint64_t* a = words_.data();
+    const std::uint64_t* b = o.words_.data();
+    std::size_t n = 0;
+    for (std::size_t w = 0, count = words_.size(); w < count; ++w) {
+      n += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+    }
+    return n;
+  }
+
+  PropertySet& UnionWith(const PropertySet& o) {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+
+  PropertySet& IntersectWith(const PropertySet& o) {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+    return *this;
+  }
+
+  PropertySet& DifferenceWith(const PropertySet& o) {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~o.words_[w];
+    return *this;
+  }
+
+  friend PropertySet Union(PropertySet a, const PropertySet& b) {
+    a.UnionWith(b);
+    return a;
+  }
+  friend PropertySet Intersect(PropertySet a, const PropertySet& b) {
+    a.IntersectWith(b);
+    return a;
+  }
+  friend PropertySet Difference(PropertySet a, const PropertySet& b) {
+    a.DifferenceWith(b);
+    return a;
+  }
+
+  bool operator==(const PropertySet& o) const {
+    return capacity_ == o.capacity_ && words_ == o.words_;
+  }
+  bool operator!=(const PropertySet& o) const { return !(*this == o); }
+
+  /// Three-way comparison matching lexicographic order of the ascending index
+  /// sequences (the order the scalar `std::vector<int>` supports sorted by):
+  /// returns <0 when a precedes b, 0 when equal, >0 otherwise.
+  static int CompareLex(const PropertySet& a, const PropertySet& b);
+
+  /// Smallest element >= `from`, or -1 when none.
+  int NextSetBit(std::size_t from) const;
+
+  /// Calls fn(int index) for each element in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<int>(w * 64 + static_cast<std::size_t>(bit)));
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// Elements as a sorted ascending vector (the scalar support view).
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(Popcount());
+    ForEach([&](int i) { out.push_back(i); });
+    return out;
+  }
+
+  /// 64-bit mix of the words; stable within a process run, suitable for
+  /// unordered containers.
+  std::size_t Hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ capacity_;
+    for (std::uint64_t w : words_) {
+      h = (h ^ w) * 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  /// Read-only access to the packed words (benchmarks, serialization).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Forward iterator over elements in ascending order (enables range-for).
+  class const_iterator {
+   public:
+    using value_type = int;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const PropertySet* set, int pos) : set_(set), pos_(pos) {}
+    int operator*() const { return pos_; }
+    const_iterator& operator++() {
+      // Incrementing end() stays at end() (pos_ == -1) instead of wrapping.
+      if (pos_ >= 0) {
+        pos_ = set_->NextSetBit(static_cast<std::size_t>(pos_) + 1);
+      }
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    const PropertySet* set_;
+    int pos_;  // -1 == end
+  };
+
+  const_iterator begin() const { return const_iterator(this, NextSetBit(0)); }
+  const_iterator end() const { return const_iterator(this, -1); }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hash functor for unordered containers keyed by PropertySet.
+struct PropertySetHash {
+  std::size_t operator()(const PropertySet& s) const { return s.Hash(); }
+};
+
+}  // namespace rdfsr::schema
+
+#endif  // RDFSR_SCHEMA_PROPERTY_SET_H_

@@ -1,9 +1,28 @@
 #include "schema/signature_index.h"
 
 #include <algorithm>
-#include <map>
 
 namespace rdfsr::schema {
+
+void Signature::Pack(std::size_t num_properties) {
+  if (packed_) {
+    RDFSR_CHECK_EQ(props_.capacity(), num_properties)
+        << "signature packed with wrong property count";
+    return;
+  }
+  PropertySet props(num_properties);
+  int prev = -1;
+  for (int p : pending_support_) {
+    RDFSR_CHECK_GT(p, prev) << "support ids must be strictly increasing";
+    RDFSR_CHECK_LT(static_cast<std::size_t>(p), num_properties);
+    props.Insert(static_cast<std::size_t>(p));
+    prev = p;
+  }
+  props_ = std::move(props);
+  packed_ = true;
+  pending_support_.clear();
+  pending_support_.shrink_to_fit();
+}
 
 SignatureIndex SignatureIndex::FromMatrix(const PropertyMatrix& matrix,
                                           bool keep_subject_names) {
@@ -11,22 +30,22 @@ SignatureIndex SignatureIndex::FromMatrix(const PropertyMatrix& matrix,
   for (std::size_t p = 0; p < matrix.num_properties(); ++p) {
     index.property_names_.push_back(matrix.property_name(p));
   }
+  const std::size_t num_props = matrix.num_properties();
 
-  // Group subjects by support vector.
-  std::map<std::vector<int>, std::vector<std::size_t>> groups;
+  // Group subjects by packed support row.
+  std::unordered_map<PropertySet, std::vector<std::size_t>, PropertySetHash>
+      groups;
   for (std::size_t s = 0; s < matrix.num_subjects(); ++s) {
-    std::vector<int> support;
-    for (std::size_t p = 0; p < matrix.num_properties(); ++p) {
-      if (matrix.At(s, p)) support.push_back(static_cast<int>(p));
+    PropertySet row(num_props);
+    for (std::size_t p = 0; p < num_props; ++p) {
+      if (matrix.At(s, p)) row.Insert(p);
     }
-    groups[support].push_back(s);
+    groups[std::move(row)].push_back(s);
   }
 
-  for (auto& [support, members] : groups) {
-    Signature sig;
-    sig.support = support;
-    sig.count = static_cast<std::int64_t>(members.size());
-    index.signatures_.push_back(std::move(sig));
+  for (auto& [row, members] : groups) {
+    index.signatures_.emplace_back(row,
+                                   static_cast<std::int64_t>(members.size()));
     std::vector<std::string> names;
     if (keep_subject_names) {
       for (std::size_t s : members) names.push_back(matrix.subject_name(s));
@@ -42,28 +61,19 @@ SignatureIndex SignatureIndex::FromSignatures(
   SignatureIndex index;
   index.property_names_ = std::move(property_names);
   index.signatures_ = std::move(signatures);
-  for (const Signature& sig : index.signatures_) {
-    RDFSR_CHECK_GT(sig.count, 0) << "empty signature set";
-    for (std::size_t j = 0; j < sig.support.size(); ++j) {
-      RDFSR_CHECK_GE(sig.support[j], 0);
-      RDFSR_CHECK_LT(static_cast<std::size_t>(sig.support[j]),
-                     index.property_names_.size());
-      if (j > 0) {
-        RDFSR_CHECK_LT(sig.support[j - 1], sig.support[j]);
-      }
-    }
-  }
   // A valid dataset view has no unused columns (P(D) only contains properties
   // mentioned by some triple) and no empty supports (every subject in S(D)
   // appears in a triple, hence has at least one property).
-  std::vector<bool> used(index.property_names_.size(), false);
-  for (const Signature& sig : index.signatures_) {
-    RDFSR_CHECK(!sig.support.empty()) << "signature with empty support";
-    for (int p : sig.support) used[p] = true;
+  PropertySet used(index.property_names_.size());
+  for (Signature& sig : index.signatures_) {
+    RDFSR_CHECK_GT(sig.count, 0) << "empty signature set";
+    sig.Pack(index.property_names_.size());
+    RDFSR_CHECK(!sig.props().Empty()) << "signature with empty support";
+    used.UnionWith(sig.props());
   }
-  for (std::size_t p = 0; p < used.size(); ++p) {
-    RDFSR_CHECK(used[p]) << "property '" << index.property_names_[p]
-                         << "' unused by every signature";
+  for (std::size_t p = 0; p < index.property_names_.size(); ++p) {
+    RDFSR_CHECK(used.Contains(p)) << "property '" << index.property_names_[p]
+                                  << "' unused by every signature";
   }
   index.subject_names_.resize(index.signatures_.size());
   index.Canonicalize();
@@ -77,7 +87,8 @@ void SignatureIndex::Canonicalize() {
     if (signatures_[a].count != signatures_[b].count) {
       return signatures_[a].count > signatures_[b].count;
     }
-    return signatures_[a].support < signatures_[b].support;
+    return PropertySet::CompareLex(signatures_[a].props(),
+                                   signatures_[b].props()) < 0;
   });
 
   std::vector<Signature> sigs;
@@ -99,16 +110,6 @@ void SignatureIndex::Canonicalize() {
       subject_signature_.emplace(name, static_cast<int>(i));
     }
   }
-  RebuildFlags();
-}
-
-void SignatureIndex::RebuildFlags() {
-  has_.assign(signatures_.size() * property_names_.size(), 0);
-  for (std::size_t i = 0; i < signatures_.size(); ++i) {
-    for (int p : signatures_[i].support) {
-      has_[i * property_names_.size() + p] = 1;
-    }
-  }
 }
 
 int SignatureIndex::FindProperty(const std::string& name) const {
@@ -121,8 +122,8 @@ int SignatureIndex::FindProperty(const std::string& name) const {
 std::int64_t SignatureIndex::PropertyCount(std::size_t prop) const {
   RDFSR_CHECK_LT(prop, property_names_.size());
   std::int64_t total = 0;
-  for (std::size_t i = 0; i < signatures_.size(); ++i) {
-    if (Has(i, prop)) total += signatures_[i].count;
+  for (const Signature& sig : signatures_) {
+    if (sig.props().Contains(prop)) total += sig.count;
   }
   return total;
 }
@@ -145,30 +146,33 @@ std::int64_t SignatureIndex::CountNamedSubjects(
   return total;
 }
 
-SignatureIndex SignatureIndex::Restrict(const std::vector<int>& sig_ids,
-                                        std::vector<int>* kept_props) const {
-  // Union of member supports defines the retained columns P(D_i).
-  std::vector<std::uint8_t> used(property_names_.size(), 0);
+PropertySet SignatureIndex::SupportUnion(const std::vector<int>& sig_ids) const {
+  PropertySet used(property_names_.size());
   for (int id : sig_ids) {
     RDFSR_CHECK_GE(id, 0);
     RDFSR_CHECK_LT(static_cast<std::size_t>(id), signatures_.size());
-    for (int p : signatures_[id].support) used[p] = 1;
+    used.UnionWith(signatures_[id].props());
   }
+  return used;
+}
+
+SignatureIndex SignatureIndex::Restrict(const std::vector<int>& sig_ids,
+                                        std::vector<int>* kept_props) const {
+  // Union of member supports defines the retained columns P(D_i).
+  const PropertySet used = SupportUnion(sig_ids);
   std::vector<int> prop_map(property_names_.size(), -1);
   SignatureIndex sub;
-  for (std::size_t p = 0; p < property_names_.size(); ++p) {
-    if (used[p]) {
-      prop_map[p] = static_cast<int>(sub.property_names_.size());
-      sub.property_names_.push_back(property_names_[p]);
-      if (kept_props != nullptr) kept_props->push_back(static_cast<int>(p));
-    }
-  }
+  used.ForEach([&](int p) {
+    prop_map[p] = static_cast<int>(sub.property_names_.size());
+    sub.property_names_.push_back(property_names_[p]);
+    if (kept_props != nullptr) kept_props->push_back(p);
+  });
+  const std::size_t sub_props = sub.property_names_.size();
   for (int id : sig_ids) {
-    Signature sig;
-    sig.count = signatures_[id].count;
-    for (int p : signatures_[id].support) sig.support.push_back(prop_map[p]);
-    std::sort(sig.support.begin(), sig.support.end());
-    sub.signatures_.push_back(std::move(sig));
+    PropertySet remapped(sub_props);
+    signatures_[id].props().ForEach(
+        [&](int p) { remapped.Insert(static_cast<std::size_t>(prop_map[p])); });
+    sub.signatures_.emplace_back(std::move(remapped), signatures_[id].count);
     sub.subject_names_.push_back(subject_names_[id]);
   }
   sub.Canonicalize();
@@ -180,7 +184,7 @@ PropertyMatrix SignatureIndex::ToMatrix() const {
   std::vector<std::string> subject_names;
   for (std::size_t i = 0; i < signatures_.size(); ++i) {
     std::vector<int> row(property_names_.size(), 0);
-    for (int p : signatures_[i].support) row[p] = 1;
+    signatures_[i].props().ForEach([&](int p) { row[p] = 1; });
     for (std::int64_t j = 0; j < signatures_[i].count; ++j) {
       rows.push_back(row);
       if (!subject_names_[i].empty()) {

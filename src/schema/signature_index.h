@@ -3,10 +3,12 @@
 //
 // The signature of a subject s is the function sig(s,D): P(D) -> {0,1} marking
 // which properties s has; a signature set is the group of subjects sharing a
-// signature. The SignatureIndex stores, per signature: its support (property
-// set) and its size (subject count). This is the size reduction that makes the
-// ILP practical: DBpedia Persons collapses from 790,703 subjects to 64
-// signatures ("3 KB of storage" in the paper).
+// signature. The SignatureIndex stores, per signature: its support as a
+// word-packed PropertySet and its size (subject count). This is the size
+// reduction that makes the ILP practical: DBpedia Persons collapses from
+// 790,703 subjects to 64 signatures ("3 KB of storage" in the paper) — and
+// word-packing the supports makes every probe of that index (subset tests,
+// overlap counts, membership) a handful of 64-bit operations.
 //
 // Subjects with equal signatures are structurally identical, so every
 // computation in eval/ and core/ is defined on this index; signature sets are
@@ -18,18 +20,72 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "schema/property_matrix.h"
+#include "schema/property_set.h"
 #include "util/check.h"
 
 namespace rdfsr::schema {
 
-/// One signature set: a property support plus the number of subjects sharing it.
-struct Signature {
-  std::vector<int> support;  ///< Sorted property indices with value 1.
-  std::int64_t count = 0;    ///< Size of the signature set (# subjects).
+/// One signature set: a word-packed property support plus the number of
+/// subjects sharing it.
+///
+/// Constructible either from a packed PropertySet (index-internal paths) or
+/// from a sorted index vector (generators, parsers, tests); in the latter case
+/// the words are packed by the index builder once the property count is known.
+/// The scalar sorted-index view remains available through support(), derived
+/// lazily from the words.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// From an already-packed support. Templated so that only an actual
+  /// PropertySet binds here — a braced index list like {{0}, 2} must not be
+  /// ambiguous against PropertySet's explicit capacity constructor.
+  template <typename PS,
+            typename = std::enable_if_t<
+                std::is_same_v<std::remove_cvref_t<PS>, PropertySet>>>
+  Signature(PS&& props, std::int64_t count)
+      : count(count), props_(std::forward<PS>(props)), packed_(true) {}
+
+  /// From a strictly-increasing vector of property indices. The capacity of
+  /// the packed words is fixed later by SignatureIndex::FromSignatures (which
+  /// knows the property count).
+  Signature(std::vector<int> support, std::int64_t count)
+      : count(count), pending_support_(std::move(support)) {}
+
+  std::int64_t count = 0;  ///< Size of the signature set (# subjects).
+
+  /// Word-packed support. Only valid once owned by a SignatureIndex (or
+  /// constructed from a PropertySet directly).
+  const PropertySet& props() const {
+    RDFSR_CHECK(packed_) << "signature support not packed yet";
+    return props_;
+  }
+
+  /// Sorted ascending property indices — the scalar view, derived on demand
+  /// from the packed words (or the pending construction input). Returned by
+  /// value: the words are the single source of truth, and deriving per call
+  /// keeps const reads of a shared index race-free.
+  std::vector<int> support() const {
+    return packed_ ? props_.ToVector() : pending_support_;
+  }
+
+ private:
+  friend class SignatureIndex;
+
+  /// Packs the pending index vector into words of the given capacity,
+  /// validating bounds and strict monotonicity. No-op when already packed
+  /// with matching capacity.
+  void Pack(std::size_t num_properties);
+
+  PropertySet props_;
+  bool packed_ = false;
+  std::vector<int> pending_support_;  // construction input until packed
 };
 
 /// Compact, deterministic view of a dataset: properties, signature sets, and
@@ -70,11 +126,10 @@ class SignatureIndex {
   /// Index of a property by name, or -1 when absent.
   int FindProperty(const std::string& name) const;
 
-  /// Whether signature i has property p.
+  /// Whether signature i has property p — a single word probe.
   bool Has(std::size_t sig, std::size_t prop) const {
     RDFSR_CHECK_LT(sig, signatures_.size());
-    RDFSR_CHECK_LT(prop, property_names_.size());
-    return has_[sig * property_names_.size() + prop] != 0;
+    return signatures_[sig].props().Contains(prop);
   }
 
   /// Total subjects Σ_μ |S_μ|.
@@ -95,9 +150,13 @@ class SignatureIndex {
   /// Restriction of the index to a subset of signatures (an implicit sort).
   /// Properties not supported by any member signature are dropped, mirroring
   /// P(D_i) of the sub-dataset; `kept_props`, if non-null, receives the global
-  /// property index of each retained column.
+  /// property index of each retained column. The retained-column union and the
+  /// per-member remapping run on the packed words.
   SignatureIndex Restrict(const std::vector<int>& sig_ids,
                           std::vector<int>* kept_props = nullptr) const;
+
+  /// Union of the supports of the given signatures (P(D_i) as a word set).
+  PropertySet SupportUnion(const std::vector<int>& sig_ids) const;
 
   /// Expands the index back to an explicit matrix with synthesized subject
   /// names ("sig<i>_<j>") when names were not kept. For tests and rendering.
@@ -105,11 +164,9 @@ class SignatureIndex {
 
  private:
   void Canonicalize();
-  void RebuildFlags();
 
   std::vector<std::string> property_names_;
   std::vector<Signature> signatures_;
-  std::vector<std::uint8_t> has_;  // num_signatures x num_properties
   std::int64_t total_subjects_ = 0;
   // subject name -> signature id (optional; empty when not kept).
   std::unordered_map<std::string, int> subject_signature_;

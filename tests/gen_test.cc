@@ -76,7 +76,7 @@ TEST(PersonsTest, DeterministicBySeed) {
   ASSERT_EQ(a.num_signatures(), b.num_signatures());
   for (std::size_t i = 0; i < a.num_signatures(); ++i) {
     EXPECT_EQ(a.signature(i).count, b.signature(i).count);
-    EXPECT_EQ(a.signature(i).support, b.signature(i).support);
+    EXPECT_EQ(a.signature(i).support(), b.signature(i).support());
   }
 }
 
@@ -154,7 +154,7 @@ TEST(YagoTest, RespectsSpec) {
   // All supports distinct (FromSignatures would not enforce this).
   std::set<std::vector<int>> seen;
   for (std::size_t i = 0; i < index.num_signatures(); ++i) {
-    EXPECT_TRUE(seen.insert(index.signature(i).support).second);
+    EXPECT_TRUE(seen.insert(index.signature(i).support()).second);
   }
 }
 

@@ -20,7 +20,7 @@ void ExpectSameIndex(const SignatureIndex& a, const SignatureIndex& b) {
   ASSERT_EQ(a.num_signatures(), b.num_signatures());
   for (std::size_t i = 0; i < a.num_signatures(); ++i) {
     EXPECT_EQ(a.signature(i).count, b.signature(i).count);
-    EXPECT_EQ(a.signature(i).support, b.signature(i).support);
+    EXPECT_EQ(a.signature(i).support(), b.signature(i).support());
   }
 }
 

@@ -140,7 +140,7 @@ TEST(SignatureIndexTest, ToMatrixRoundTripsCounts) {
   ASSERT_EQ(again.num_signatures(), index.num_signatures());
   for (std::size_t i = 0; i < index.num_signatures(); ++i) {
     EXPECT_EQ(again.signature(i).count, index.signature(i).count);
-    EXPECT_EQ(again.signature(i).support, index.signature(i).support);
+    EXPECT_EQ(again.signature(i).support(), index.signature(i).support());
   }
 }
 
@@ -153,7 +153,7 @@ TEST(SignatureIndexTest, CanonicalOrderIsDeterministic) {
   const SignatureIndex b = SignatureIndex::FromSignatures({"x", "y"}, sigs2);
   ASSERT_EQ(a.num_signatures(), b.num_signatures());
   for (std::size_t i = 0; i < a.num_signatures(); ++i) {
-    EXPECT_EQ(a.signature(i).support, b.signature(i).support);
+    EXPECT_EQ(a.signature(i).support(), b.signature(i).support());
     EXPECT_EQ(a.signature(i).count, b.signature(i).count);
   }
 }
