@@ -51,8 +51,9 @@ std::vector<Variant> Variants() {
 }  // namespace
 }  // namespace rdfsr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "ablation");
   bench::Banner("Ablation: encoding variants on a DBpedia-Persons instance",
                 "DESIGN.md optimizations; all variants must agree on the "
                 "decision");
@@ -80,6 +81,13 @@ int main() {
       ilp::MipOptions mip;
       mip.time_limit_seconds = 20.0;
       const ilp::MipResult result = ilp::SolveMip(enc.model, mip);
+      bench::Json().Record(
+          "mip_variant",
+          {{"variant", variant.name}, {"theta", theta.ToString()}},
+          timer.Seconds(),
+          {{"rows", static_cast<double>(enc.model.num_constraints())},
+           {"cols", static_cast<double>(enc.model.num_variables())},
+           {"nodes", static_cast<double>(result.nodes)}});
       table.AddRow({variant.name, std::to_string(enc.model.num_constraints()),
                     std::to_string(enc.model.num_variables()),
                     ilp::MipStatusName(result.status),
@@ -98,6 +106,10 @@ int main() {
     core::RefinementSolver solver(cov.get(), options);
     WallTimer timer;
     const core::HighestThetaResult best = solver.FindHighestTheta(2);
+    bench::Json().Record(
+        "highest_theta",
+        {{"mode", greedy_first ? "greedy-first" : "pure-mip"}, {"k", "2"}},
+        timer.Seconds(), {{"theta", best.theta.ToDouble()}});
     table.AddRow({greedy_first ? "greedy-first" : "pure MIP",
                   FormatDouble(best.theta.ToDouble()),
                   FormatDouble(timer.Seconds(), 2)});
@@ -116,6 +128,12 @@ int main() {
     core::RefinementSolver solver(cov.get(), options);
     WallTimer timer;
     const core::HighestThetaResult best = solver.FindHighestTheta(2);
+    bench::Json().Record(
+        "theta_search",
+        {{"strategy", binary ? "bisection" : "sequential"}, {"k", "2"}},
+        timer.Seconds(),
+        {{"theta", best.theta.ToDouble()},
+         {"instances", static_cast<double>(best.instances)}});
     search_table.AddRow({binary ? "bisection" : "sequential (paper)",
                          FormatDouble(best.theta.ToDouble()),
                          std::to_string(best.instances),

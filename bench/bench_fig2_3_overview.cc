@@ -9,6 +9,7 @@
 #include "gen/persons.h"
 #include "gen/wordnet.h"
 #include "schema/ascii_view.h"
+#include "util/timer.h"
 
 namespace rdfsr {
 namespace {
@@ -18,12 +19,21 @@ void Overview(const std::string& name, const schema::SignatureIndex& index,
   std::cout << "\n--- " << name << " ---\n";
   std::cout << "paper:    " << paper_line << "\n";
   const std::vector<int> all = eval::AllSignatures(index);
+  WallTimer timer;
+  const double sigma_cov = eval::CovCounts(index, all).Value();
+  const double sigma_sim = eval::SimCounts(index, all).Value();
+  bench::Json().Record(
+      "overview", {{"dataset", name}}, timer.Seconds(),
+      {{"subjects", static_cast<double>(index.total_subjects())},
+       {"properties", static_cast<double>(index.num_properties())},
+       {"signatures", static_cast<double>(index.num_signatures())},
+       {"sigma_cov", sigma_cov},
+       {"sigma_sim", sigma_sim}});
   std::cout << "measured: " << FormatCount(index.total_subjects())
             << " subjects, " << index.num_properties() << " properties, "
             << index.num_signatures() << " signatures, sigma_Cov = "
-            << FormatDouble(eval::CovCounts(index, all).Value())
-            << ", sigma_Sim = "
-            << FormatDouble(eval::SimCounts(index, all).Value()) << "\n\n";
+            << FormatDouble(sigma_cov) << ", sigma_Sim = "
+            << FormatDouble(sigma_sim) << "\n\n";
   schema::AsciiViewOptions options;
   options.max_rows = 16;
   options.show_property_header = false;
@@ -33,8 +43,9 @@ void Overview(const std::string& name, const schema::SignatureIndex& index,
 }  // namespace
 }  // namespace rdfsr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "fig2_3_overview");
   bench::Banner("Figures 2 and 3: dataset overviews",
                 "DBpedia Persons: 790,703 subj / 8 props / 64 sigs / "
                 "Cov 0.54 / Sim 0.77; WordNet Nouns: 79,689 subj / 12 props "

@@ -22,6 +22,11 @@ void RunCase(const char* label, const char* paper_line,
   core::RefinementSolver solver(evaluator.get(),
                                 bench::BenchSolverOptions());
   const core::HighestThetaResult best = solver.FindHighestTheta(2);
+  bench::Json().Record(
+      "highest_theta", {{"case", label}, {"k", "2"}}, best.seconds,
+      {{"theta", best.theta.ToDouble()},
+       {"instances", static_cast<double>(best.instances)},
+       {"ceiling_proven", best.ceiling_proven ? 1.0 : 0.0}});
   std::cout << "measured: theta = " << FormatDouble(best.theta.ToDouble())
             << " (" << best.instances << " decision instances"
             << (best.ceiling_proven ? ", ceiling proven" : ", ceiling open")
@@ -49,8 +54,9 @@ void RunCase(const char* label, const char* paper_line,
 }  // namespace
 }  // namespace rdfsr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "fig4_dbpedia_k2");
   bench::Banner("Figure 4: DBpedia Persons, k = 2 highest-theta refinements",
                 "Fig 4a/4b/4c of Section 7.1.1");
   const schema::SignatureIndex index = gen::GeneratePersons();

@@ -25,6 +25,12 @@ void RunCase(const char* label, const char* paper_line, Rational theta,
     std::cout << "measured: " << result.status().ToString() << "\n";
     return;
   }
+  bench::Json().Record(
+      "lowest_k", {{"case", label}, {"theta", theta.ToString()}},
+      result->seconds,
+      {{"k", static_cast<double>(result->k)},
+       {"instances", static_cast<double>(result->instances)},
+       {"proven_minimal", result->proven_minimal ? 1.0 : 0.0}});
   std::cout << "measured: lowest k = " << result->k
             << (result->proven_minimal ? " (proven minimal)"
                                        : " (smaller k not excluded)")
@@ -46,8 +52,9 @@ void RunCase(const char* label, const char* paper_line, Rational theta,
 }  // namespace
 }  // namespace rdfsr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "fig7_wordnet_lowestk");
   bench::Banner("Figure 7: WordNet Nouns, lowest k for fixed theta",
                 "Fig 7a (Cov theta=0.9: k = 31 — resists refinement), "
                 "Fig 7b (Sim theta=0.98: k = 4, dominant signatures "

@@ -31,8 +31,9 @@ double TimeHighestTheta(const schema::SignatureIndex& index) {
 }  // namespace
 }  // namespace rdfsr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "fig8_scalability");
   bench::Banner("Figure 8: scalability on synthetic YAGO sorts",
                 "runtime ~ s^2.53 in signatures (R2 0.72); ~ e^{0.28 p} in "
                 "properties (R2 0.61); independent of subject count");
@@ -50,12 +51,18 @@ int main() {
     spec.seed = 1000 + sigs;
     const schema::SignatureIndex index = gen::GenerateYagoSort(spec);
     const double ms = TimeHighestTheta(index);
+    bench::Json().Record("highest_theta_k2",
+                         {{"axis", "signatures"},
+                          {"signatures", std::to_string(sigs)}},
+                         ms / 1e3);
     sig_table.AddRow({std::to_string(sigs), FormatDouble(ms, 1)});
     sig_x.push_back(sigs);
     sig_y.push_back(ms);
   }
   std::cout << sig_table.ToString();
   const PowerFit power = FitPower(sig_x, sig_y);
+  bench::Json().Record("fit", {{"axis", "signatures"}, {"form", "power"}}, 0.0,
+                       {{"exponent", power.b}, {"r2", power.r2}});
   std::cout << "best power fit: runtime ~ " << FormatDouble(power.a, 3)
             << " * s^" << FormatDouble(power.b, 2)
             << " (R2 = " << FormatDouble(power.r2, 2)
@@ -74,12 +81,18 @@ int main() {
     spec.seed = 2000 + props;
     const schema::SignatureIndex index = gen::GenerateYagoSort(spec);
     const double ms = TimeHighestTheta(index);
+    bench::Json().Record("highest_theta_k2",
+                         {{"axis", "properties"},
+                          {"properties", std::to_string(props)}},
+                         ms / 1e3);
     prop_table.AddRow({std::to_string(props), FormatDouble(ms, 1)});
     prop_x.push_back(props);
     prop_y.push_back(ms);
   }
   std::cout << prop_table.ToString();
   const ExpFit exp_fit = FitExponential(prop_x, prop_y);
+  bench::Json().Record("fit", {{"axis", "properties"}, {"form", "exp"}}, 0.0,
+                       {{"exponent", exp_fit.b}, {"r2", exp_fit.r2}});
   std::cout << "best exponential fit: runtime ~ " << FormatDouble(exp_fit.a, 3)
             << " * e^(" << FormatDouble(exp_fit.b, 3)
             << " p) (R2 = " << FormatDouble(exp_fit.r2, 2)
@@ -98,12 +111,18 @@ int main() {
     spec.seed = 3000;  // same structure seed: same supports, scaled sizes
     const schema::SignatureIndex index = gen::GenerateYagoSort(spec);
     const double ms = TimeHighestTheta(index);
+    bench::Json().Record("highest_theta_k2",
+                         {{"axis", "subjects"},
+                          {"subjects", std::to_string(subjects)}},
+                         ms / 1e3);
     subj_table.AddRow({FormatCount(subjects), FormatDouble(ms, 1)});
     subj_x.push_back(static_cast<double>(subjects));
     subj_y.push_back(ms);
   }
   std::cout << subj_table.ToString();
   const PowerFit subj_fit = FitPower(subj_x, subj_y);
+  bench::Json().Record("fit", {{"axis", "subjects"}, {"form", "power"}}, 0.0,
+                       {{"exponent", subj_fit.b}, {"r2", subj_fit.r2}});
   std::cout << "power fit exponent vs subjects: " << FormatDouble(subj_fit.b, 2)
             << " (paper: runtime independent of subject count; expect ~0)\n";
   return 0;

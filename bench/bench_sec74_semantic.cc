@@ -85,8 +85,9 @@ void Report(const char* label, const Metrics& m, const char* paper_line) {
 }  // namespace
 }  // namespace rdfsr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "sec74_semantic");
   bench::Banner("Section 7.4: recovering Drug Companies vs Sultans",
                 "plain Cov: acc 74.6% / prec 61.4% / rec 100%; modified Cov "
                 "(ignore RDF plumbing): acc 82.1% / prec 69.2% / rec 100%");
@@ -100,7 +101,14 @@ int main() {
     auto cov = eval::ClosedFormEvaluator::Cov(&dataset.index);
     core::RefinementSolver solver(cov.get(), bench::BenchSolverOptions());
     const core::HighestThetaResult best = solver.FindHighestTheta(2);
-    Report("plain Cov", Evaluate(dataset, best.refinement),
+    const Metrics m = Evaluate(dataset, best.refinement);
+    bench::Json().Record("classify", {{"rule", "cov"}, {"k", "2"}},
+                         best.seconds,
+                         {{"theta", best.theta.ToDouble()},
+                          {"accuracy", m.Accuracy()},
+                          {"precision", m.Precision()},
+                          {"recall", m.Recall()}});
+    Report("plain Cov", m,
            "confusion 27/17 | 0/23; acc 74.6% prec 61.4% rec 100%");
   }
   {
@@ -108,8 +116,14 @@ int main() {
         &dataset.index, dataset.plumbing_properties);
     core::RefinementSolver solver(modified.get(), bench::BenchSolverOptions());
     const core::HighestThetaResult best = solver.FindHighestTheta(2);
-    Report("modified Cov (ignoring type/sameAs/subClassOf/label)",
-           Evaluate(dataset, best.refinement),
+    const Metrics m = Evaluate(dataset, best.refinement);
+    bench::Json().Record("classify", {{"rule", "cov-ignoring"}, {"k", "2"}},
+                         best.seconds,
+                         {{"theta", best.theta.ToDouble()},
+                          {"accuracy", m.Accuracy()},
+                          {"precision", m.Precision()},
+                          {"recall", m.Recall()}});
+    Report("modified Cov (ignoring type/sameAs/subClassOf/label)", m,
            "acc 82.1% prec 69.2% rec 100%");
   }
   return 0;

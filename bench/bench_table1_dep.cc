@@ -8,9 +8,11 @@
 #include "bench_util.h"
 #include "eval/closed_form.h"
 #include "gen/persons.h"
+#include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "table1_dep");
   bench::Banner("Table 1: sigma_Dep on DBpedia Persons",
                 "deathPlace row: 1.0 / .93 / .82 / .77; birthPlace row: "
                 ".26 / 1.0 / .27 / .75; deathDate row: .43 / .50 / 1.0 / "
@@ -31,8 +33,12 @@ int main() {
   for (int i = 0; i < 4; ++i) {
     std::vector<std::string> row = {props[i]};
     for (int j = 0; j < 4; ++j) {
+      WallTimer timer;
       const double value =
           eval::DepCounts(index, all, props[i], props[j]).Value();
+      bench::Json().Record(
+          "dep", {{"p1", props[i]}, {"p2", props[j]}}, timer.Seconds(),
+          {{"sigma", value}, {"paper", paper[i][j]}});
       row.push_back(FormatDouble(value) + " (paper " +
                     FormatDouble(paper[i][j]) + ")");
     }

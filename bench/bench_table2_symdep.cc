@@ -9,9 +9,11 @@
 #include "bench_util.h"
 #include "eval/closed_form.h"
 #include "gen/persons.h"
+#include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
+  bench::InitHarness(argc, argv, "table2_symdep");
   bench::Banner(
       "Table 2: sigma_SymDep ranking on DBpedia Persons",
       "top: (givenName,surName) 1.0, (name,givenName) .95, (name,surName) "
@@ -29,6 +31,7 @@ int main() {
     double value;
   };
   std::vector<Entry> entries;
+  WallTimer ranking_timer;
   for (std::size_t i = 0; i < index.num_properties(); ++i) {
     for (std::size_t j = i + 1; j < index.num_properties(); ++j) {
       Entry e;
@@ -40,6 +43,13 @@ int main() {
   }
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.value > b.value; });
+  bench::Json().Record(
+      "symdep_ranking",
+      {{"subjects", std::to_string(config.num_subjects)}},
+      ranking_timer.Seconds(),
+      {{"pairs", static_cast<double>(entries.size())},
+       {"top_sigma", entries.front().value},
+       {"bottom_sigma", entries.back().value}});
 
   TextTable table({"rank", "p1", "p2", "sigma_SymDep"});
   for (std::size_t i = 0; i < entries.size(); ++i) {

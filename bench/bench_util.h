@@ -3,12 +3,27 @@
 // Each bench binary regenerates one table or figure from Section 7 of the
 // paper on the calibrated synthetic datasets, printing the paper's reported
 // numbers next to ours. See EXPERIMENTS.md for the collected results.
+//
+// Every harness binary also accepts `--json <path>`: measurements are then
+// appended as machine-readable records (a JSON array of
+// {"bench", "name", "params", "seconds", "metrics"} objects) for the perf
+// trajectory. Call InitHarness() first thing in main() and Json().Record()
+// after each timed section.
 
 #ifndef RDFSR_BENCH_BENCH_UTIL_H_
 #define RDFSR_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/refinement.h"
 #include "core/solver.h"
@@ -16,6 +31,116 @@
 #include "util/table.h"
 
 namespace rdfsr::bench {
+
+/// Collects measurement records and mirrors them to a JSON file. The file is
+/// rewritten after every Record() so that even an aborted run leaves a valid
+/// JSON array behind.
+class JsonRecorder {
+ public:
+  /// Starts recording to `path`; `bench` tags every record with the binary's
+  /// short name.
+  void Open(std::string path, std::string bench) {
+    path_ = std::move(path);
+    bench_ = std::move(bench);
+    Rewrite();
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Appends one record. `params` describe the configuration measured (string
+  /// values), `seconds` the wall time of the section, `metrics` its numeric
+  /// results.
+  void Record(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& params,
+      double seconds,
+      const std::vector<std::pair<std::string, double>>& metrics = {}) {
+    if (!enabled()) return;
+    std::ostringstream row;
+    row << "{\"bench\": " << Quote(bench_) << ", \"name\": " << Quote(name)
+        << ", \"params\": {";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) row << ", ";
+      row << Quote(params[i].first) << ": " << Quote(params[i].second);
+    }
+    row << "}, \"seconds\": " << Number(seconds) << ", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      if (i > 0) row << ", ";
+      row << Quote(metrics[i].first) << ": " << Number(metrics[i].second);
+    }
+    row << "}}";
+    rows_.push_back(row.str());
+    Rewrite();
+  }
+
+ private:
+  static std::string Quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      switch (c) {
+        case '"':  out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n";  break;
+        case '\t': out += "\\t";  break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out + "\"";
+  }
+
+  /// JSON has no NaN/Inf literals; clamp them to null. Full round-trip
+  /// precision — these records exist to be parsed back.
+  static std::string Number(double value) {
+    if (!(value == value) || value > 1e308 || value < -1e308) return "null";
+    std::ostringstream out;
+    out << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << value;
+    return out.str();
+  }
+
+  void Rewrite() const {
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::cerr << "warning: cannot write JSON records to " << path_ << "\n";
+      return;
+    }
+    out << "[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << (i > 0 ? ",\n " : "\n ") << rows_[i];
+    }
+    out << (rows_.empty() ? "]" : "\n]") << "\n";
+  }
+
+  std::string path_;
+  std::string bench_;
+  std::vector<std::string> rows_;
+};
+
+/// The process-wide recorder (inert until InitHarness sees --json).
+inline JsonRecorder& Json() {
+  static JsonRecorder recorder;
+  return recorder;
+}
+
+/// Parses the shared harness flags out of argv — currently `--json <path>` —
+/// and prints usage on anything unrecognized. Call first thing in main().
+inline void InitHarness(int argc, char** argv, const std::string& bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      Json().Open(argv[++i], bench_name);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      std::exit(2);
+    }
+  }
+}
 
 /// Prints the standard experiment banner.
 inline void Banner(const std::string& experiment, const std::string& paper) {

@@ -10,24 +10,20 @@
 
 #include <iostream>
 
-#include "core/solver.h"
-#include "eval/evaluator.h"
+#include "api/rdfsr.h"
 #include "gen/persons.h"
-#include "rules/parser.h"
-#include "rules/printer.h"
 
 namespace {
 
 void Measure(const char* label, const char* rule_text,
-             const rdfsr::schema::SignatureIndex& index) {
-  auto rule = rdfsr::rules::ParseRule(rule_text, label);
-  if (!rule.ok()) {
-    std::cerr << "rule error: " << rule.status().ToString() << "\n";
+             const rdfsr::api::Dataset& dataset) {
+  auto analysis = dataset.Analyze(rule_text);
+  if (!analysis.ok()) {
+    std::cerr << "rule error: " << analysis.status().ToString() << "\n";
     return;
   }
-  auto evaluator = rdfsr::eval::MakeEvaluator(*rule, &index);
-  std::cout << "\n" << label << ":\n  " << rdfsr::rules::ToString(*rule)
-            << "\n  sigma = " << evaluator->SigmaAll() << "\n";
+  std::cout << "\n" << label << ":\n  " << analysis->RuleText()
+            << "\n  sigma = " << analysis->Sigma() << "\n";
 }
 
 }  // namespace
@@ -36,9 +32,9 @@ int main() {
   using namespace rdfsr;  // NOLINT(build/namespaces)
   gen::PersonsConfig config;
   config.num_subjects = 2000;
-  const schema::SignatureIndex index = gen::GeneratePersons(config);
-  std::cout << "synthetic DBpedia Persons: " << index.total_subjects()
-            << " subjects, " << index.num_signatures() << " signatures\n";
+  const api::Dataset dataset =
+      api::Dataset::FromIndex(gen::GeneratePersons(config));
+  std::cout << "synthetic DBpedia Persons: " << dataset.Describe() << "\n";
 
   // 1. Coverage over the birth columns only: ignore everything else by
   //    restricting the antecedent (the Section 3.2 "ignore a column" trick,
@@ -46,35 +42,29 @@ int main() {
   Measure("birth-coverage",
           "c = c && (prop(c) = birthDate || prop(c) = birthPlace) -> "
           "val(c) = 1",
-          index);
+          dataset);
 
   // 2. Death facts come in pairs: for a random subject and the two death
   //    columns, having one implies having the other.
-  Measure("death-pairing",
-          "subj(c1) = subj(c2) && prop(c1) = deathPlace && "
-          "prop(c2) = deathDate && (val(c1) = 1 || val(c2) = 1) -> "
-          "val(c1) = 1 && val(c2) = 1",
-          index);
+  const char* death_pairing =
+      "subj(c1) = subj(c2) && prop(c1) = deathPlace && "
+      "prop(c2) = deathDate && (val(c1) = 1 || val(c2) = 1) -> "
+      "val(c1) = 1 && val(c2) = 1";
+  Measure("death-pairing", death_pairing, dataset);
 
   // 3. Documentation discipline: every subject should carry a description.
   Measure("has-description",
           "subj(c1) = subj(c2) && prop(c1) = description -> val(c1) = 1",
-          index);
+          dataset);
 
   // Refine against the death-pairing rule: Section 7.1.3 predicts a perfect
   // (theta = 1) split with three sorts.
-  auto rule = rules::ParseRule(
-      "subj(c1) = subj(c2) && prop(c1) = deathPlace && "
-      "prop(c2) = deathDate && (val(c1) = 1 || val(c2) = 1) -> "
-      "val(c1) = 1 && val(c2) = 1",
-      "death-pairing");
-  auto evaluator = eval::MakeEvaluator(*rule, &index);
-  core::RefinementSolver solver(evaluator.get());
-  auto lowest = solver.FindLowestK(Rational(1), /*max_k=*/4);
+  auto analysis = dataset.Analyze(death_pairing);
+  auto lowest = analysis->LowestK(Rational(1), /*max_k=*/4);
   if (lowest.ok()) {
     std::cout << "\nlowest k with sigma = 1.0 under death-pairing: "
-              << lowest->k << "\n"
-              << lowest->refinement.Summary(index) << "\n";
+              << lowest->num_sorts() << "\n"
+              << analysis->Summary(*lowest) << "\n";
   } else {
     std::cout << "\nno perfect split found: " << lowest.status().ToString()
               << "\n";

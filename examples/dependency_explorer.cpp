@@ -8,18 +8,29 @@
 
 #include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "eval/closed_form.h"
+#include "api/rdfsr.h"
 #include "gen/persons.h"
 #include "util/table.h"
+
+namespace {
+
+// sigma of a builtin pair family ("dep" / "symdep") over the whole dataset.
+double PairSigma(const rdfsr::api::Dataset& dataset, const std::string& family,
+                 const std::string& p1, const std::string& p2) {
+  return dataset.Analyze(family + ":" + p1 + "," + p2)->Sigma();
+}
+
+}  // namespace
 
 int main() {
   using namespace rdfsr;  // NOLINT(build/namespaces)
   gen::PersonsConfig config;
   config.num_subjects = 20000;
-  const schema::SignatureIndex index = gen::GeneratePersons(config);
-  const std::vector<int> all = eval::AllSignatures(index);
+  const api::Dataset dataset =
+      api::Dataset::FromIndex(gen::GeneratePersons(config));
 
   // Dep matrix over the four date/place properties (paper Table 1).
   const char* props[] = {"deathPlace", "birthPlace", "deathDate", "birthDate"};
@@ -28,7 +39,7 @@ int main() {
   for (const char* p1 : props) {
     std::vector<std::string> row = {p1};
     for (const char* p2 : props) {
-      row.push_back(FormatDouble(eval::DepCounts(index, all, p1, p2).Value()));
+      row.push_back(FormatDouble(PairSigma(dataset, "dep", p1, p2)));
     }
     dep.AddRow(row);
   }
@@ -41,8 +52,7 @@ int main() {
   for (const char* p1 : props) {
     double rowmin = 1.0;
     for (const char* p2 : props) {
-      rowmin = std::min(rowmin,
-                        eval::DepCounts(index, all, p1, p2).Value());
+      rowmin = std::min(rowmin, PairSigma(dataset, "dep", p1, p2));
     }
     if (rowmin > best_rowmin) {
       best_rowmin = rowmin;
@@ -58,13 +68,12 @@ int main() {
     std::string p1, p2;
     double value;
   };
+  const std::vector<std::string>& names = dataset.property_names();
   std::vector<Pair> pairs;
-  for (std::size_t i = 0; i < index.num_properties(); ++i) {
-    for (std::size_t j = i + 1; j < index.num_properties(); ++j) {
-      pairs.push_back({index.property_name(i), index.property_name(j),
-                       eval::SymDepCounts(index, all, index.property_name(i),
-                                          index.property_name(j))
-                           .Value()});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      pairs.push_back(
+          {names[i], names[j], PairSigma(dataset, "symdep", names[i], names[j])});
     }
   }
   std::sort(pairs.begin(), pairs.end(),

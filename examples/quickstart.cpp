@@ -1,27 +1,17 @@
 // Quickstart: load RDF, measure structuredness, refine the sort.
 //
-// This walks the full pipeline on a ten-line inline dataset:
-//   1. parse N-Triples text into a graph,
-//   2. slice out the subjects declared of sort <http://x/Person>,
-//   3. build the property-structure view and its signature index,
-//   4. evaluate sigma_Cov and sigma_Sim,
-//   5. search for the best 2-sort refinement and print it.
+// The full paper pipeline through the façade, on a ten-line inline dataset:
+// load + slice the <http://x/Person> sort, evaluate sigma_Cov and sigma_Sim,
+// and search for the best 2-sort refinement.
 
 #include <iostream>
 
-#include "core/solver.h"
-#include "eval/evaluator.h"
-#include "rdf/ntriples.h"
-#include "rules/builtins.h"
-#include "rules/printer.h"
-#include "schema/ascii_view.h"
-#include "schema/property_matrix.h"
-#include "schema/signature_index.h"
+#include "api/rdfsr.h"
 
 int main() {
   using namespace rdfsr;  // NOLINT(build/namespaces)
 
-  // 1. Parse. In a real application use rdf::ParseNTriplesFile(path).
+  // In a real application: api::Dataset::FromNTriplesFile(path, ...).
   const char* text = R"(
 <http://x/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
 <http://x/alice> <http://x/name> "Alice" .
@@ -36,35 +26,26 @@ int main() {
 <http://x/dave> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
 <http://x/dave> <http://x/name> "Dave" .
 )";
-  auto graph = rdf::ParseNTriples(text);
-  if (!graph.ok()) {
-    std::cerr << "parse error: " << graph.status().ToString() << "\n";
+
+  // 1. Parse and slice the Person sort (D_t of the paper, Section 2.1).
+  auto people = api::Dataset::FromNTriplesText(text, {.sort = "http://x/Person"});
+  if (!people.ok()) {
+    std::cerr << "load error: " << people.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "parsed " << graph->size() << " triples\n";
+  std::cout << "dataset: " << people->Describe() << "\n\n"
+            << people->RenderView() << "\n";
 
-  // 2. Slice the Person sort (D_t of the paper, Section 2.1).
-  const rdf::Graph persons = graph->SortSlice("http://x/Person");
+  // 2. Structuredness under two builtin rules (Section 2.2).
+  auto cov = people->Analyze("cov");
+  auto sim = people->Analyze("sim");
+  std::cout << "rule Cov: " << cov->RuleText() << "\n"
+            << "sigma_Cov = " << cov->Sigma()
+            << "  sigma_Sim = " << sim->Sigma() << "\n";
 
-  // 3. Property-structure view M(D) and the signature index.
-  const schema::PropertyMatrix matrix =
-      schema::PropertyMatrix::FromGraph(persons);
-  const schema::SignatureIndex index =
-      schema::SignatureIndex::FromMatrix(matrix, /*keep_subject_names=*/true);
-  std::cout << "\n" << schema::RenderSignatureView(index) << "\n";
-
-  // 4. Structuredness under two builtin rules.
-  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
-  auto sim = eval::MakeEvaluator(rules::SimRule(), &index);
-  std::cout << "rule Cov: " << rules::ToString(cov->rule()) << "\n";
-  std::cout << "sigma_Cov = " << cov->SigmaAll()
-            << "  sigma_Sim = " << sim->SigmaAll() << "\n";
-
-  // 5. Best 2-sort refinement under Cov (highest-theta search).
-  core::RefinementSolver solver(cov.get());
-  const core::HighestThetaResult best = solver.FindHighestTheta(2);
+  // 3. Best 2-sort refinement under Cov (highest-theta search, Section 7).
+  auto best = cov->HighestTheta(2);
   std::cout << "\nbest 2-sort refinement reaches sigma_Cov >= "
-            << best.theta.ToDouble() << ":\n";
-  std::cout << schema::RenderRefinementView(index, best.refinement.sorts);
+            << best->theta.ToDouble() << ":\n" << cov->Render(*best);
   return 0;
 }

@@ -1,132 +1,56 @@
-// refine_tool: command-line sort refinement for N-Triples files.
+// refine_tool: minimal command-line sort refinement for N-Triples files.
 //
 // Usage:
-//   refine_tool <file.nt> <sort-iri> [options]
-// Options:
-//   --rule cov | sim | dep:<p1>,<p2> | symdep:<p1>,<p2> | <rule text>
-//   --k <n>          fixed number of implicit sorts (highest-theta search)
-//   --theta <x>      fixed threshold (lowest-k search)
-//   --report         print the per-sort schema report
+//   refine_tool <file.nt> <sort-iri> [rule-spec] [k]
 //
-// Exactly one of --k / --theta selects the search mode (default: --k 2).
-// With `--rule` free text, the Section 3 language is parsed, e.g.:
-//   refine_tool data.nt http://x/Person --rule 'c = c -> val(c) = 1' --k 2
+// The rule spec is anything api::ResolveRuleSpec accepts: "cov" (default),
+// "sim", "dep:p1,p2", "symdep:p1,p2", or free text in the Section 3 rule
+// language, e.g.:
+//   refine_tool data.nt http://x/Person 'c = c -> val(c) = 1' 2
+//
+// This is the single-file illustration of the façade; the installed `rdfsr`
+// CLI (tools/rdfsr_cli.cc) is the full-featured driver with lowest-k search,
+// schema reports, and solver knobs.
 
-#include <cstring>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "core/report.h"
-#include "core/solver.h"
-#include "eval/evaluator.h"
-#include "rdf/ntriples.h"
-#include "rules/builtins.h"
-#include "rules/parser.h"
-#include "rules/printer.h"
-#include "schema/ascii_view.h"
-#include "schema/property_matrix.h"
-#include "schema/signature_index.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace rdfsr;  // NOLINT(build/namespaces)
-
-int Fail(const std::string& message) {
-  std::cerr << "error: " << message << "\n";
-  return 1;
-}
-
-Result<rules::Rule> ResolveRule(const std::string& spec) {
-  if (spec == "cov") return rules::CovRule();
-  if (spec == "sim") return rules::SimRule();
-  auto parse_pair = [&](const std::string& body,
-                        std::string* p1, std::string* p2) {
-    const std::size_t comma = body.find(',');
-    if (comma == std::string::npos) return false;
-    *p1 = body.substr(0, comma);
-    *p2 = body.substr(comma + 1);
-    return !p1->empty() && !p2->empty();
-  };
-  std::string p1, p2;
-  if (spec.rfind("dep:", 0) == 0 && parse_pair(spec.substr(4), &p1, &p2)) {
-    return rules::DepRule(p1, p2);
-  }
-  if (spec.rfind("symdep:", 0) == 0 && parse_pair(spec.substr(7), &p1, &p2)) {
-    return rules::SymDepRule(p1, p2);
-  }
-  return rules::ParseRule(spec, "user");
-}
-
-}  // namespace
+#include "api/rdfsr.h"
 
 int main(int argc, char** argv) {
   using namespace rdfsr;  // NOLINT(build/namespaces)
   if (argc < 3) {
-    std::cerr << "usage: " << argv[0]
-              << " <file.nt> <sort-iri> [--rule R] [--k N | --theta X] "
-                 "[--report]\n";
+    std::cerr << "usage: " << argv[0] << " <file.nt> <sort-iri> [rule] [k]\n";
     return 2;
   }
-  const std::string path = argv[1];
-  const std::string sort_iri = argv[2];
-  std::string rule_spec = "cov";
-  int k = 2;
-  double theta = -1.0;
-  bool report = false;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
-      rule_spec = argv[++i];
-    } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
-      k = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--theta") == 0 && i + 1 < argc) {
-      theta = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--report") == 0) {
-      report = true;
-    } else {
-      return Fail(std::string("unknown option: ") + argv[i]);
-    }
-  }
+  const std::string rule_spec = argc > 3 ? argv[3] : "cov";
+  const int k = argc > 4 ? std::atoi(argv[4]) : 2;
 
-  auto graph = rdf::ParseNTriplesFile(path);
-  if (!graph.ok()) return Fail(graph.status().ToString());
-  const rdf::Graph slice = graph->SortSlice(sort_iri);
-  if (slice.empty()) {
-    return Fail("no subjects of sort <" + sort_iri + "> in " + path);
+  auto dataset =
+      api::Dataset::FromNTriplesFile(argv[1], {.sort = argv[2]});
+  if (!dataset.ok()) {
+    std::cerr << "error: " << dataset.status().ToString() << "\n";
+    return 1;
   }
-  const schema::SignatureIndex index = schema::SignatureIndex::FromMatrix(
-      schema::PropertyMatrix::FromGraph(slice), true);
-  std::cout << "dataset: " << FormatCount(index.total_subjects())
-            << " subjects, " << index.num_properties() << " properties, "
-            << index.num_signatures() << " signatures\n";
+  std::cout << "dataset: " << dataset->Describe() << "\n";
 
-  auto rule = ResolveRule(rule_spec);
-  if (!rule.ok()) return Fail(rule.status().ToString());
-  auto evaluator = eval::MakeEvaluator(*rule, &index);
-  std::cout << "rule: " << rules::ToString(*rule) << "\n"
-            << "sigma over the whole sort: "
-            << FormatDouble(evaluator->SigmaAll(), 4) << "\n\n";
-
-  core::RefinementSolver solver(evaluator.get());
-  core::SortRefinement refinement;
-  if (theta >= 0.0) {
-    auto result = solver.FindLowestK(Rational::FromDouble(theta));
-    if (!result.ok()) return Fail(result.status().ToString());
-    std::cout << "lowest k with sigma >= " << theta << ": " << result->k
-              << (result->proven_minimal ? " (proven minimal)" : "") << "\n";
-    refinement = std::move(result->refinement);
-  } else {
-    if (k <= 0) return Fail("--k must be positive");
-    const core::HighestThetaResult best = solver.FindHighestTheta(k);
-    std::cout << "highest theta with k = " << k << ": "
-              << FormatDouble(best.theta.ToDouble(), 4)
-              << (best.ceiling_proven ? " (ceiling proven)" : "") << "\n";
-    refinement = best.refinement;
+  auto analysis = dataset->Analyze(rule_spec);
+  if (!analysis.ok()) {
+    std::cerr << "error: " << analysis.status().ToString() << "\n";
+    return 1;
   }
+  std::cout << "rule: " << analysis->RuleText() << "\n"
+            << "sigma over the whole sort: " << analysis->Sigma() << "\n\n";
 
-  std::cout << "\n" << schema::RenderRefinementView(index, refinement.sorts);
-  if (report) {
-    std::cout << "\n" << core::RenderReport(index, refinement);
+  auto best = analysis->HighestTheta(k);
+  if (!best.ok()) {
+    std::cerr << "error: " << best.status().ToString() << "\n";
+    return 1;
   }
+  std::cout << "highest theta with k = " << k << ": " << best->theta.ToDouble()
+            << (best->optimal ? " (ceiling proven)" : "") << "\n\n"
+            << analysis->Render(*best) << "\n"
+            << analysis->Report(*best);
   return 0;
 }

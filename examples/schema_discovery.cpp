@@ -6,31 +6,33 @@
 // the plumbing properties makes the recovery cleaner.
 
 #include <iostream>
+#include <string>
 
-#include "core/solver.h"
-#include "eval/evaluator.h"
+#include "api/rdfsr.h"
 #include "gen/mixed.h"
-#include "schema/ascii_view.h"
 
 namespace {
 
 using namespace rdfsr;  // NOLINT(build/namespaces)
 
-void Discover(const char* label, const gen::MixedDataset& dataset,
-              eval::Evaluator* evaluator) {
-  core::RefinementSolver solver(evaluator);
-  const core::HighestThetaResult best = solver.FindHighestTheta(2);
+void Discover(const char* label, const gen::MixedDataset& truth,
+              const api::Dataset& dataset, const std::string& rule_spec) {
+  auto analysis = dataset.Analyze(rule_spec);
+  if (!analysis.ok()) {
+    std::cerr << "rule error: " << analysis.status().ToString() << "\n";
+    return;
+  }
+  auto best = analysis->HighestTheta(2);
   std::cout << "\n=== " << label << " ===\n"
-            << "best theta: " << best.theta.ToDouble() << "\n";
-  for (std::size_t s = 0; s < best.refinement.num_sorts(); ++s) {
+            << "best theta: " << best->theta.ToDouble() << "\n";
+  for (std::size_t s = 0; s < best->num_sorts(); ++s) {
     int drugs = 0, sultans = 0;
-    for (std::size_t i = 0; i < dataset.subject_names.size(); ++i) {
-      const int sig =
-          dataset.index.FindSubjectSignature(dataset.subject_names[i]);
+    for (std::size_t i = 0; i < truth.subject_names.size(); ++i) {
+      const int sig = dataset.SignatureOf(truth.subject_names[i]);
       bool in_sort = false;
-      for (int member : best.refinement.sorts[s]) in_sort |= member == sig;
+      for (int member : best->sorts[s]) in_sort |= member == sig;
       if (!in_sort) continue;
-      (dataset.is_drug_company[i] ? drugs : sultans)++;
+      (truth.is_drug_company[i] ? drugs : sultans)++;
     }
     std::cout << "discovered sort " << (s + 1) << ": " << drugs
               << " drug companies + " << sultans << " sultans\n";
@@ -40,22 +42,21 @@ void Discover(const char* label, const gen::MixedDataset& dataset,
 }  // namespace
 
 int main() {
-  const gen::MixedDataset dataset = gen::GenerateMixed();
-  std::cout << "mixed dataset: " << dataset.index.total_subjects()
-            << " subjects, " << dataset.index.num_signatures()
-            << " signatures, " << dataset.index.num_properties()
-            << " properties\n\n";
-  schema::AsciiViewOptions view;
-  view.max_rows = 12;
-  std::cout << schema::RenderSignatureView(dataset.index, view);
+  const gen::MixedDataset truth = gen::GenerateMixed();
+  const api::Dataset dataset = api::Dataset::FromIndex(truth.index);
+  std::cout << "mixed dataset: " << dataset.Describe() << "\n\n"
+            << dataset.RenderView(/*max_rows=*/12);
 
-  auto plain = eval::ClosedFormEvaluator::Cov(&dataset.index);
-  Discover("plain Cov", dataset, plain.get());
+  Discover("plain Cov", truth, dataset, "cov");
 
-  auto modified = eval::ClosedFormEvaluator::CovIgnoring(
-      &dataset.index, dataset.plumbing_properties);
-  Discover("Cov ignoring RDF plumbing (type/sameAs/subClassOf/label)",
-           dataset, modified.get());
+  // The Section 7.4 modified Cov: blind to the shared plumbing columns.
+  std::string ignoring = "cov-ignoring:";
+  for (std::size_t i = 0; i < truth.plumbing_properties.size(); ++i) {
+    if (i > 0) ignoring += ",";
+    ignoring += truth.plumbing_properties[i];
+  }
+  Discover("Cov ignoring RDF plumbing (type/sameAs/subClassOf/label)", truth,
+           dataset, ignoring);
 
   std::cout << "\nSection 7.4's observation: the plumbing-blind rule "
                "separates the two populations more cleanly, because shared "

@@ -1,0 +1,130 @@
+#include "api/rdfsr.h"
+
+#include <utility>
+
+#include "rdf/ntriples.h"
+#include "schema/ascii_view.h"
+#include "schema/property_matrix.h"
+#include "util/table.h"
+
+namespace rdfsr::api {
+
+Result<Dataset> Dataset::Build(std::shared_ptr<const rdf::Graph> graph,
+                               const std::string& sort,
+                               const DatasetOptions& options) {
+  auto rep = std::make_shared<Rep>();
+  const rdf::Graph* view = graph.get();
+  rdf::Graph slice(graph->dict_ptr());
+  if (!sort.empty()) {
+    slice = graph->SortSlice(sort);
+    if (slice.empty()) {
+      return Status::NotFound("no subjects of sort <" + sort + ">");
+    }
+    view = &slice;
+    rep->sort = sort;
+  }
+  rep->triples = view->size();
+  rep->index = schema::SignatureIndex::FromMatrix(
+      schema::PropertyMatrix::FromGraph(*view), options.keep_subject_names);
+  if (options.keep_graph) rep->graph = std::move(graph);
+  return Dataset(std::move(rep));
+}
+
+Result<Dataset> Dataset::FromNTriplesFile(const std::string& path,
+                                          const DatasetOptions& options) {
+  auto graph = rdf::ParseNTriplesFile(path);
+  if (!graph.ok()) return graph.status();
+  return FromGraph(std::move(graph).value(), options);
+}
+
+Result<Dataset> Dataset::FromNTriplesText(std::string_view text,
+                                          const DatasetOptions& options) {
+  auto graph = rdf::ParseNTriples(text);
+  if (!graph.ok()) return graph.status();
+  return FromGraph(std::move(graph).value(), options);
+}
+
+Result<Dataset> Dataset::FromGraph(rdf::Graph graph,
+                                   const DatasetOptions& options) {
+  return Build(std::make_shared<const rdf::Graph>(std::move(graph)),
+               options.sort, options);
+}
+
+Dataset Dataset::FromIndex(schema::SignatureIndex index) {
+  auto rep = std::make_shared<Rep>();
+  rep->index = std::move(index);
+  return Dataset(std::move(rep));
+}
+
+Result<Dataset> Dataset::Slice(const std::string& sort_iri,
+                               const DatasetOptions& options) const {
+  if (rep_->graph == nullptr) {
+    return Status::InvalidArgument(
+        "dataset retains no graph to slice (built FromIndex or with "
+        "keep_graph = false)");
+  }
+  return Build(rep_->graph, sort_iri, options);  // shares the parent graph
+}
+
+std::vector<std::string> Dataset::SortIris() const {
+  std::vector<std::string> iris;
+  if (rep_->graph == nullptr) return iris;
+  for (rdf::TermId id : rep_->graph->SortConstants()) {
+    iris.push_back(rep_->graph->dict().term(id).lexical);
+  }
+  return iris;
+}
+
+std::size_t Dataset::num_triples() const { return rep_->triples; }
+
+std::int64_t Dataset::num_subjects() const {
+  return rep_->index.total_subjects();
+}
+
+std::size_t Dataset::num_properties() const {
+  return rep_->index.num_properties();
+}
+
+std::size_t Dataset::num_signatures() const {
+  return rep_->index.num_signatures();
+}
+
+const std::vector<std::string>& Dataset::property_names() const {
+  return rep_->index.property_names();
+}
+
+const std::string& Dataset::sort() const { return rep_->sort; }
+
+int Dataset::SignatureOf(const std::string& subject_name) const {
+  return rep_->index.FindSubjectSignature(subject_name);
+}
+
+std::string Dataset::Describe() const {
+  std::string out = FormatCount(rep_->index.total_subjects()) + " subjects, " +
+                    std::to_string(rep_->index.num_properties()) +
+                    " properties, " +
+                    std::to_string(rep_->index.num_signatures()) +
+                    " signatures";
+  if (!rep_->sort.empty()) out += " (sort <" + rep_->sort + ">)";
+  return out;
+}
+
+std::string Dataset::RenderView(std::size_t max_rows) const {
+  schema::AsciiViewOptions options;
+  options.max_rows = max_rows;
+  return schema::RenderSignatureView(rep_->index, options);
+}
+
+const schema::SignatureIndex& Dataset::index() const { return rep_->index; }
+
+Result<Analysis> Dataset::Analyze(const std::string& rule_spec) const {
+  auto rule = ResolveRuleSpec(rule_spec);
+  if (!rule.ok()) return rule.status();
+  return Analysis(rep_, *std::move(rule));
+}
+
+Analysis Dataset::Analyze(rules::Rule rule) const {
+  return Analysis(rep_, std::move(rule));
+}
+
+}  // namespace rdfsr::api

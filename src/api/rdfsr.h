@@ -1,0 +1,248 @@
+// Public façade for the rdfsr library — the one header applications include.
+//
+// The paper's pipeline (Sections 2-7 of Arenas et al., PVLDB 2014) is: load
+// RDF, slice a sort D_t, build the property-structure view M(D) and its
+// signature index, evaluate sigma under a rule, and search for a sort
+// refinement. Internally that spans six layers (rdf -> schema -> rules ->
+// eval -> core/ilp); this header collapses it to two value types:
+//
+//   Dataset   owns the loading chain: N-Triples file/string -> rdf::Graph ->
+//             optional sort slice -> PropertyMatrix -> SignatureIndex. Copies
+//             share the immutable state, so Dataset is cheap to pass around
+//             and anything derived from it (an Analysis) keeps the underlying
+//             index alive on its own — no borrowed-pointer lifetime chains.
+//
+//   Analysis  binds one rule (builtin, spec string, or parsed custom text) to
+//             one Dataset, owns the evaluator and solver it needs, and
+//             answers Sigma(), HighestTheta(k), LowestK(theta) and Report()
+//             with SolverOptions-backed fluent configuration.
+//
+// Fallible operations return Result<T> (util/status.h) instead of throwing.
+//
+//   auto people = api::Dataset::FromNTriplesFile("data.nt",
+//                                                {.sort = "http://x/Person"});
+//   if (!people.ok()) return Fail(people.status());
+//   auto cov = people->Analyze("cov");
+//   auto best = cov->TimeLimit(10).HighestTheta(2);
+//   std::cout << cov->Render(*best) << cov->Report(*best);
+//
+// The `rdfsr` CLI (tools/rdfsr_cli.cc) is a thin shell over this API, and
+// every program in examples/ uses it exclusively.
+
+#ifndef RDFSR_API_RDFSR_H_
+#define RDFSR_API_RDFSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/solver.h"
+#include "rdf/graph.h"
+#include "rules/ast.h"
+#include "schema/signature_index.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace rdfsr::api {
+
+class Analysis;
+
+/// Knobs for the Dataset loading chain.
+struct DatasetOptions {
+  /// When non-empty, analyze only the sort slice D_t of this type IRI
+  /// (subjects declared via rdf:type; the type triples themselves are
+  /// excluded from the view, as in the paper's datasets).
+  std::string sort;
+  /// Retain the subject-name -> signature map. Needed by rules mentioning
+  /// subj(c) = <constant> and by SignatureOf(); costs one string per subject.
+  bool keep_subject_names = true;
+  /// Retain the parsed graph so Slice() / SortIris() work after loading.
+  /// Turn off to drop the triples once the index is built.
+  bool keep_graph = true;
+};
+
+/// A sort refinement found by Analysis::HighestTheta or Analysis::LowestK:
+/// a partition of the dataset's signature ids into implicit sorts, each with
+/// sigma >= theta (Definition 4.2).
+struct Refinement {
+  /// Signature ids of the underlying Dataset, one vector per implicit sort.
+  std::vector<std::vector<int>> sorts;
+  /// The guaranteed threshold: every sort has sigma >= theta (exact).
+  Rational theta;
+  /// Whether the search proved optimality (highest-theta: the next step up
+  /// was proven infeasible; lowest-k: all smaller k proven infeasible) rather
+  /// than stopping at solver limits.
+  bool optimal = false;
+  int instances = 0;  ///< decision instances solved by the search
+  double seconds = 0.0;
+
+  std::size_t num_sorts() const { return sorts.size(); }
+};
+
+/// An immutable loaded dataset: the signature index plus (optionally) the
+/// graph it came from. Value semantics — copies share state.
+class Dataset {
+ public:
+  /// Loads an N-Triples file from disk and builds the index.
+  static Result<Dataset> FromNTriplesFile(const std::string& path,
+                                          const DatasetOptions& options = {});
+
+  /// Parses N-Triples text and builds the index.
+  static Result<Dataset> FromNTriplesText(std::string_view text,
+                                          const DatasetOptions& options = {});
+
+  /// Builds a dataset from an already-parsed graph.
+  static Result<Dataset> FromGraph(rdf::Graph graph,
+                                   const DatasetOptions& options = {});
+
+  /// Wraps an existing signature index (synthetic generators, index IO).
+  /// The dataset has no graph, so Slice() and SortIris() are unavailable.
+  static Dataset FromIndex(schema::SignatureIndex index);
+
+  /// The sort slice D_t as a new Dataset sharing this dataset's graph.
+  /// Fails with NotFound when no subject has the sort, InvalidArgument when
+  /// the graph was not retained. `options.sort` is ignored — the explicit
+  /// `sort_iri` argument is the sort.
+  Result<Dataset> Slice(const std::string& sort_iri,
+                        const DatasetOptions& options = {}) const;
+
+  /// All sort IRIs t appearing in (s, rdf:type, t) triples, or empty when the
+  /// graph was not retained.
+  std::vector<std::string> SortIris() const;
+
+  /// Binds a rule to this dataset. The spec is either a builtin name —
+  /// "cov", "sim", "cov-ignoring:p1,p2,...", "dep:p1,p2", "symdep:p1,p2",
+  /// "depdisj:p1,p2" — or free text in the Section 3 rule language.
+  Result<Analysis> Analyze(const std::string& rule_spec) const;
+
+  /// Binds an already-constructed rule to this dataset.
+  Analysis Analyze(rules::Rule rule) const;
+
+  // --- shape ---------------------------------------------------------------
+  std::size_t num_triples() const;  ///< 0 when built FromIndex / graph dropped
+  std::int64_t num_subjects() const;
+  std::size_t num_properties() const;
+  std::size_t num_signatures() const;
+  const std::vector<std::string>& property_names() const;
+  /// The sort IRI this dataset was sliced to, or empty for the whole graph.
+  const std::string& sort() const;
+
+  /// Signature id of a named subject, or -1 when unknown (requires
+  /// keep_subject_names).
+  int SignatureOf(const std::string& subject_name) const;
+
+  /// One-line shape summary: "4 subjects, 3 properties, 2 signatures".
+  std::string Describe() const;
+
+  /// ASCII signature view (the Figure 2/3 bitmap rendering).
+  std::string RenderView(std::size_t max_rows = 24) const;
+
+  /// Escape hatch: the underlying index, for interop with internal layers.
+  const schema::SignatureIndex& index() const;
+
+ private:
+  friend class Analysis;
+
+  // Immutable shared state; Analyses take their own reference.
+  struct Rep {
+    schema::SignatureIndex index;
+    std::shared_ptr<const rdf::Graph> graph;  // null when dropped / FromIndex
+    std::string sort;                         // sliced sort IRI, or empty
+    std::size_t triples = 0;
+  };
+
+  explicit Dataset(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  /// The one loading chain: slices `graph` to `sort` (when non-empty), builds
+  /// the index, and assembles the Rep. Shared by the From* factories and
+  /// Slice().
+  static Result<Dataset> Build(std::shared_ptr<const rdf::Graph> graph,
+                               const std::string& sort,
+                               const DatasetOptions& options);
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// One (dataset, rule) pair: owns the evaluator and refinement solver, and
+/// answers structuredness and refinement queries. Created via
+/// Dataset::Analyze; keeps the dataset state alive independently of the
+/// originating Dataset. Fluent setters return *this so configuration chains:
+///
+///   analysis.TimeLimit(5).GreedyRestarts(8).HighestTheta(2)
+class Analysis {
+ public:
+  Analysis(Analysis&&) = default;
+  Analysis& operator=(Analysis&&) = default;
+
+  // --- fluent configuration (SolverOptions-backed) -------------------------
+  /// Replaces the whole solver configuration.
+  Analysis& With(core::SolverOptions options);
+  /// Exact-solver wall-clock budget per decision instance, in seconds.
+  Analysis& TimeLimit(double seconds);
+  /// Exact-solver node budget per decision instance.
+  Analysis& MaxNodes(long long nodes);
+  /// Step size of the sequential highest-theta search (paper: 0.01).
+  Analysis& ThetaStep(double step);
+  /// Restarts of the greedy primal heuristic.
+  Analysis& GreedyRestarts(int restarts);
+  /// Deterministic seed for the greedy heuristic.
+  Analysis& Seed(std::uint64_t seed);
+  const core::SolverOptions& options() const { return options_; }
+
+  // --- queries -------------------------------------------------------------
+  /// sigma_r over the whole dataset.
+  double Sigma() const;
+  /// sigma_r over one implicit sort (signature ids of the dataset).
+  double Sigma(const std::vector<int>& sort) const;
+
+  /// Best threshold achievable with k implicit sorts (the paper's
+  /// highest-theta search). Fails with InvalidArgument when k < 1.
+  Result<Refinement> HighestTheta(int k);
+
+  /// Smallest k admitting a refinement with threshold theta; searches k
+  /// upward to max_k (default: number of signatures). Fails with
+  /// InvalidArgument on a bad theta and NotFound when no k up to the cap
+  /// works.
+  Result<Refinement> LowestK(double theta, int max_k = -1);
+  Result<Refinement> LowestK(Rational theta, int max_k = -1);
+
+  // --- rendering -----------------------------------------------------------
+  /// One-line description: "{2 sorts: 1+1 signatures}, theta = 1".
+  std::string Summary(const Refinement& refinement) const;
+  /// ASCII rendering of the refinement (the Figure 4-7 bitmaps).
+  std::string Render(const Refinement& refinement,
+                     std::size_t max_rows = 24) const;
+  /// The per-sort schema report (universal / common / absent /
+  /// discriminating properties, Section 7.1.1 reading).
+  std::string Report(const Refinement& refinement) const;
+
+  /// The bound rule and its concrete syntax.
+  const rules::Rule& rule() const;
+  std::string RuleText() const;
+
+  /// The dataset state this analysis is bound to.
+  const schema::SignatureIndex& index() const { return rep_->index; }
+
+ private:
+  friend class Dataset;
+
+  Analysis(std::shared_ptr<const Dataset::Rep> rep, rules::Rule rule);
+
+  /// The solver, (re)built on demand after configuration changes.
+  core::RefinementSolver& Solver();
+
+  std::shared_ptr<const Dataset::Rep> rep_;
+  std::unique_ptr<const eval::Evaluator> evaluator_;
+  core::SolverOptions options_;
+  std::unique_ptr<core::RefinementSolver> solver_;  // lazy; reset by setters
+};
+
+/// Resolves a rule spec string — builtin name, builtin-family shorthand, or
+/// Section 3 rule text — to a rule. Shared by Dataset::Analyze and the CLI.
+Result<rules::Rule> ResolveRuleSpec(const std::string& spec);
+
+}  // namespace rdfsr::api
+
+#endif  // RDFSR_API_RDFSR_H_

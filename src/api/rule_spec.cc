@@ -1,0 +1,76 @@
+#include <string>
+#include <vector>
+
+#include "api/rdfsr.h"
+#include "rules/builtins.h"
+#include "rules/parser.h"
+
+namespace rdfsr::api {
+
+namespace {
+
+/// Splits "p1,p2,..." on commas; empty segments are dropped.
+std::vector<std::string> SplitProperties(const std::string& body) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    const std::size_t comma = body.find(',', start);
+    const std::size_t end = comma == std::string::npos ? body.size() : comma;
+    if (end > start) parts.push_back(body.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// A property-pair builtin spec "name:p1,p2".
+Result<std::vector<std::string>> PairArgs(const std::string& family,
+                                          const std::string& body) {
+  std::vector<std::string> parts = SplitProperties(body);
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("rule spec '" + family +
+                                   ":' needs exactly two comma-separated "
+                                   "properties, got '" + body + "'");
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<rules::Rule> ResolveRuleSpec(const std::string& spec) {
+  if (spec.empty()) return Status::InvalidArgument("empty rule spec");
+  if (spec == "cov") return rules::CovRule();
+  if (spec == "sim") return rules::SimRule();
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    const std::string family = spec.substr(0, colon);
+    const std::string body = spec.substr(colon + 1);
+    if (family == "cov-ignoring") {
+      const std::vector<std::string> ignored = SplitProperties(body);
+      if (ignored.empty()) {
+        return Status::InvalidArgument(
+            "rule spec 'cov-ignoring:' needs at least one property");
+      }
+      return rules::CovRuleIgnoring(ignored);
+    }
+    if (family == "dep") {
+      auto args = PairArgs(family, body);
+      if (!args.ok()) return args.status();
+      return rules::DepRule((*args)[0], (*args)[1]);
+    }
+    if (family == "symdep") {
+      auto args = PairArgs(family, body);
+      if (!args.ok()) return args.status();
+      return rules::SymDepRule((*args)[0], (*args)[1]);
+    }
+    if (family == "depdisj") {
+      auto args = PairArgs(family, body);
+      if (!args.ok()) return args.status();
+      return rules::DepDisjunctiveRule((*args)[0], (*args)[1]);
+    }
+  }
+  // Anything else is Section 3 rule text.
+  return rules::ParseRule(spec, "user");
+}
+
+}  // namespace rdfsr::api

@@ -108,6 +108,14 @@ std::unique_ptr<Evaluator> MakeEvaluator(const rules::Rule& rule,
   const std::string& name = rule.name();
   if (name == "Cov") return ClosedFormEvaluator::Cov(index);
   if (name == "Sim") return ClosedFormEvaluator::Sim(index);
+  if (name.rfind("CovIgnoring[", 0) == 0 && name.back() == ']') {
+    // The ignored properties are the prop(c) = p constants of the antecedent.
+    // Recovered from the AST, not the display name: property IRIs may contain
+    // commas, which the name's comma-joined list cannot round-trip.
+    std::vector<std::string> ignored;
+    rules::CollectPropertyConstants(rule.antecedent(), &ignored);
+    return ClosedFormEvaluator::CovIgnoring(index, std::move(ignored));
+  }
   std::string p1, p2;
   if (ParseBracketParams(name, "Dep", &p1, &p2)) {
     return ClosedFormEvaluator::Dep(index, p1, p2);

@@ -22,10 +22,18 @@ Rule CovRule() {
 
 Rule CovRuleIgnoring(const std::vector<std::string>& ignored_properties) {
   std::vector<FormulaPtr> conjuncts = {VarEq("c", "c")};
+  // Display name in the Dep[p1,p2] style. MakeEvaluator keys on the
+  // "CovIgnoring[" prefix but recovers the actual params from the AST.
+  std::string name = "CovIgnoring[";
+  for (std::size_t i = 0; i < ignored_properties.size(); ++i) {
+    if (i > 0) name += ",";
+    name += ignored_properties[i];
+  }
+  name += "]";
   for (const std::string& p : ignored_properties) {
     conjuncts.push_back(Not(PropEqConst("c", p)));
   }
-  return MustCreate(AndAll(conjuncts), ValEqConst("c", 1), "CovIgnoring");
+  return MustCreate(AndAll(conjuncts), ValEqConst("c", 1), std::move(name));
 }
 
 Rule SimRule() {

@@ -150,6 +150,19 @@ TEST(ClosedFormTest, EvaluatorDispatchesClosedForms) {
   ExpectSameCounts(cov->Counts(all), CovCounts(index, all), "factory Cov");
   auto sim = MakeEvaluator(rules::SimRule(), &index);
   ExpectSameCounts(sim->Counts(all), SimCounts(index, all), "factory Sim");
+  // The factory must route CovIgnoring to the closed form, not fall back to
+  // the enumerator, recovering the ignored properties from the rule AST.
+  auto cov_ign = MakeEvaluator(rules::CovRuleIgnoring({"p0", "p2"}), &index);
+  EXPECT_NE(dynamic_cast<const ClosedFormEvaluator*>(cov_ign.get()), nullptr);
+  ExpectSameCounts(cov_ign->Counts(all),
+                   CovIgnoringCounts(index, all, {"p0", "p2"}),
+                   "factory CovIgnoring");
+  // A property IRI containing a comma must survive the round trip (the
+  // display name's comma-joined list would mis-split it).
+  auto comma = MakeEvaluator(rules::CovRuleIgnoring({"p0,p1"}), &index);
+  ExpectSameCounts(comma->Counts(all),
+                   CovIgnoringCounts(index, all, {"p0,p1"}),
+                   "factory CovIgnoring comma-in-IRI");
   auto dep = MakeEvaluator(rules::DepRule("p0", "p1"), &index);
   ExpectSameCounts(dep->Counts(all), DepCounts(index, all, "p0", "p1"),
                    "factory Dep");

@@ -1,0 +1,263 @@
+// rdfsr — command-line driver for the rdfsr façade API.
+//
+// The three subcommands mirror the paper's workflow (Arenas et al., PVLDB
+// 2014): `measure` evaluates sigma_r over a dataset (Sections 2-3), `refine`
+// searches for a sort refinement (Sections 4-7: highest-theta for fixed k, or
+// lowest-k for fixed theta), and `report` interprets a refinement as per-sort
+// schema profiles (Section 7.1.1). Everything goes through api/rdfsr.h — this
+// file is the reference consumer of the public API.
+
+#include <climits>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/rdfsr.h"
+
+namespace {
+
+using rdfsr::api::Analysis;
+using rdfsr::api::Dataset;
+using rdfsr::api::DatasetOptions;
+using rdfsr::api::Refinement;
+
+constexpr const char* kUsage = R"(rdfsr — structuredness measurement and sort refinement for RDF datasets
+
+usage: rdfsr <command> <file.nt> [options]
+
+commands:
+  measure   print sigma of the dataset under one or more rules
+  refine    search for a sort refinement of the dataset
+  report    refine, then print the per-sort schema report
+
+common options:
+  --sort <iri>      analyze only the subjects declared of this rdf:type
+  --rule <spec>     cov (default) | sim | cov-ignoring:p1,... | dep:p1,p2 |
+                    symdep:p1,p2 | depdisj:p1,p2 | free text in the rule
+                    language; measure accepts --rule multiple times
+  --view            print the ASCII signature view of the dataset
+
+refine / report options:
+  --k <n>           implicit sorts for the highest-theta search (default 2)
+  --theta <x>       threshold in [0,1] for the lowest-k search (overrides --k)
+  --max-k <n>       cap for the lowest-k search
+  --time-limit <s>  exact-solver budget per decision instance, seconds
+  --report          (refine only) also print the schema report
+
+examples:
+  rdfsr measure data.nt --sort http://x/Person --rule cov --rule sim
+  rdfsr refine data.nt --sort http://x/Person --k 2 --report
+  rdfsr refine data.nt --rule 'c = c -> val(c) = 1' --theta 0.9
+  rdfsr report data.nt --sort http://x/Person --k 3
+)";
+
+int UsageError(const std::string& message) {
+  std::cerr << "error: " << message << "\n\n" << kUsage;
+  return 2;
+}
+
+int Fail(const rdfsr::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+std::string FormatSigma(double value) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(4) << value;
+  return out.str();
+}
+
+// Strict numeric parsing: the whole string must convert, so typos fail loudly
+// instead of silently becoming 0 (atoi/strtod leftovers).
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+bool ParseInt(const char* text, int* out) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < INT_MIN || value > INT_MAX) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+/// Parsed command line, shared by all subcommands.
+struct Args {
+  std::string command;
+  std::string path;
+  std::string sort;
+  std::vector<std::string> rules;
+  bool view = false;
+  bool report = false;
+  int k = 2;
+  double theta = -1.0;  // < 0: highest-theta mode
+  int max_k = -1;
+  double time_limit = -1.0;
+  /// Refine/report-only flags seen, for rejection under `measure`.
+  std::vector<std::string> refine_flags;
+};
+
+/// Parses argv into Args; returns false (after printing) on bad input.
+bool ParseArgs(int argc, char** argv, Args* args, int* exit_code) {
+  auto need_value = [&](int i, const char* flag) {
+    if (i + 1 < argc) return true;
+    *exit_code = UsageError(std::string(flag) + " needs a value");
+    return false;
+  };
+  auto bad_number = [&](const char* flag, const char* text) {
+    *exit_code = UsageError(std::string(flag) + " needs a number, got '" +
+                            text + "'");
+    return false;
+  };
+  args->command = argv[1];
+  if (argc < 3) {
+    *exit_code = UsageError("missing <file.nt> argument");
+    return false;
+  }
+  args->path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--sort") {
+      if (!need_value(i, "--sort")) return false;
+      args->sort = argv[++i];
+    } else if (flag == "--rule") {
+      if (!need_value(i, "--rule")) return false;
+      args->rules.push_back(argv[++i]);
+    } else if (flag == "--view") {
+      args->view = true;
+    } else if (flag == "--report") {
+      args->report = true;
+      args->refine_flags.push_back(flag);
+    } else if (flag == "--k") {
+      if (!need_value(i, "--k")) return false;
+      if (!ParseInt(argv[++i], &args->k)) return bad_number("--k", argv[i]);
+      args->refine_flags.push_back(flag);
+    } else if (flag == "--theta") {
+      if (!need_value(i, "--theta")) return false;
+      // Range-checked here: a negative value would otherwise silently select
+      // the highest-theta mode (the internal sentinel for "--theta unset").
+      if (!ParseDouble(argv[++i], &args->theta) || args->theta < 0.0 ||
+          args->theta > 1.0) {
+        *exit_code = UsageError(
+            std::string("--theta must be a number in [0, 1], got '") +
+            argv[i] + "'");
+        return false;
+      }
+      args->refine_flags.push_back(flag);
+    } else if (flag == "--max-k") {
+      if (!need_value(i, "--max-k")) return false;
+      if (!ParseInt(argv[++i], &args->max_k)) {
+        return bad_number("--max-k", argv[i]);
+      }
+      args->refine_flags.push_back(flag);
+    } else if (flag == "--time-limit") {
+      if (!need_value(i, "--time-limit")) return false;
+      if (!ParseDouble(argv[++i], &args->time_limit) ||
+          args->time_limit <= 0) {
+        *exit_code = UsageError(std::string("--time-limit must be a positive "
+                                            "number of seconds, got '") +
+                                argv[i] + "'");
+        return false;
+      }
+      args->refine_flags.push_back(flag);
+    } else {
+      *exit_code = UsageError("unknown option: " + flag);
+      return false;
+    }
+  }
+  if (args->command == "measure" && !args->refine_flags.empty()) {
+    *exit_code = UsageError(args->refine_flags.front() +
+                            " is a refine/report option; not valid for "
+                            "measure");
+    return false;
+  }
+  return true;
+}
+
+/// Loads the dataset named by the common arguments.
+rdfsr::Result<Dataset> Load(const Args& args) {
+  DatasetOptions options;
+  options.sort = args.sort;
+  return Dataset::FromNTriplesFile(args.path, options);
+}
+
+int Measure(const Args& args) {
+  auto dataset = Load(args);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::cout << "dataset: " << dataset->Describe() << "\n";
+  if (args.view) std::cout << "\n" << dataset->RenderView() << "\n";
+  std::vector<std::string> rules = args.rules;
+  if (rules.empty()) rules = {"cov", "sim"};
+  for (const std::string& spec : rules) {
+    auto analysis = dataset->Analyze(spec);
+    if (!analysis.ok()) return Fail(analysis.status());
+    std::cout << "rule " << spec << ": " << analysis->RuleText() << "\n"
+              << "  sigma = " << FormatSigma(analysis->Sigma()) << "\n";
+  }
+  return 0;
+}
+
+int Refine(const Args& args, bool report_only) {
+  if (args.rules.size() > 1) {
+    return UsageError(args.command + " takes a single --rule");
+  }
+  auto dataset = Load(args);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::cout << "dataset: " << dataset->Describe() << "\n";
+  if (args.view) std::cout << "\n" << dataset->RenderView() << "\n";
+
+  auto analysis =
+      dataset->Analyze(args.rules.empty() ? "cov" : args.rules.front());
+  if (!analysis.ok()) return Fail(analysis.status());
+  if (args.time_limit > 0) analysis->TimeLimit(args.time_limit);
+  std::cout << "rule: " << analysis->RuleText() << "\n"
+            << "sigma over the whole dataset: "
+            << FormatSigma(analysis->Sigma()) << "\n\n";
+
+  rdfsr::Result<Refinement> refinement =
+      args.theta >= 0.0 ? analysis->LowestK(args.theta, args.max_k)
+                        : analysis->HighestTheta(args.k);
+  if (!refinement.ok()) return Fail(refinement.status());
+  if (args.theta >= 0.0) {
+    std::cout << "lowest k with sigma >= " << args.theta << ": "
+              << refinement->num_sorts();
+  } else {
+    std::cout << "highest theta with k = " << args.k << ": "
+              << FormatSigma(refinement->theta.ToDouble());
+  }
+  std::cout << (refinement->optimal ? " (proven optimal)" : "") << "\n"
+            << analysis->Summary(*refinement) << "\n";
+  if (!report_only) std::cout << "\n" << analysis->Render(*refinement);
+  if (report_only || args.report) {
+    std::cout << "\n" << analysis->Report(*refinement);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  Args args;
+  int exit_code = 0;
+  if (!ParseArgs(argc, argv, &args, &exit_code)) return exit_code;
+  if (command == "measure") return Measure(args);
+  if (command == "refine") return Refine(args, /*report_only=*/false);
+  if (command == "report") return Refine(args, /*report_only=*/true);
+  return UsageError("unknown command: " + command);
+}
