@@ -4,7 +4,7 @@
 
 #include "rdf/ntriples.h"
 #include "schema/ascii_view.h"
-#include "schema/property_matrix.h"
+#include "schema/index_builder.h"
 #include "util/table.h"
 
 namespace rdfsr::api {
@@ -13,39 +13,53 @@ Result<Dataset> Dataset::Build(std::shared_ptr<const rdf::Graph> graph,
                                const std::string& sort,
                                const DatasetOptions& options) {
   auto rep = std::make_shared<Rep>();
-  const rdf::Graph* view = graph.get();
-  rdf::Graph slice(graph->dict_ptr());
+  // Both paths stream (subject, property) pairs straight into the signature
+  // index — no dense PropertyMatrix, and slicing never materializes the
+  // slice as a second graph (membership comes from the rdf:type postings).
   if (!sort.empty()) {
-    slice = graph->SortSlice(sort);
-    if (slice.empty()) {
+    std::size_t slice_triples = 0;
+    rep->index = schema::IndexBuilder::FromSortSlice(
+        *graph, sort, options.keep_subject_names, &slice_triples);
+    if (slice_triples == 0) {
       return Status::NotFound("no subjects of sort <" + sort + ">");
     }
-    view = &slice;
     rep->sort = sort;
+    rep->triples = slice_triples;
+  } else {
+    rep->index =
+        schema::IndexBuilder::FromGraph(*graph, options.keep_subject_names);
+    rep->triples = graph->size();
   }
-  rep->triples = view->size();
-  rep->index = schema::SignatureIndex::FromMatrix(
-      schema::PropertyMatrix::FromGraph(*view), options.keep_subject_names);
   if (options.keep_graph) rep->graph = std::move(graph);
   return Dataset(std::move(rep));
 }
 
 Result<Dataset> Dataset::FromNTriplesFile(const std::string& path,
                                           const DatasetOptions& options) {
-  auto graph = rdf::ParseNTriplesFile(path);
+  rdf::ParseOptions parse_options;
+  parse_options.threads = options.parse_threads;
+  auto graph = rdf::ParseNTriplesFile(path, parse_options);
   if (!graph.ok()) return graph.status();
   return FromGraph(std::move(graph).value(), options);
 }
 
 Result<Dataset> Dataset::FromNTriplesText(std::string_view text,
                                           const DatasetOptions& options) {
-  auto graph = rdf::ParseNTriples(text);
-  if (!graph.ok()) return graph.status();
-  return FromGraph(std::move(graph).value(), options);
+  rdf::ParseOptions parse_options;
+  parse_options.threads = options.parse_threads;
+  rdf::Graph parsed;
+  Status st = rdf::ParseNTriplesInto(text, &parsed, parse_options);
+  if (!st.ok()) return st;
+  return FromGraph(std::move(parsed), options);
 }
 
 Result<Dataset> Dataset::FromGraph(rdf::Graph graph,
                                    const DatasetOptions& options) {
+  // Warm the lazy rdf:type posting cache while this call still owns the
+  // graph exclusively: the graph is immutable once shared, so later const
+  // reads (Build, Slice, SortIris — possibly from several threads sharing
+  // the Dataset) only ever hit the already-built postings.
+  graph.TypePostings();
   return Build(std::make_shared<const rdf::Graph>(std::move(graph)),
                options.sort, options);
 }

@@ -7,7 +7,8 @@
 // eval -> core/ilp); this header collapses it to two value types:
 //
 //   Dataset   owns the loading chain: N-Triples file/string -> rdf::Graph ->
-//             optional sort slice -> PropertyMatrix -> SignatureIndex. Copies
+//             optional sort slice -> SignatureIndex (streamed through
+//             schema::IndexBuilder — no dense matrix intermediate). Copies
 //             share the immutable state, so Dataset is cheap to pass around
 //             and anything derived from it (an Analysis) keeps the underlying
 //             index alive on its own — no borrowed-pointer lifetime chains.
@@ -61,6 +62,12 @@ struct DatasetOptions {
   /// Retain the parsed graph so Slice() / SortIris() work after loading.
   /// Turn off to drop the triples once the index is built.
   bool keep_graph = true;
+  /// Parser threads for FromNTriplesFile / FromNTriplesText. 1 (the default)
+  /// parses sequentially; higher values shard the input at line boundaries
+  /// and merge per-shard dictionaries in chunk order, which produces the
+  /// exact same dataset (term ids, triple order, index) as sequential — a
+  /// pure throughput knob for multi-million-triple files.
+  int parse_threads = 1;
 };
 
 /// A sort refinement found by Analysis::HighestTheta or Analysis::LowestK:

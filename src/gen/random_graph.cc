@@ -1,8 +1,10 @@
 #include "gen/random_graph.h"
 
 #include <set>
+#include <string>
 #include <vector>
 
+#include "rdf/vocab.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -90,6 +92,49 @@ schema::SignatureIndex GenerateRandomIndex(const RandomIndexSpec& spec) {
   }
   return schema::SignatureIndex::FromSignatures(std::move(names),
                                                 std::move(signatures));
+}
+
+rdf::Graph GenerateRandomGraph(const RandomGraphSpec& spec) {
+  RDFSR_CHECK_GT(spec.num_subjects, 0);
+  RDFSR_CHECK_GT(spec.num_properties, 0);
+  RDFSR_CHECK_GE(spec.num_sorts, 0);
+  Rng rng(spec.seed);
+  rdf::Graph graph;
+  const rdf::Term type_prop = rdf::Term::Iri(rdf::vocab::kRdfType);
+
+  for (int s = 0; s < spec.num_subjects; ++s) {
+    const rdf::Term subject =
+        rng.Chance(spec.blank_probability)
+            ? rdf::Term::Blank("b" + std::to_string(s))
+            : rdf::Term::Iri("http://x/s" + std::to_string(s));
+
+    if (spec.num_sorts > 0 && !rng.Chance(spec.untyped_probability)) {
+      const int sort = static_cast<int>(rng.Below(spec.num_sorts));
+      graph.Add(subject, type_prop,
+                rdf::Term::Iri("http://x/Sort" + std::to_string(sort)));
+      if (spec.num_sorts > 1 && rng.Chance(spec.multi_sort_probability)) {
+        const int other = static_cast<int>(rng.Below(spec.num_sorts));
+        graph.Add(subject, type_prop,
+                  rdf::Term::Iri("http://x/Sort" + std::to_string(other)));
+      }
+    }
+
+    for (int p = 0; p < spec.num_properties; ++p) {
+      if (!rng.Chance(spec.density)) continue;
+      const rdf::Term property =
+          rdf::Term::Iri("http://x/p" + std::to_string(p));
+      const std::string value =
+          "v" + std::to_string(s) + "_" + std::to_string(p);
+      const rdf::Term object = rng.Chance(spec.literal_probability)
+                                   ? rdf::Term::Literal(value)
+                                   : rdf::Term::Iri("http://x/" + value);
+      graph.Add(subject, property, object);
+      if (rng.Chance(spec.duplicate_probability)) {
+        graph.Add(subject, property, object);  // set semantics drop this
+      }
+    }
+  }
+  return graph;
 }
 
 }  // namespace rdfsr::gen

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "rdf/graph.h"
 #include "schema/property_matrix.h"
 #include "schema/signature_index.h"
 
@@ -36,6 +37,28 @@ struct RandomIndexSpec {
 
 /// Random signature index (distinct supports, all properties used).
 schema::SignatureIndex GenerateRandomIndex(const RandomIndexSpec& spec);
+
+/// Shape of a random RDF graph — the ingestion-path test generator. Exercises
+/// the messy inputs the streaming IndexBuilder must agree with the legacy
+/// matrix path on: duplicate triples (set semantics), blank-node subjects,
+/// subjects declared in several sorts, and untyped subjects.
+struct RandomGraphSpec {
+  int num_subjects = 20;
+  int num_properties = 8;
+  int num_sorts = 2;             ///< distinct rdf:type sort constants; 0 = none
+  double density = 0.4;          ///< per (subject, property) Bernoulli
+  double blank_probability = 0.2;      ///< subject is a blank node
+  double duplicate_probability = 0.3;  ///< triple is emitted a second time
+  double multi_sort_probability = 0.3; ///< typed subject gets a second sort
+  double untyped_probability = 0.2;    ///< subject gets no rdf:type triple
+  double literal_probability = 0.5;    ///< object is a literal (else an IRI)
+  std::uint64_t seed = 1;
+};
+
+/// Random dictionary-encoded graph per the spec. Subjects with no drawn
+/// property still get their rdf:type triple (when typed), so slices can
+/// legitimately come out empty.
+rdf::Graph GenerateRandomGraph(const RandomGraphSpec& spec);
 
 }  // namespace rdfsr::gen
 

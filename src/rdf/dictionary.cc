@@ -1,17 +1,20 @@
 #include "rdf/dictionary.h"
 
+#include <utility>
+
 namespace rdfsr::rdf {
 
-TermId Dictionary::Intern(const Term& term) {
+TermId Dictionary::Intern(const TermView& term) {
   auto it = ids_.find(term);
   if (it != ids_.end()) return it->second;
   const TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(term);
-  ids_.emplace(term, id);
+  auto [pos, inserted] = ids_.emplace(term.ToTerm(), id);
+  RDFSR_CHECK(inserted);
+  terms_.push_back(&pos->first);
   return id;
 }
 
-TermId Dictionary::Find(const Term& term) const {
+TermId Dictionary::Find(const TermView& term) const {
   auto it = ids_.find(term);
   return it == ids_.end() ? kInvalidTermId : it->second;
 }

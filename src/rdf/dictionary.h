@@ -8,8 +8,9 @@
 #define RDFSR_RDF_DICTIONARY_H_
 
 #include <cstdint>
-#include <deque>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "rdf/term.h"
 #include "util/check.h"
@@ -35,31 +36,54 @@ class Dictionary {
   Dictionary& operator=(Dictionary&&) = default;
 
   /// Interns a term, returning its id (existing id if already present).
-  TermId Intern(const Term& term);
+  TermId Intern(const Term& term) { return Intern(TermView(term)); }
+
+  /// Interns a viewed term through heterogeneous lookup: the hit path (term
+  /// already present) does zero allocations; the miss path materializes the
+  /// Term once.
+  TermId Intern(const TermView& term);
 
   /// Convenience: interns an IRI given by string.
-  TermId InternIri(const std::string& iri) { return Intern(Term::Iri(iri)); }
+  TermId InternIri(std::string_view iri) {
+    return Intern(TermView::Iri(iri));
+  }
 
   /// Looks up a term's id without interning; kInvalidTermId when absent.
-  TermId Find(const Term& term) const;
+  TermId Find(const Term& term) const { return Find(TermView(term)); }
+
+  /// Heterogeneous lookup by view — no temporary Term, no allocations.
+  TermId Find(const TermView& term) const;
 
   /// Looks up an IRI's id without interning; kInvalidTermId when absent.
-  TermId FindIri(const std::string& iri) const {
-    return Find(Term::Iri(iri));
+  TermId FindIri(std::string_view iri) const {
+    return Find(TermView::Iri(iri));
   }
 
   /// The term for a (valid) id.
   const Term& term(TermId id) const {
     RDFSR_CHECK_LT(id, terms_.size());
-    return terms_[id];
+    return *terms_[id];
   }
 
   /// Number of interned terms.
   std::size_t size() const { return terms_.size(); }
 
+  /// Pre-sizes the intern table for an expected term count (avoids rehash
+  /// cascades during bulk loads).
+  void Reserve(std::size_t terms) {
+    ids_.reserve(terms);
+    terms_.reserve(terms);
+  }
+
  private:
-  std::deque<Term> terms_;  // deque: stable references across growth
-  std::unordered_map<Term, TermId, TermHash> ids_;
+  // Each term is stored once, as a map key; terms_ maps ids to the keys.
+  // unordered_map nodes are stable across rehash and container moves, so the
+  // pointers stay valid for the dictionary's lifetime. Transparent hash/equal
+  // enable lookup by TermView (C++20 heterogeneous lookup) — the parser's
+  // hot path does zero allocations for already-interned terms, and a miss
+  // materializes the Term exactly once.
+  std::unordered_map<Term, TermId, TermHash, TermEq> ids_;
+  std::vector<const Term*> terms_;  // id -> interned term (key of ids_)
 };
 
 }  // namespace rdfsr::rdf

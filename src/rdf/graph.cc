@@ -1,5 +1,6 @@
 #include "rdf/graph.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "rdf/vocab.h"
@@ -10,23 +11,77 @@ namespace {
 std::uint64_t PackPair(TermId a, TermId b) {
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
+constexpr std::uint32_t kEmptySlot = static_cast<std::uint32_t>(-1);
 }  // namespace
+
+bool Graph::MarkSeen(std::vector<std::uint8_t>* seen, TermId id) {
+  if (seen->size() <= id) {
+    seen->resize(std::max<std::size_t>(id + 1, seen->size() * 2), 0);
+  }
+  if ((*seen)[id]) return false;
+  (*seen)[id] = 1;
+  return true;
+}
+
+void Graph::DedupGrow(std::size_t slots) {
+  dedup_slots_.assign(slots, kEmptySlot);
+  const std::size_t mask = slots - 1;
+  for (std::size_t idx = 0; idx < triples_.size(); ++idx) {
+    std::size_t i = TripleHash{}(triples_[idx]) & mask;
+    while (dedup_slots_[i] != kEmptySlot) i = (i + 1) & mask;
+    dedup_slots_[i] = static_cast<std::uint32_t>(idx);
+  }
+}
+
+void Graph::Reserve(std::size_t triples, std::size_t terms) {
+  triples_.reserve(triples);
+  std::size_t slots = dedup_slots_.empty() ? 64 : dedup_slots_.size();
+  while (slots < 2 * (triples + 1)) slots *= 2;
+  if (slots > dedup_slots_.size()) DedupGrow(slots);
+  subject_seen_.reserve(terms);
+  property_seen_.reserve(terms);
+  dict_->Reserve(terms);
+}
+
+bool Graph::DedupInsert(const Triple& t) {
+  if (dedup_slots_.size() < 2 * (triples_.size() + 1)) {
+    DedupGrow(dedup_slots_.empty() ? 64 : dedup_slots_.size() * 2);
+  }
+  const std::size_t mask = dedup_slots_.size() - 1;
+  std::size_t i = TripleHash{}(t) & mask;
+  while (true) {
+    const std::uint32_t slot = dedup_slots_[i];
+    if (slot == kEmptySlot) {
+      dedup_slots_[i] = static_cast<std::uint32_t>(triples_.size());
+      return true;
+    }
+    if (triples_[slot] == t) return false;
+    i = (i + 1) & mask;
+  }
+}
 
 bool Graph::Add(Triple t) {
   RDFSR_CHECK_LT(t.subject, dict_->size());
   RDFSR_CHECK_LT(t.predicate, dict_->size());
   RDFSR_CHECK_LT(t.object, dict_->size());
-  if (!triple_set_.insert(t).second) return false;
+  if (!DedupInsert(t)) return false;
   triples_.push_back(t);
-  if (subject_set_.insert(t.subject).second) subjects_.push_back(t.subject);
-  if (property_set_.insert(t.predicate).second) {
+  if (MarkSeen(&subject_seen_, t.subject)) subjects_.push_back(t.subject);
+  if (MarkSeen(&property_seen_, t.predicate)) {
     properties_.push_back(t.predicate);
   }
-  subject_property_.insert(PackPair(t.subject, t.predicate));
   return true;
 }
 
 bool Graph::Add(const Term& s, const Term& p, const Term& o) {
+  Triple t;
+  t.subject = dict_->Intern(s);
+  t.predicate = dict_->Intern(p);
+  t.object = dict_->Intern(o);
+  return Add(t);
+}
+
+bool Graph::Add(const TermView& s, const TermView& p, const TermView& o) {
   Triple t;
   t.subject = dict_->Intern(s);
   t.predicate = dict_->Intern(p);
@@ -45,7 +100,25 @@ bool Graph::AddLiteral(const std::string& s, const std::string& p,
 }
 
 bool Graph::HasProperty(TermId s, TermId p) const {
+  for (; sp_scanned_ < triples_.size(); ++sp_scanned_) {
+    subject_property_.insert(PackPair(triples_[sp_scanned_].subject,
+                                      triples_[sp_scanned_].predicate));
+  }
   return subject_property_.count(PackPair(s, p)) > 0;
+}
+
+const std::vector<std::uint32_t>& Graph::TypePostings() const {
+  if (type_scanned_ == triples_.size()) return type_postings_;
+  const TermId type_prop = dict_->FindIri(vocab::kRdfType);
+  if (type_prop != kInvalidTermId) {
+    for (std::size_t i = type_scanned_; i < triples_.size(); ++i) {
+      if (triples_[i].predicate == type_prop) {
+        type_postings_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  type_scanned_ = triples_.size();
+  return type_postings_;
 }
 
 Graph Graph::SortSlice(const std::string& type_iri, bool include_type) const {
@@ -54,10 +127,14 @@ Graph Graph::SortSlice(const std::string& type_iri, bool include_type) const {
   const TermId sort = dict_->FindIri(type_iri);
   if (type_prop == kInvalidTermId || sort == kInvalidTermId) return slice;
 
+  // Membership comes from the rdf:type posting list, so only the triple
+  // collection below still walks the full triple vector.
   std::unordered_set<TermId> members;
-  for (const Triple& t : triples_) {
-    if (t.predicate == type_prop && t.object == sort) members.insert(t.subject);
+  for (std::uint32_t i : TypePostings()) {
+    const Triple& t = triples_[i];
+    if (t.object == sort) members.insert(t.subject);
   }
+  if (members.empty()) return slice;
   for (const Triple& t : triples_) {
     if (!members.count(t.subject)) continue;
     if (!include_type && t.predicate == type_prop) continue;
@@ -67,13 +144,11 @@ Graph Graph::SortSlice(const std::string& type_iri, bool include_type) const {
 }
 
 std::vector<TermId> Graph::SortConstants() const {
-  const TermId type_prop = dict_->FindIri(vocab::kRdfType);
   std::vector<TermId> sorts;
-  if (type_prop == kInvalidTermId) return sorts;
   std::unordered_set<TermId> seen;
-  for (const Triple& t : triples_) {
-    if (t.predicate == type_prop && seen.insert(t.object).second) {
-      sorts.push_back(t.object);
+  for (std::uint32_t i : TypePostings()) {
+    if (seen.insert(triples_[i].object).second) {
+      sorts.push_back(triples_[i].object);
     }
   }
   return sorts;

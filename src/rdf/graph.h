@@ -66,12 +66,23 @@ class Graph {
   const Dictionary& dict() const { return *dict_; }
   const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
 
+  /// Pre-sizes the triple store, dedup index, and dictionary for a bulk load
+  /// of ~`triples` triples mentioning ~`terms` distinct terms. Purely an
+  /// optimization (growth is amortized anyway); the parser calls this with a
+  /// newline-count estimate before streaming a file in.
+  void Reserve(std::size_t triples, std::size_t terms);
+
   /// Adds a triple by id; duplicate triples are ignored (set semantics).
   /// Returns true if the triple was newly inserted.
   bool Add(Triple t);
 
   /// Adds a triple of terms, interning them first.
   bool Add(const Term& s, const Term& p, const Term& o);
+
+  /// Adds a triple of viewed terms — the parser hot path. Interning goes
+  /// through the dictionary's heterogeneous lookup, so already-seen terms
+  /// cost zero allocations.
+  bool Add(const TermView& s, const TermView& p, const TermView& o);
 
   /// Convenience: adds (<s>, <p>, <o>) with all-IRI terms.
   bool AddIri(const std::string& s, const std::string& p, const std::string& o);
@@ -93,7 +104,10 @@ class Graph {
   /// P(D): distinct properties in first-appearance order.
   const std::vector<TermId>& properties() const { return properties_; }
 
-  /// Whether s has property p in D (some (s, p, o) in D).
+  /// Whether s has property p in D (some (s, p, o) in D). Backed by a lazily
+  /// built (s, p) hash set — query paths use it, the ingestion hot path
+  /// never pays for it. Like TypePostings(), the first call mutates a
+  /// mutable cache: warm it before sharing const references across threads.
   bool HasProperty(TermId s, TermId p) const;
 
   /// D_t: the subgraph of all triples whose subject is declared of sort t via
@@ -105,15 +119,48 @@ class Graph {
   /// All sort constants t appearing in (s, type, t) triples.
   std::vector<TermId> SortConstants() const;
 
+  /// Positions (indices into triples()) of all (s, rdf:type, t) triples, in
+  /// insertion order. Built lazily on first use and extended incrementally as
+  /// triples are added, so repeated sort slicing / sort enumeration never
+  /// rescans the full triple vector.
+  ///
+  /// Thread-safety: the build mutates a mutable cache, so call this once
+  /// while the graph is still exclusively owned if const references will be
+  /// shared across threads afterwards (api::Dataset::FromGraph does exactly
+  /// that); once built for the current triple count, concurrent const calls
+  /// are read-only.
+  const std::vector<std::uint32_t>& TypePostings() const;
+
  private:
+  /// Flat open-addressing dedup index over triples_ (set semantics without a
+  /// node allocation per insert). Returns true and records the slot when the
+  /// triple is new; false when already present.
+  bool DedupInsert(const Triple& t);
+  /// Rebuilds the slot array at `slots` entries (power of two, > 2x triples).
+  void DedupGrow(std::size_t slots);
+
+  /// Direct-address first-sighting bitmap over dense term ids; returns true
+  /// on the first call for `id`.
+  static bool MarkSeen(std::vector<std::uint8_t>* seen, TermId id);
+
   std::shared_ptr<Dictionary> dict_;
   std::vector<Triple> triples_;
-  std::unordered_set<Triple, TripleHash> triple_set_;
+  // Linear-probe slots holding indices into triples_; kEmptySlot when free.
+  // Power-of-two size, load factor kept under 1/2.
+  std::vector<std::uint32_t> dedup_slots_;
   std::vector<TermId> subjects_;
   std::vector<TermId> properties_;
-  std::unordered_set<std::uint64_t> subject_property_;  // packed (s,p)
-  std::unordered_set<TermId> subject_set_;
-  std::unordered_set<TermId> property_set_;
+  std::vector<std::uint8_t> subject_seen_;   // TermId -> appeared as subject
+  std::vector<std::uint8_t> property_seen_;  // TermId -> appeared as predicate
+  // Lazy (s,p) membership set backing HasProperty; extended on demand from
+  // triples_ [0, sp_scanned_).
+  mutable std::unordered_set<std::uint64_t> subject_property_;
+  mutable std::size_t sp_scanned_ = 0;
+  // Lazy rdf:type posting list: positions of type triples among triples_
+  // [0, type_scanned_). Extended, never rebuilt — sound because a triple can
+  // only reference rdf:type if it was already interned at Add time.
+  mutable std::vector<std::uint32_t> type_postings_;
+  mutable std::size_t type_scanned_ = 0;
 };
 
 }  // namespace rdfsr::rdf

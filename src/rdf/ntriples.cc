@@ -1,8 +1,13 @@
 #include "rdf/ntriples.h"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace rdfsr::rdf {
 
@@ -15,13 +20,21 @@ namespace {
     if (!_st.ok()) return _st;               \
   } while (0)
 
-/// Cursor over a single N-Triples line.
+/// Cursor over a single N-Triples line, producing TermViews. Unescaped terms
+/// view directly into the line; escaped forms decode into one of four scratch
+/// buffers (subject, predicate, object lexical, object datatype) that are
+/// reused across lines, so steady-state parsing does not allocate here.
+/// Reusable: construct once, Reset() per line.
 class LineParser {
  public:
-  LineParser(std::string_view line, std::size_t line_no)
-      : line_(line), line_no_(line_no) {}
+  void Reset(std::string_view line, std::size_t line_no) {
+    line_ = line;
+    line_no_ = line_no;
+    pos_ = 0;
+    scratch_used_ = 0;
+  }
 
-  Status ParseTriple(Term* s, Term* p, Term* o) {
+  Status ParseTriple(TermView* s, TermView* p, TermView* o) {
     SkipWs();
     RETURN_IF_ERROR(ParseSubject(s));
     SkipWs();
@@ -38,140 +51,160 @@ class LineParser {
   }
 
  private:
-  Status ParseSubject(Term* out) {
+  Status ParseSubject(TermView* out) {
     if (Peek() == '<') return ParseIriTerm(out, "subject");
     if (Peek() == '_') return ParseBlank(out);
     return Error("subject must be an IRI or blank node");
   }
 
-  Status ParseObject(Term* out) {
+  Status ParseObject(TermView* out) {
     if (Peek() == '<') return ParseIriTerm(out, "object");
     if (Peek() == '_') return ParseBlank(out);
     if (Peek() == '"') return ParseLiteral(out);
     return Error("object must be an IRI, blank node, or literal");
   }
 
-  Status ParseIriTerm(Term* out, const char* role) {
+  Status ParseIriTerm(TermView* out, const char* role) {
     if (!Consume('<')) {
       return Error(std::string("expected '<' starting ") + role);
     }
-    std::string iri;
+    const std::size_t start = pos_;
+    std::string* scratch = nullptr;
     while (pos_ < line_.size() && line_[pos_] != '>') {
-      char c = line_[pos_++];
+      const char c = line_[pos_];
       if (c == ' ' || c == '\t') return Error("whitespace inside IRI");
       if (c == '\\') {
         // IRIs only allow \u / \U escapes.
-        std::string decoded;
-        RETURN_IF_ERROR(DecodeUnicodeEscape(&decoded));
-        iri += decoded;
+        if (scratch == nullptr) {
+          scratch = NewScratch();
+          scratch->assign(line_.substr(start, pos_ - start));
+        }
+        ++pos_;  // consume the backslash; cursor sits on the escape letter
+        RETURN_IF_ERROR(DecodeUnicodeEscape(scratch));
         continue;
       }
-      iri.push_back(c);
+      if (scratch != nullptr) scratch->push_back(c);
+      ++pos_;
     }
     if (!Consume('>')) return Error("unterminated IRI");
+    const std::string_view iri =
+        scratch != nullptr ? std::string_view(*scratch)
+                           : line_.substr(start, pos_ - 1 - start);
     if (iri.empty()) return Error("empty IRI");
-    *out = Term::Iri(std::move(iri));
+    *out = TermView(TermKind::kIri, iri);
     return Status::OK();
   }
 
-  Status ParseBlank(Term* out) {
+  Status ParseBlank(TermView* out) {
     if (!Consume('_') || !Consume(':')) {
       return Error("expected '_:' starting blank node");
     }
-    std::string label;
+    const std::size_t start = pos_;
     while (pos_ < line_.size() && !IsWs(line_[pos_]) && line_[pos_] != '.') {
-      label.push_back(line_[pos_++]);
+      ++pos_;
     }
+    const std::string_view label = line_.substr(start, pos_ - start);
     if (label.empty()) return Error("empty blank node label");
-    *out = Term::Blank(std::move(label));
+    *out = TermView(TermKind::kBlank, label);
     return Status::OK();
   }
 
-  Status ParseLiteral(Term* out) {
+  Status ParseLiteral(TermView* out) {
     if (!Consume('"')) return Error("expected '\"' starting literal");
-    std::string lex;
+    const std::size_t start = pos_;
+    std::string* scratch = nullptr;
     bool closed = false;
     while (pos_ < line_.size()) {
-      char c = line_[pos_++];
+      const char c = line_[pos_];
       if (c == '"') {
+        ++pos_;
         closed = true;
         break;
       }
       if (c == '\\') {
+        if (scratch == nullptr) {
+          scratch = NewScratch();
+          scratch->assign(line_.substr(start, pos_ - start));
+        }
+        ++pos_;  // consume the backslash
         if (pos_ >= line_.size()) return Error("dangling escape in literal");
-        char e = line_[pos_];
+        const char e = line_[pos_];
         switch (e) {
           case 't':
-            lex.push_back('\t');
+            scratch->push_back('\t');
             ++pos_;
             break;
           case 'b':
-            lex.push_back('\b');
+            scratch->push_back('\b');
             ++pos_;
             break;
           case 'n':
-            lex.push_back('\n');
+            scratch->push_back('\n');
             ++pos_;
             break;
           case 'r':
-            lex.push_back('\r');
+            scratch->push_back('\r');
             ++pos_;
             break;
           case 'f':
-            lex.push_back('\f');
+            scratch->push_back('\f');
             ++pos_;
             break;
           case '"':
-            lex.push_back('"');
+            scratch->push_back('"');
             ++pos_;
             break;
           case '\'':
-            lex.push_back('\'');
+            scratch->push_back('\'');
             ++pos_;
             break;
           case '\\':
-            lex.push_back('\\');
+            scratch->push_back('\\');
             ++pos_;
             break;
           case 'u':
-          case 'U': {
+          case 'U':
             // Cursor already sits on the escape letter.
-            std::string decoded;
-            RETURN_IF_ERROR(DecodeUnicodeEscape(&decoded));
-            lex += decoded;
+            RETURN_IF_ERROR(DecodeUnicodeEscape(scratch));
             break;
-          }
           default:
             return Error(std::string("invalid escape '\\") + e + "'");
         }
         continue;
       }
-      lex.push_back(c);
+      if (scratch != nullptr) scratch->push_back(c);
+      ++pos_;
     }
     if (!closed) return Error("unterminated literal");
+    const std::string_view lex =
+        scratch != nullptr ? std::string_view(*scratch)
+                           : line_.substr(start, pos_ - 1 - start);
 
-    std::string lang, datatype;
+    std::string_view lang, datatype;
     if (Peek() == '@') {
       ++pos_;
+      const std::size_t lang_start = pos_;
       while (pos_ < line_.size() &&
              (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
               line_[pos_] == '-')) {
-        lang.push_back(line_[pos_++]);
+        ++pos_;
       }
+      lang = line_.substr(lang_start, pos_ - lang_start);
       if (lang.empty()) return Error("empty language tag");
     } else if (Peek() == '^') {
       ++pos_;
       if (!Consume('^')) return Error("expected '^^' before datatype");
-      Term dt;
+      TermView dt;
       RETURN_IF_ERROR(ParseIriTerm(&dt, "datatype"));
       datatype = dt.lexical;
     }
-    *out = Term::Literal(std::move(lex), std::move(datatype), std::move(lang));
+    *out = TermView(TermKind::kLiteral, lex, datatype, lang);
     return Status::OK();
   }
 
-  /// Decodes \uXXXX or \UXXXXXXXX to UTF-8. The cursor must sit on the escape
-  /// letter ('u' or 'U'); the backslash has already been consumed.
+  /// Decodes \uXXXX or \UXXXXXXXX, appending UTF-8 to *out. The cursor must
+  /// sit on the escape letter ('u' or 'U'); the backslash has already been
+  /// consumed.
   Status DecodeUnicodeEscape(std::string* out) {
     if (pos_ >= line_.size()) return Error("dangling unicode escape");
     char kind = line_[pos_++];
@@ -227,34 +260,164 @@ class LineParser {
     return Status::ParseError("line " + std::to_string(line_no_) + ": " + msg);
   }
 
+  std::string* NewScratch() {
+    RDFSR_CHECK_LT(scratch_used_, kMaxScratch);
+    return &scratch_[scratch_used_++];
+  }
+
+  static constexpr int kMaxScratch = 4;  // subject, predicate, lexical, datatype
+
   std::string_view line_;
-  std::size_t line_no_;
+  std::size_t line_no_ = 0;
   std::size_t pos_ = 0;
+  std::string scratch_[kMaxScratch];
+  int scratch_used_ = 0;
 };
 
-}  // namespace
-
-Status ParseNTriplesInto(std::string_view text, Graph* graph) {
-  RDFSR_CHECK(graph != nullptr);
-  std::size_t line_no = 0;
+/// Iterates the lines of `text`, invoking sink(s, p, o) per triple. Line
+/// numbers are 1-based and offset by `first_line_no` (sharded chunks pass the
+/// global number of their first line). Static dispatch on the sink keeps the
+/// per-triple cost free of std::function indirection on the graph hot path.
+template <typename Sink>
+Status ParseLinesInto(std::string_view text, std::size_t first_line_no,
+                      Sink&& sink) {
+  LineParser parser;
+  std::size_t line_no = first_line_no;
   std::size_t start = 0;
-  while (start <= text.size()) {
+  while (start < text.size()) {
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(start, end - start);
+    const std::size_t current_line = line_no;
     ++line_no;
     start = end + 1;
     // Strip leading whitespace; skip blank lines and comment lines.
     std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string_view::npos) continue;
     if (line[first] == '#') continue;
-    Term s, p, o;
-    LineParser parser(line, line_no);
+    TermView s, p, o;
+    parser.Reset(line, current_line);
     Status st = parser.ParseTriple(&s, &p, &o);
     if (!st.ok()) return st;
-    graph->Add(s, p, o);
+    sink(s, p, o);
   }
   return Status::OK();
+}
+
+/// Splits [0, size) into up to `shards` chunks whose boundaries sit just
+/// after a '\n', so no line straddles two chunks.
+std::vector<std::pair<std::size_t, std::size_t>> SplitAtLines(
+    std::string_view text, int shards) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  const std::size_t target = text.size() / static_cast<std::size_t>(shards);
+  std::size_t begin = 0;
+  for (int i = 0; i < shards && begin < text.size(); ++i) {
+    std::size_t end = text.size();
+    if (i + 1 < shards) {
+      end = text.find('\n', std::min(text.size(), begin + target));
+      end = end == std::string_view::npos ? text.size() : end + 1;
+    }
+    chunks.emplace_back(begin, end);
+    begin = end;
+  }
+  return chunks;
+}
+
+/// Sharded parse: each worker parses its chunk into a private graph with a
+/// private dictionary; the shards then merge into `graph` in chunk order,
+/// interning each shard's terms in shard-local id order. Both orders coincide
+/// with first-occurrence order in the byte stream, so the merged graph is
+/// bit-identical (term ids, triple order) to a sequential parse.
+Status ParseShardedInto(std::string_view text, Graph* graph, int threads) {
+  const auto chunks = SplitAtLines(text, threads);
+
+  // Global line number of each chunk's first line (one memchr-speed pass);
+  // the total doubles as the pre-size estimate for the merged graph.
+  std::vector<std::size_t> first_line(chunks.size());
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    first_line[i] = line;
+    const auto [begin, end] = chunks[i];
+    line += static_cast<std::size_t>(
+        std::count(text.begin() + static_cast<std::ptrdiff_t>(begin),
+                   text.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+  }
+  if (text.size() >= (1u << 20)) graph->Reserve(line, line);
+
+  struct Shard {
+    Graph graph;
+    Status status = Status::OK();
+  };
+  std::vector<Shard> shards(chunks.size());
+  std::vector<std::thread> workers;
+  workers.reserve(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    workers.emplace_back([&, i] {
+      const auto [begin, end] = chunks[i];
+      Graph& local = shards[i].graph;
+      shards[i].status = ParseLinesInto(
+          text.substr(begin, end - begin), first_line[i],
+          [&local](const TermView& s, const TermView& p, const TermView& o) {
+            local.Add(s, p, o);
+          });
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Merge in chunk order; stop at the first failing shard (lowest line
+  // number), keeping the triples parsed before it — same partial-append
+  // semantics as the sequential parser.
+  std::vector<TermId> remap;
+  for (Shard& shard : shards) {
+    const Dictionary& shard_dict = shard.graph.dict();
+    remap.resize(shard_dict.size());
+    for (TermId id = 0; id < shard_dict.size(); ++id) {
+      remap[id] = graph->dict().Intern(shard_dict.term(id));
+    }
+    for (const Triple& t : shard.graph.triples()) {
+      graph->Add(Triple{remap[t.subject], remap[t.predicate], remap[t.object]});
+    }
+    if (!shard.status.ok()) return shard.status;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseNTriplesInto(std::string_view text, Graph* graph) {
+  return ParseNTriplesInto(text, graph, ParseOptions{});
+}
+
+Status ParseNTriplesInto(std::string_view text, Graph* graph,
+                         const ParseOptions& options) {
+  RDFSR_CHECK(graph != nullptr);
+  int threads = options.threads < 1 ? 1 : options.threads;
+  if (threads > 1 && options.min_chunk_bytes > 0) {
+    const std::size_t max_useful = text.size() / options.min_chunk_bytes;
+    if (static_cast<std::size_t>(threads) > max_useful) {
+      threads = static_cast<int>(max_useful);
+    }
+  }
+  // The sharded path pre-sizes the graph itself (it counts chunk newlines
+  // anyway for global error line numbers).
+  if (threads > 1) return ParseShardedInto(text, graph, threads);
+  // Pre-size the graph from a newline count (memchr-speed pass): line count
+  // upper-bounds the triple count, and distinct terms rarely exceed lines
+  // (subjects and predicates repeat; objects are the unique tail).
+  if (text.size() >= (1u << 20)) {
+    const auto lines = static_cast<std::size_t>(
+        std::count(text.begin(), text.end(), '\n') + 1);
+    graph->Reserve(lines, lines);
+  }
+  return ParseLinesInto(
+      text, 1, [graph](const TermView& s, const TermView& p, const TermView& o) {
+        graph->Add(s, p, o);
+      });
+}
+
+Status ParseNTriplesStream(std::string_view text, const TripleSink& sink) {
+  RDFSR_CHECK(sink != nullptr);
+  return ParseLinesInto(text, 1, sink);
 }
 
 Result<Graph> ParseNTriples(std::string_view text) {
@@ -264,12 +427,28 @@ Result<Graph> ParseNTriples(std::string_view text) {
   return g;
 }
 
-Result<Graph> ParseNTriplesFile(const std::string& path) {
+Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open file: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ParseNTriples(buf.str());
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::Internal("cannot stat file: " + path);
+  in.seekg(0, std::ios::beg);
+  std::string buf(static_cast<std::size_t>(size), '\0');
+  if (size > 0 && !in.read(buf.data(), size)) {
+    return Status::Internal("short read on file: " + path);
+  }
+  return buf;
+}
+
+Result<Graph> ParseNTriplesFile(const std::string& path,
+                                const ParseOptions& options) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  Graph g;
+  Status st = ParseNTriplesInto(*text, &g, options);
+  if (!st.ok()) return st;
+  return g;
 }
 
 void WriteNTriples(const Graph& graph, std::ostream* out) {

@@ -78,10 +78,11 @@ std::string Term::ToString() const {
   return "";
 }
 
-std::size_t TermHash::operator()(const Term& t) const {
-  std::size_t h = std::hash<std::string>()(t.lexical);
-  h ^= std::hash<std::string>()(t.datatype) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  h ^= std::hash<std::string>()(t.lang) + 0x9e3779b9 + (h << 6) + (h >> 2);
+std::size_t TermHash::operator()(const TermView& t) const {
+  std::size_t h = std::hash<std::string_view>()(t.lexical);
+  h ^= std::hash<std::string_view>()(t.datatype) + 0x9e3779b9 + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<std::string_view>()(t.lang) + 0x9e3779b9 + (h << 6) + (h >> 2);
   h ^= static_cast<std::size_t>(t.kind) + 0x9e3779b9 + (h << 6) + (h >> 2);
   return h;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 namespace rdfsr::rdf {
 
@@ -49,9 +50,70 @@ struct Term {
   std::string ToString() const;
 };
 
+/// A non-owning view of a term: the string_view analogue of Term. The
+/// streaming N-Triples parser produces TermViews pointing into the input
+/// buffer (or a per-line scratch buffer for escaped forms), and the dictionary
+/// interns them through heterogeneous lookup — the common case of an
+/// already-interned term does zero allocations.
+struct TermView {
+  TermKind kind = TermKind::kIri;
+  std::string_view lexical;
+  std::string_view datatype;
+  std::string_view lang;
+
+  TermView() = default;
+  TermView(TermKind kind, std::string_view lexical,
+           std::string_view datatype = {}, std::string_view lang = {})
+      : kind(kind), lexical(lexical), datatype(datatype), lang(lang) {}
+  /// View of an owning Term (valid while the Term lives).
+  explicit TermView(const Term& t)
+      : kind(t.kind), lexical(t.lexical), datatype(t.datatype), lang(t.lang) {}
+
+  static TermView Iri(std::string_view iri) {
+    return TermView(TermKind::kIri, iri);
+  }
+  static TermView Blank(std::string_view label) {
+    return TermView(TermKind::kBlank, label);
+  }
+
+  /// Materializes an owning Term (copies the viewed bytes).
+  Term ToTerm() const {
+    Term t;
+    t.kind = kind;
+    t.lexical = std::string(lexical);
+    t.datatype = std::string(datatype);
+    t.lang = std::string(lang);
+    return t;
+  }
+
+  friend bool operator==(const TermView& a, const TermView& b) {
+    return a.kind == b.kind && a.lexical == b.lexical &&
+           a.datatype == b.datatype && a.lang == b.lang;
+  }
+};
+
 /// Hash functor so Term can key unordered maps (dictionary interning).
+/// Transparent: TermView hashes to the same value as the equivalent Term, so
+/// lookups by view never materialize a temporary Term.
 struct TermHash {
-  std::size_t operator()(const Term& t) const;
+  using is_transparent = void;
+  std::size_t operator()(const Term& t) const {
+    return (*this)(TermView(t));
+  }
+  std::size_t operator()(const TermView& t) const;
+};
+
+/// Equality functor matching TermHash's transparency.
+struct TermEq {
+  using is_transparent = void;
+  bool operator()(const Term& a, const Term& b) const { return a == b; }
+  bool operator()(const Term& a, const TermView& b) const {
+    return TermView(a) == b;
+  }
+  bool operator()(const TermView& a, const Term& b) const {
+    return a == TermView(b);
+  }
+  bool operator()(const TermView& a, const TermView& b) const { return a == b; }
 };
 
 }  // namespace rdfsr::rdf

@@ -1,0 +1,92 @@
+#include "schema/index_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rdf/vocab.h"
+#include "schema/property_set.h"
+
+namespace rdfsr::schema {
+
+SignatureIndex IndexBuilder::Build(const rdf::Dictionary& dict,
+                                   bool keep_subject_names) {
+  // Sorting ascending groups each subject's columns contiguously; dense ids
+  // are first-appearance ordinals, so subject runs come out in the same row
+  // order as the legacy matrix.
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+
+  SignatureIndex index;
+  index.property_names_.reserve(properties_.size());
+  for (rdf::TermId p : properties_) {
+    index.property_names_.push_back(dict.term(p).lexical);
+  }
+  const std::size_t num_props = properties_.size();
+
+  // signature row -> position in index.signatures_
+  std::unordered_map<PropertySet, std::size_t, PropertySetHash> groups;
+  std::size_t i = 0;
+  while (i < pairs_.size()) {
+    const std::uint32_t subj = static_cast<std::uint32_t>(pairs_[i] >> 32);
+    PropertySet row(num_props);
+    for (; i < pairs_.size() &&
+           static_cast<std::uint32_t>(pairs_[i] >> 32) == subj;
+         ++i) {
+      row.Insert(static_cast<std::size_t>(pairs_[i] & 0xffffffffu));
+    }
+    auto [it, inserted] = groups.emplace(std::move(row), index.signatures_.size());
+    if (inserted) {
+      index.signatures_.emplace_back(it->first, std::int64_t{1});
+      index.subject_names_.emplace_back();
+    } else {
+      ++index.signatures_[it->second].count;
+    }
+    if (keep_subject_names) {
+      index.subject_names_[it->second].push_back(
+          dict.term(subjects_[subj]).lexical);
+    }
+  }
+  index.Canonicalize();
+  return index;
+}
+
+SignatureIndex IndexBuilder::FromGraph(const rdf::Graph& graph,
+                                       bool keep_subject_names) {
+  IndexBuilder builder;
+  builder.ReservePairs(graph.size());
+  for (const rdf::Triple& t : graph.triples()) {
+    builder.Add(t.subject, t.predicate);
+  }
+  return builder.Build(graph.dict(), keep_subject_names);
+}
+
+SignatureIndex IndexBuilder::FromSortSlice(const rdf::Graph& graph,
+                                           std::string_view type_iri,
+                                           bool keep_subject_names,
+                                           std::size_t* slice_triples) {
+  if (slice_triples != nullptr) *slice_triples = 0;
+  IndexBuilder builder;
+  const rdf::Dictionary& dict = graph.dict();
+  const rdf::TermId type_prop = dict.FindIri(rdf::vocab::kRdfType);
+  const rdf::TermId sort = dict.FindIri(type_iri);
+  if (type_prop != rdf::kInvalidTermId && sort != rdf::kInvalidTermId) {
+    std::unordered_set<rdf::TermId> members;
+    for (std::uint32_t i : graph.TypePostings()) {
+      const rdf::Triple& t = graph.triples()[i];
+      if (t.object == sort) members.insert(t.subject);
+    }
+    if (!members.empty()) {
+      std::size_t n = 0;
+      for (const rdf::Triple& t : graph.triples()) {
+        if (t.predicate == type_prop || members.count(t.subject) == 0) continue;
+        builder.Add(t.subject, t.predicate);
+        ++n;
+      }
+      if (slice_triples != nullptr) *slice_triples = n;
+    }
+  }
+  return builder.Build(dict, keep_subject_names);
+}
+
+}  // namespace rdfsr::schema

@@ -25,6 +25,7 @@ PropertyMatrix PropertyMatrix::FromGraph(const rdf::Graph& graph) {
     const std::size_t c = prop_index.at(t.predicate);
     m.cells_[r * m.num_properties() + c] = 1;
   }
+  m.BuildNameIndexes();
   return m;
 }
 
@@ -57,21 +58,29 @@ PropertyMatrix PropertyMatrix::FromRows(
       m.cells_[r * ncols + c] = static_cast<std::uint8_t>(rows[r][c]);
     }
   }
+  m.BuildNameIndexes();
   return m;
 }
 
-int PropertyMatrix::FindProperty(const std::string& name) const {
-  for (std::size_t c = 0; c < property_names_.size(); ++c) {
-    if (property_names_[c] == name) return static_cast<int>(c);
+void PropertyMatrix::BuildNameIndexes() {
+  property_index_.reserve(property_names_.size());
+  for (std::size_t i = 0; i < property_names_.size(); ++i) {
+    property_index_.emplace(property_names_[i], static_cast<int>(i));
   }
-  return -1;
+  subject_index_.reserve(subject_names_.size());
+  for (std::size_t i = 0; i < subject_names_.size(); ++i) {
+    subject_index_.emplace(subject_names_[i], static_cast<int>(i));
+  }
+}
+
+int PropertyMatrix::FindProperty(const std::string& name) const {
+  auto it = property_index_.find(name);
+  return it == property_index_.end() ? -1 : it->second;
 }
 
 int PropertyMatrix::FindSubject(const std::string& name) const {
-  for (std::size_t r = 0; r < subject_names_.size(); ++r) {
-    if (subject_names_[r] == name) return static_cast<int>(r);
-  }
-  return -1;
+  auto it = subject_index_.find(name);
+  return it == subject_index_.end() ? -1 : it->second;
 }
 
 std::int64_t PropertyMatrix::CountOnes() const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rdf/graph.h"
@@ -54,18 +55,27 @@ class PropertyMatrix {
     return property_names_[p];
   }
 
-  /// Index of a property by name, or -1 when absent.
+  /// Index of a property by name, or -1 when absent. O(1): hashed against a
+  /// map built by the factory, so const lookups never mutate shared state.
   int FindProperty(const std::string& name) const;
-  /// Index of a subject by name, or -1 when absent.
+  /// Index of a subject by name, or -1 when absent. Hashed like FindProperty.
   int FindSubject(const std::string& name) const;
 
   /// Total number of 1-cells (Σ_sp M_sp).
   std::int64_t CountOnes() const;
 
  private:
+  /// Builds the name -> index maps; called by both factories once the name
+  /// vectors are final.
+  void BuildNameIndexes();
+
   std::vector<std::string> subject_names_;
   std::vector<std::string> property_names_;
   std::vector<std::uint8_t> cells_;  // row-major
+  // Name -> index maps backing FindProperty / FindSubject (duplicate names
+  // keep their first index, matching the old linear scans).
+  std::unordered_map<std::string, int> property_index_;
+  std::unordered_map<std::string, int> subject_index_;
 };
 
 }  // namespace rdfsr::schema

@@ -110,13 +110,18 @@ void SignatureIndex::Canonicalize() {
       subject_signature_.emplace(name, static_cast<int>(i));
     }
   }
+  // Built here rather than lazily so that const queries on a shared index
+  // never mutate (indexes are shared across Analyses, possibly cross-thread).
+  property_index_.clear();
+  property_index_.reserve(property_names_.size());
+  for (std::size_t p = 0; p < property_names_.size(); ++p) {
+    property_index_.emplace(property_names_[p], static_cast<int>(p));
+  }
 }
 
 int SignatureIndex::FindProperty(const std::string& name) const {
-  for (std::size_t p = 0; p < property_names_.size(); ++p) {
-    if (property_names_[p] == name) return static_cast<int>(p);
-  }
-  return -1;
+  auto it = property_index_.find(name);
+  return it == property_index_.end() ? -1 : it->second;
 }
 
 std::int64_t SignatureIndex::PropertyCount(std::size_t prop) const {

@@ -123,7 +123,9 @@ class SignatureIndex {
     return property_names_;
   }
 
-  /// Index of a property by name, or -1 when absent.
+  /// Index of a property by name, or -1 when absent. O(1): backed by a hash
+  /// map built at construction (Canonicalize), so const queries on a shared
+  /// index never mutate.
   int FindProperty(const std::string& name) const;
 
   /// Whether signature i has property p — a single word probe.
@@ -163,6 +165,8 @@ class SignatureIndex {
   PropertyMatrix ToMatrix() const;
 
  private:
+  friend class IndexBuilder;  // streaming construction (schema/index_builder.h)
+
   void Canonicalize();
 
   std::vector<std::string> property_names_;
@@ -173,6 +177,9 @@ class SignatureIndex {
   // Per signature, the retained subject names (parallel to signatures_; empty
   // vectors when names not kept).
   std::vector<std::vector<std::string>> subject_names_;
+  // Property name -> index map backing FindProperty; rebuilt by
+  // Canonicalize alongside the subject map.
+  std::unordered_map<std::string, int> property_index_;
 };
 
 }  // namespace rdfsr::schema

@@ -1,0 +1,193 @@
+// Equivalence tests for the streaming IndexBuilder: on any graph, the
+// pairs -> sort -> group pipeline must produce a SignatureIndex canonically
+// identical to the legacy PropertyMatrix::FromGraph + SignatureIndex::FromMatrix
+// reference path — including property column order, signature order, and
+// subject-name maps — across duplicate triples, blank nodes, multi-sort
+// membership, and sort slices.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/random_graph.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/vocab.h"
+#include "schema/index_builder.h"
+#include "schema/property_matrix.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::schema {
+namespace {
+
+/// Reference implementation: the legacy dense-matrix chain.
+SignatureIndex LegacyFromGraph(const rdf::Graph& graph, bool keep_names) {
+  return SignatureIndex::FromMatrix(PropertyMatrix::FromGraph(graph),
+                                    keep_names);
+}
+
+/// Asserts canonical identity of two indexes: shape, property columns,
+/// signature order/supports/counts, and (when kept) subject-name maps.
+void ExpectIndexesIdentical(const SignatureIndex& actual,
+                            const SignatureIndex& expected,
+                            const std::vector<std::string>& subject_names) {
+  ASSERT_EQ(actual.num_properties(), expected.num_properties());
+  EXPECT_EQ(actual.property_names(), expected.property_names());
+  ASSERT_EQ(actual.num_signatures(), expected.num_signatures());
+  EXPECT_EQ(actual.total_subjects(), expected.total_subjects());
+  for (std::size_t i = 0; i < actual.num_signatures(); ++i) {
+    EXPECT_EQ(actual.signature(i).count, expected.signature(i).count)
+        << "signature " << i;
+    EXPECT_EQ(actual.signature(i).support(), expected.signature(i).support())
+        << "signature " << i;
+  }
+  for (const std::string& name : subject_names) {
+    EXPECT_EQ(actual.FindSubjectSignature(name),
+              expected.FindSubjectSignature(name))
+        << "subject " << name;
+  }
+}
+
+/// All subject names of a graph (dictionary lexical forms).
+std::vector<std::string> SubjectNames(const rdf::Graph& graph) {
+  std::vector<std::string> names;
+  for (rdf::TermId s : graph.subjects()) {
+    names.push_back(graph.dict().term(s).lexical);
+  }
+  return names;
+}
+
+TEST(IndexBuilderTest, MatchesLegacyOnTinyGraph) {
+  auto g = rdf::ParseNTriples(
+      "<http://x/a> <http://x/p> <http://x/o> .\n"
+      "<http://x/a> <http://x/q> \"v\" .\n"
+      "<http://x/b> <http://x/p> \"w\" .\n"
+      "_:blank <http://x/q> <http://x/a> .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ExpectIndexesIdentical(IndexBuilder::FromGraph(*g, true),
+                         LegacyFromGraph(*g, true), SubjectNames(*g));
+}
+
+TEST(IndexBuilderTest, CollapsesDuplicatePairMentions) {
+  IndexBuilder builder;
+  rdf::Dictionary dict;
+  const rdf::TermId s = dict.InternIri("http://x/s");
+  const rdf::TermId p = dict.InternIri("http://x/p");
+  const rdf::TermId q = dict.InternIri("http://x/q");
+  builder.Add(s, p);
+  builder.Add(s, p);  // duplicate mention (e.g. two objects for one property)
+  builder.Add(s, q);
+  builder.Add(s, p);
+  EXPECT_EQ(builder.num_pairs(), 4u);
+  const SignatureIndex index = builder.Build(dict, true);
+  ASSERT_EQ(index.num_signatures(), 1u);
+  EXPECT_EQ(index.signature(0).count, 1);
+  EXPECT_EQ(index.signature(0).support(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(index.total_subjects(), 1);
+}
+
+TEST(IndexBuilderTest, PropertyColumnsFollowFirstAppearance) {
+  auto g = rdf::ParseNTriples(
+      "<http://x/a> <http://x/z> \"1\" .\n"
+      "<http://x/b> <http://x/a> \"2\" .\n"
+      "<http://x/a> <http://x/m> \"3\" .\n");
+  ASSERT_TRUE(g.ok());
+  const SignatureIndex index = IndexBuilder::FromGraph(*g, false);
+  EXPECT_EQ(index.property_names(),
+            (std::vector<std::string>{"http://x/z", "http://x/a",
+                                      "http://x/m"}));
+}
+
+TEST(IndexBuilderTest, RandomizedEquivalenceWholeGraph) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    gen::RandomGraphSpec spec;
+    spec.num_subjects = 10 + static_cast<int>(seed % 30);
+    spec.num_properties = 3 + static_cast<int>(seed % 9);
+    spec.num_sorts = static_cast<int>(seed % 4);  // includes sortless graphs
+    spec.density = 0.15 + 0.07 * static_cast<double>(seed % 10);
+    spec.seed = seed;
+    const rdf::Graph g = gen::GenerateRandomGraph(spec);
+    if (g.empty()) continue;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectIndexesIdentical(IndexBuilder::FromGraph(g, true),
+                           LegacyFromGraph(g, true), SubjectNames(g));
+  }
+}
+
+TEST(IndexBuilderTest, RandomizedEquivalenceSortSlices) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    gen::RandomGraphSpec spec;
+    spec.num_subjects = 12 + static_cast<int>(seed % 20);
+    spec.num_properties = 4 + static_cast<int>(seed % 6);
+    spec.num_sorts = 1 + static_cast<int>(seed % 3);
+    spec.multi_sort_probability = 0.5;
+    spec.seed = seed * 977;
+    const rdf::Graph g = gen::GenerateRandomGraph(spec);
+    for (rdf::TermId sort_id : g.SortConstants()) {
+      const std::string sort = g.dict().term(sort_id).lexical;
+      const rdf::Graph slice = g.SortSlice(sort);
+      std::size_t slice_triples = 0;
+      const SignatureIndex streaming =
+          IndexBuilder::FromSortSlice(g, sort, true, &slice_triples);
+      EXPECT_EQ(slice_triples, slice.size()) << "sort " << sort;
+      if (slice.empty()) {
+        EXPECT_EQ(streaming.num_signatures(), 0u);
+        continue;
+      }
+      SCOPED_TRACE("seed " + std::to_string(seed) + " sort " + sort);
+      ExpectIndexesIdentical(streaming, LegacyFromGraph(slice, true),
+                             SubjectNames(slice));
+    }
+  }
+}
+
+TEST(IndexBuilderTest, UnknownSortYieldsEmptyIndex) {
+  auto g = rdf::ParseNTriples("<http://x/a> <http://x/p> \"v\" .\n");
+  ASSERT_TRUE(g.ok());
+  std::size_t slice_triples = 77;
+  const SignatureIndex index =
+      IndexBuilder::FromSortSlice(*g, "http://x/Nope", true, &slice_triples);
+  EXPECT_EQ(index.num_signatures(), 0u);
+  EXPECT_EQ(slice_triples, 0u);
+}
+
+TEST(IndexBuilderTest, SortSliceExcludesTypeTriplesAndUntypedSubjects) {
+  auto g = rdf::ParseNTriples(
+      "<http://x/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://x/T> .\n"
+      "<http://x/a> <http://x/p> \"v\" .\n"
+      "<http://x/b> <http://x/p> \"w\" .\n");  // untyped: not in the slice
+  ASSERT_TRUE(g.ok());
+  std::size_t slice_triples = 0;
+  const SignatureIndex index =
+      IndexBuilder::FromSortSlice(*g, "http://x/T", true, &slice_triples);
+  EXPECT_EQ(slice_triples, 1u);
+  EXPECT_EQ(index.total_subjects(), 1);
+  EXPECT_EQ(index.property_names(),
+            (std::vector<std::string>{"http://x/p"}));
+  EXPECT_EQ(index.FindSubjectSignature("http://x/a"), 0);
+  EXPECT_EQ(index.FindSubjectSignature("http://x/b"), -1);
+}
+
+TEST(IndexBuilderTest, IntermediateStateIsPairsNotDenseMatrix) {
+  // A tall sparse graph: many subjects, many properties, one pair each. The
+  // dense matrix would be subjects x properties cells; the builder must stay
+  // linear in pairs.
+  rdf::Graph g;
+  const int n = 256;
+  for (int i = 0; i < n; ++i) {
+    g.AddLiteral("http://x/s" + std::to_string(i),
+                 "http://x/p" + std::to_string(i), "v");
+  }
+  IndexBuilder builder;
+  for (const rdf::Triple& t : g.triples()) builder.Add(t.subject, t.predicate);
+  const std::size_t dense_cells =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  EXPECT_LT(builder.intermediate_bytes(), dense_cells);
+  ExpectIndexesIdentical(builder.Build(g.dict(), false),
+                         LegacyFromGraph(g, false), {});
+}
+
+}  // namespace
+}  // namespace rdfsr::schema

@@ -1,12 +1,49 @@
-// Unit tests for the N-Triples parser and writer, including escape handling
-// and error reporting (failure injection).
+// Unit tests for the N-Triples parser and writer, including escape handling,
+// error reporting (failure injection), streaming/zero-copy parsing, and the
+// sharded multi-threaded reader (chunk-boundary line splitting, global error
+// line numbers, bit-identical merge).
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "rdf/ntriples.h"
 
 namespace rdfsr::rdf {
 namespace {
+
+/// Synthetic multi-line input: `lines` triples with distinct subjects, a
+/// shared predicate pool, and occasional comments/blanks.
+std::string ManyLines(int lines) {
+  std::string text;
+  for (int i = 0; i < lines; ++i) {
+    if (i % 17 == 0) text += "# comment " + std::to_string(i) + "\n";
+    if (i % 23 == 0) text += "\n";
+    text += "<http://x/s" + std::to_string(i % 37) + "> <http://x/p" +
+            std::to_string(i % 5) + "> \"value " + std::to_string(i) +
+            "\" .\n";
+  }
+  return text;
+}
+
+/// Asserts two graphs are bit-identical: same dictionary contents in the same
+/// id order and the same triple id sequence.
+void ExpectGraphsIdentical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.dict().size(), b.dict().size());
+  for (TermId id = 0; id < a.dict().size(); ++id) {
+    EXPECT_EQ(a.dict().term(id), b.dict().term(id)) << "term id " << id;
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.triples()[i].subject, b.triples()[i].subject) << "triple " << i;
+    EXPECT_EQ(a.triples()[i].predicate, b.triples()[i].predicate)
+        << "triple " << i;
+    EXPECT_EQ(a.triples()[i].object, b.triples()[i].object) << "triple " << i;
+  }
+}
 
 TEST(NTriplesTest, ParsesIriTriple) {
   auto g = ParseNTriples("<http://x/s> <http://x/p> <http://x/o> .\n");
@@ -126,6 +163,138 @@ TEST(NTriplesTest, MissingFileIsNotFound) {
   auto g = ParseNTriplesFile("/nonexistent/path.nt");
   ASSERT_FALSE(g.ok());
   EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NTriplesTest, StreamSinkSeesTriplesInOrder) {
+  std::vector<std::string> subjects;
+  Status st = ParseNTriplesStream(
+      "<http://x/a> <http://x/p> \"1\" .\n"
+      "_:b <http://x/p> \"2\" .\n",
+      [&](const TermView& s, const TermView& p, const TermView& o) {
+        subjects.push_back(std::string(s.lexical));
+        EXPECT_EQ(p.kind, TermKind::kIri);
+        EXPECT_EQ(o.kind, TermKind::kLiteral);
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(subjects, (std::vector<std::string>{"http://x/a", "b"}));
+}
+
+TEST(NTriplesTest, StreamDecodesEscapedViews) {
+  // Escaped forms must decode even though unescaped forms are zero-copy.
+  std::string lex, iri;
+  Status st = ParseNTriplesStream(
+      "<http://x/caf\\u00e9> <http://x/p> \"a\\tb\" .\n",
+      [&](const TermView& s, const TermView&, const TermView& o) {
+        iri = std::string(s.lexical);
+        lex = std::string(o.lexical);
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(iri, "http://x/caf\xc3\xa9");
+  EXPECT_EQ(lex, "a\tb");
+}
+
+TEST(NTriplesTest, ReadFileToStringSingleBuffer) {
+  const std::string path = ::testing::TempDir() + "ntriples_read_once.nt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("<http://x/s> <http://x/p> \"v\" .\n", f);
+    std::fclose(f);
+  }
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text, "<http://x/s> <http://x/p> \"v\" .\n");
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, ShardedParseMatchesSequentialBitForBit) {
+  const std::string text = ManyLines(500);
+  Graph sequential;
+  ASSERT_TRUE(ParseNTriplesInto(text, &sequential).ok());
+  for (int threads : {2, 3, 4, 8}) {
+    ParseOptions options;
+    options.threads = threads;
+    options.min_chunk_bytes = 1;  // force sharding on this small input
+    Graph sharded;
+    ASSERT_TRUE(ParseNTriplesInto(text, &sharded, options).ok())
+        << threads << " threads";
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    ExpectGraphsIdentical(sharded, sequential);
+  }
+}
+
+TEST(NTriplesTest, ShardedParseHandlesChunkBoundaryLines) {
+  // With min_chunk_bytes = 1 and many threads, chunk boundaries land inside
+  // the line stream; every split must snap to a line boundary so no triple is
+  // lost or torn.
+  const std::string text = ManyLines(64);
+  ParseOptions options;
+  options.threads = 16;
+  options.min_chunk_bytes = 1;
+  Graph sharded;
+  ASSERT_TRUE(ParseNTriplesInto(text, &sharded, options).ok());
+  Graph sequential;
+  ASSERT_TRUE(ParseNTriplesInto(text, &sequential).ok());
+  ExpectGraphsIdentical(sharded, sequential);
+}
+
+TEST(NTriplesTest, ShardedParseReportsGlobalErrorLine) {
+  // Place the bad line deep enough that it falls in a later chunk; the error
+  // must carry the global line number, not the chunk-local one.
+  std::string text = ManyLines(200);
+  const std::size_t lines_before =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  text += "this is not a triple\n";
+  text += ManyLines(10);
+  ParseOptions options;
+  options.threads = 4;
+  options.min_chunk_bytes = 1;
+  Graph g;
+  Status st = ParseNTriplesInto(text, &g, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line " + std::to_string(lines_before + 1)),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST(NTriplesTest, ShardedParseReportsEarliestError) {
+  // Errors in several chunks: the reported error must be the first one in
+  // line order, matching sequential semantics.
+  std::string text = ManyLines(50);
+  const std::size_t first_bad =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
+  text += "bad line one\n";
+  text += ManyLines(100);
+  text += "bad line two\n";
+  ParseOptions options;
+  options.threads = 6;
+  options.min_chunk_bytes = 1;
+  Graph g;
+  Status st = ParseNTriplesInto(text, &g, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line " + std::to_string(first_bad)),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST(NTriplesTest, ParseFileWithThreadsMatchesSequential) {
+  const std::string path = ::testing::TempDir() + "ntriples_sharded.nt";
+  const std::string text = ManyLines(300);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  auto sequential = ParseNTriplesFile(path);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  ParseOptions options;
+  options.threads = 4;
+  options.min_chunk_bytes = 1;
+  auto sharded = ParseNTriplesFile(path, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ExpectGraphsIdentical(*sharded, *sequential);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -69,6 +69,32 @@ TEST(DictionaryTest, RoundTripsTerms) {
   EXPECT_EQ(dict.term(id), lit);
 }
 
+TEST(DictionaryTest, HeterogeneousLookupByView) {
+  Dictionary dict;
+  const TermId iri = dict.InternIri("http://x/a");
+  const TermId lit = dict.Intern(Term::Literal("v", "http://x/dt", ""));
+
+  // string_view overloads resolve without materializing a Term.
+  EXPECT_EQ(dict.FindIri(std::string_view("http://x/a")), iri);
+  EXPECT_EQ(dict.Find(TermView(TermKind::kLiteral, "v", "http://x/dt", "")),
+            lit);
+  // Kind participates in identity: same lexical, different kind.
+  EXPECT_EQ(dict.Find(TermView::Blank("http://x/a")), kInvalidTermId);
+  // Interning through a view is idempotent with Term interning.
+  EXPECT_EQ(dict.Intern(TermView::Iri("http://x/a")), iri);
+  EXPECT_EQ(dict.Intern(TermView::Iri("http://x/new")), TermId{2});
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TermViewTest, HashesAndComparesLikeTerm) {
+  const Term t = Term::Literal("lex", "dt", "");
+  const TermView v(t);
+  EXPECT_EQ(TermHash()(t), TermHash()(v));
+  EXPECT_TRUE(TermEq()(t, v));
+  EXPECT_FALSE(TermEq()(TermView(Term::Literal("lex", "", "dt")), t));
+  EXPECT_EQ(v.ToTerm(), t);
+}
+
 TEST(GraphTest, SetSemantics) {
   Graph g;
   EXPECT_TRUE(g.AddIri("s", "p", "o"));
@@ -150,6 +176,41 @@ TEST(GraphTest, SharedDictionaryAcrossSlices) {
   g.AddIri("a", "p", "o");
   const Graph slice = g.SortSlice("T");
   EXPECT_EQ(slice.dict_ptr().get(), g.dict_ptr().get());
+}
+
+TEST(GraphTest, TypePostingsTrackTypeTriplesIncrementally) {
+  Graph g;
+  g.AddIri("a", "p", "o");
+  EXPECT_TRUE(g.TypePostings().empty());  // rdf:type not even interned yet
+  g.AddIri("a", vocab::kRdfType, "T");
+  g.AddIri("b", "p", "o");
+  ASSERT_EQ(g.TypePostings().size(), 1u);
+  EXPECT_EQ(g.TypePostings()[0], 1u);
+  // Postings extend as triples arrive after a build (no full rescan needed
+  // for correctness — this asserts the observable contents only).
+  g.AddIri("b", vocab::kRdfType, "T");
+  ASSERT_EQ(g.TypePostings().size(), 2u);
+  EXPECT_EQ(g.TypePostings()[1], 3u);
+  for (std::uint32_t i : g.TypePostings()) {
+    EXPECT_EQ(g.triples()[i].predicate, g.dict().FindIri(vocab::kRdfType));
+  }
+}
+
+TEST(GraphTest, AddTermViewsMatchesAddTerms) {
+  Graph by_term;
+  by_term.AddIri("s", "p", "o");
+  by_term.Add(Term::Iri("s"), Term::Iri("q"), Term::Literal("v", "", "en"));
+
+  Graph by_view;
+  by_view.Add(TermView::Iri("s"), TermView::Iri("p"), TermView::Iri("o"));
+  by_view.Add(TermView::Iri("s"), TermView::Iri("q"),
+              TermView(TermKind::kLiteral, "v", "", "en"));
+
+  ASSERT_EQ(by_term.size(), by_view.size());
+  ASSERT_EQ(by_term.dict().size(), by_view.dict().size());
+  for (TermId id = 0; id < by_term.dict().size(); ++id) {
+    EXPECT_EQ(by_term.dict().term(id), by_view.dict().term(id));
+  }
 }
 
 // Distribution regression tests for TripleHash. The pre-fix hash seeded the
