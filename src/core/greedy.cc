@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+#include <queue>
+#include <utility>
 
+#include "eval/sort_stats.h"
 #include "schema/property_set.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -11,19 +14,6 @@
 namespace rdfsr::core {
 
 namespace {
-
-/// Score of a partition: the sorted-ascending vector of per-sort sigmas
-/// (lexicographic comparison == maximize the minimum, then the second
-/// minimum, ...). Empty slots are ignored.
-std::vector<double> Score(const eval::Evaluator& evaluator,
-                          const std::vector<std::vector<int>>& slots) {
-  std::vector<double> sigmas;
-  for (const std::vector<int>& slot : slots) {
-    if (!slot.empty()) sigmas.push_back(evaluator.Sigma(slot));
-  }
-  std::sort(sigmas.begin(), sigmas.end());
-  return sigmas;
-}
 
 SortRefinement ToRefinement(const std::vector<std::vector<int>>& slots) {
   SortRefinement refinement;
@@ -35,6 +25,15 @@ SortRefinement ToRefinement(const std::vector<std::vector<int>>& slots) {
 
 }  // namespace
 
+// Incremental evaluation: every slot keeps a SortStats plus its cached sigma,
+// so a trial placement costs one Add/Remove on the touched slot and an O(1)
+// closed-form extraction — the other k-1 slots contribute their cached
+// values. That turns a placement step from O(k^2 * |sort| * |P|) (the old
+// Score() re-derived every slot's sigma from its member signatures for every
+// trial) into O(k * (|supp| + k log k)). The sigma doubles come from the same
+// exact integer counts as the scratch path, so scores — and therefore every
+// placement and move decision — are bit-identical to the pre-incremental
+// implementation.
 SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
                                  const GreedyOptions& options) {
   RDFSR_CHECK_GT(k, 0);
@@ -51,6 +50,34 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
   std::vector<int> order(n);
   for (int i = 0; i < n; ++i) order[i] = i;
 
+  // Per-restart state and per-trial scratch, hoisted out of the loops.
+  std::vector<eval::SortStats> slot_stats;
+  std::vector<double> slot_sigma(static_cast<std::size_t>(k), 1.0);
+  std::vector<int> slot_order(static_cast<std::size_t>(k));
+  std::vector<std::size_t> overlap(static_cast<std::size_t>(k));
+  std::vector<double> trial;
+  trial.reserve(static_cast<std::size_t>(k));
+
+  // The sorted-ascending vector of per-(non-empty-)slot sigmas, with slot s
+  // overridden to `sigma_s` (every trial changes exactly one slot). Lexical
+  // comparison of these vectors == maximize the minimum, then the second
+  // minimum, ... `include_s` is false when the trial empties slot s.
+  const auto trial_score = [&](const std::vector<std::vector<int>>& slots,
+                               int s, double sigma_s, bool include_s,
+                               int d = -1, double sigma_d = 1.0) {
+    trial.clear();
+    for (int t = 0; t < k; ++t) {
+      if (t == s) {
+        if (include_s) trial.push_back(sigma_s);
+      } else if (t == d) {
+        trial.push_back(sigma_d);
+      } else if (!slots[t].empty()) {
+        trial.push_back(slot_sigma[t]);
+      }
+    }
+    std::sort(trial.begin(), trial.end());
+  };
+
   for (int restart = 0; restart < options.restarts; ++restart) {
     std::vector<int> shuffled = order;
     if (restart > 0) {
@@ -63,22 +90,20 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
     // Greedy construction: put each signature where the resulting score
     // vector is best; opening a new (empty) slot is allowed while slots
     // remain. Slots are tried in descending support overlap with the
-    // candidate (word-packed IntersectCount against the slot's support
+    // candidate (word-packed IntersectCount against the slot's used-property
     // union), so score ties resolve toward the structurally closest sort.
     std::vector<std::vector<int>> slots(k);
-    std::vector<schema::PropertySet> slot_support(
-        k, schema::PropertySet(index.num_properties()));
+    slot_stats.assign(static_cast<std::size_t>(k), evaluator.MakeStats());
     for (int sig : shuffled) {
       const schema::PropertySet& sig_props = index.signature(sig).props();
-      std::vector<int> slot_order(k);
       std::iota(slot_order.begin(), slot_order.end(), 0);
-      std::vector<std::size_t> overlap(k);
       for (int s = 0; s < k; ++s) {
-        overlap[s] = slot_support[s].IntersectCount(sig_props);
+        overlap[s] = slot_stats[s].used().IntersectCount(sig_props);
       }
       std::stable_sort(slot_order.begin(), slot_order.end(),
                        [&](int a, int b) { return overlap[a] > overlap[b]; });
       int best_slot = -1;
+      double best_slot_sigma = 1.0;
       std::vector<double> best_local;
       bool tried_empty = false;
       for (int s : slot_order) {
@@ -86,23 +111,28 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
           if (tried_empty) continue;  // empty slots are interchangeable
           tried_empty = true;
         }
-        slots[s].push_back(sig);
-        std::vector<double> sc = Score(evaluator, slots);
-        slots[s].pop_back();
-        if (best_slot < 0 || sc > best_local) {
-          best_local = std::move(sc);
+        slot_stats[s].Add(sig);
+        const double sigma_s = evaluator.SigmaFromStats(slot_stats[s]);
+        slot_stats[s].Remove(sig);
+        trial_score(slots, s, sigma_s, /*include_s=*/true);
+        if (best_slot < 0 || trial > best_local) {
+          best_local = trial;
           best_slot = s;
+          best_slot_sigma = sigma_s;
         }
       }
       slots[best_slot].push_back(sig);
-      slot_support[best_slot].UnionWith(sig_props);
+      slot_stats[best_slot].Add(sig);
+      slot_sigma[best_slot] = best_slot_sigma;
     }
 
     // Local search: move a single signature to a different slot when that
-    // improves the score vector.
+    // improves the score vector. Only the source and destination slots are
+    // re-evaluated per candidate move.
     for (int pass = 0; pass < options.max_passes; ++pass) {
       bool improved = false;
-      std::vector<double> current = Score(evaluator, slots);
+      trial_score(slots, /*s=*/-1, 1.0, false);
+      std::vector<double> current = trial;
       for (int s = 0; s < k; ++s) {
         for (std::size_t pos = 0; pos < slots[s].size(); ++pos) {
           const int sig = slots[s][pos];
@@ -113,19 +143,26 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
               if (tried_empty) continue;
               tried_empty = true;
             }
-            // Apply the move.
-            slots[s].erase(slots[s].begin() + pos);
-            slots[d].push_back(sig);
-            std::vector<double> sc = Score(evaluator, slots);
-            if (sc > current) {
-              current = std::move(sc);
+            // Apply the move to the stats, score, then commit or undo.
+            slot_stats[s].Remove(sig);
+            slot_stats[d].Add(sig);
+            const bool s_remains = slots[s].size() > 1;
+            const double sigma_s =
+                s_remains ? evaluator.SigmaFromStats(slot_stats[s]) : 1.0;
+            const double sigma_d = evaluator.SigmaFromStats(slot_stats[d]);
+            trial_score(slots, s, sigma_s, s_remains, d, sigma_d);
+            if (trial > current) {
+              slots[s].erase(slots[s].begin() + pos);
+              slots[d].push_back(sig);
+              slot_sigma[s] = sigma_s;
+              slot_sigma[d] = sigma_d;
+              current = trial;
               improved = true;
               // Keep the move; restart scanning this slot.
               break;
             }
-            // Undo.
-            slots[d].pop_back();
-            slots[s].insert(slots[s].begin() + pos, sig);
+            slot_stats[d].Remove(sig);
+            slot_stats[s].Add(sig);
           }
           if (improved) break;
         }
@@ -134,9 +171,9 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
       if (!improved) break;
     }
 
-    std::vector<double> sc = Score(evaluator, slots);
-    if (best_slots.empty() || sc > best_score) {
-      best_score = std::move(sc);
+    trial_score(slots, /*s=*/-1, 1.0, false);
+    if (best_slots.empty() || trial > best_score) {
+      best_score = trial;
       best_slots = slots;
     }
   }
@@ -154,56 +191,164 @@ std::optional<SortRefinement> GreedyFindRefinement(
 
 namespace {
 
-/// Shared agglomerative engine. Merges the best pair (highest merged sigma;
-/// ties by lower indices for determinism) while `may_merge` admits it and
-/// more than `min_sorts` sorts remain.
+/// Shared agglomerative engine. Merges the best pair (highest merged sigma,
+/// compared exactly; ties by lower part order for determinism) while
+/// `may_merge` admits it and more than `min_sorts` sorts remain.
+///
+/// Incremental evaluation: each part keeps a SortStats, so a candidate
+/// merge's sigma is one stats merge plus an O(1) closed-form extraction —
+/// never a walk over the parts' member signatures. Pair selection uses a
+/// lazy best-pair priority queue over per-part rows (part a's row covers
+/// pairs (a, b) with b after a in part order): the heap holds snapshots that
+/// are re-validated against part versions on pop, and after a merge only the
+/// rows touching the merged part are recomputed — rows whose cached best
+/// partner survived just race the merged part as one new candidate. A merge
+/// round therefore costs O(n log n + n * |P|/64) instead of the scratch
+/// baseline's O(n^2 * |sort| * |P|) (measured in bench/bench_refine.cc).
 SortRefinement Agglomerate(
     const eval::Evaluator& evaluator, std::size_t min_sorts,
     const std::function<bool(const eval::SigmaCounts&)>& may_merge) {
   const int n = static_cast<int>(evaluator.index().num_signatures());
-  std::vector<std::vector<int>> parts(n);
-  for (int i = 0; i < n; ++i) parts[i] = {i};
 
-  // Pairwise merged-sigma cache; invalidated rows recomputed after merges.
-  auto merged_counts = [&](int a, int b) {
-    std::vector<int> merged = parts[a];
-    merged.insert(merged.end(), parts[b].begin(), parts[b].end());
-    return evaluator.Counts(merged);
+  // Parts live in fixed slots; a merge folds the later slot into the earlier
+  // one, so ascending live slots reproduce the erase-based ordering (and the
+  // pair tie-break order) of the scratch implementation exactly.
+  struct Part {
+    std::vector<int> members;
+    eval::SortStats stats;
+    std::uint32_t version = 0;
+    bool alive = true;
+  };
+  std::vector<Part> parts(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    parts[i].members = {i};
+    parts[i].stats = evaluator.MakeStats();
+    parts[i].stats.Add(i);
+  }
+
+  struct PairEntry {
+    eval::SigmaCounts counts;
+    int a = -1, b = -1;  // slots, a < b
+    std::uint32_t version_a = 0, version_b = 0;
+    bool allowed = false;
   };
 
-  while (parts.size() > std::max<std::size_t>(min_sorts, 1)) {
-    int best_a = -1, best_b = -1;
-    double best_sigma = -1.0;
-    bool best_allowed = false;
-    for (std::size_t a = 0; a < parts.size(); ++a) {
-      for (std::size_t b = a + 1; b < parts.size(); ++b) {
-        const eval::SigmaCounts counts =
-            merged_counts(static_cast<int>(a), static_cast<int>(b));
-        const bool allowed = may_merge(counts);
-        const double sigma = counts.Value();
-        // Prefer allowed merges; among them the highest sigma.
-        if ((allowed && !best_allowed) ||
-            (allowed == best_allowed && sigma > best_sigma + 1e-15)) {
-          best_a = static_cast<int>(a);
-          best_b = static_cast<int>(b);
-          best_sigma = sigma;
-          best_allowed = allowed;
+  // Strict "merge first" order: allowed merges before disallowed ones, then
+  // the exactly-higher sigma, then the earlier pair — the same preference the
+  // scratch scan applied, minus its 1e-15 float slack.
+  const auto merges_before = [](const PairEntry& x, const PairEntry& y) {
+    if (x.allowed != y.allowed) return x.allowed;
+    const int c = eval::CompareSigma(x.counts, y.counts);
+    if (c != 0) return c > 0;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  };
+
+  const auto eval_pair = [&](int a, int b) {
+    PairEntry e;
+    e.counts =
+        evaluator.CountsFromMergedStats(parts[a].stats, parts[b].stats);
+    e.allowed = may_merge(e.counts);
+    e.a = a;
+    e.b = b;
+    e.version_a = parts[a].version;
+    e.version_b = parts[b].version;
+    return e;
+  };
+
+  const auto heap_less = [&merges_before](const PairEntry& x,
+                                          const PairEntry& y) {
+    return merges_before(y, x);
+  };
+  std::priority_queue<PairEntry, std::vector<PairEntry>, decltype(heap_less)>
+      heap(heap_less);
+
+  // Per-part row cache: the best pair (a, b) over live b > a.
+  std::vector<PairEntry> row_best(static_cast<std::size_t>(n));
+  std::vector<char> has_row(static_cast<std::size_t>(n), 0);
+
+  const auto recompute_row = [&](int a) {
+    has_row[a] = 0;
+    for (int b = a + 1; b < n; ++b) {
+      if (!parts[b].alive) continue;
+      PairEntry e = eval_pair(a, b);
+      if (!has_row[a] || merges_before(e, row_best[a])) {
+        row_best[a] = e;
+        has_row[a] = 1;
+      }
+    }
+    if (has_row[a]) heap.push(row_best[a]);
+  };
+
+  std::size_t live = static_cast<std::size_t>(n);
+  const std::size_t stop = std::max<std::size_t>(min_sorts, 1);
+  if (live > stop) {
+    for (int a = 0; a < n; ++a) recompute_row(a);
+  }
+  while (live > stop) {
+    // Pop to the best still-valid snapshot; entries for dead or since-merged
+    // parts are discarded here rather than eagerly removed.
+    PairEntry best;
+    bool found = false;
+    while (!heap.empty()) {
+      const PairEntry top = heap.top();
+      heap.pop();
+      if (parts[top.a].alive && parts[top.b].alive &&
+          parts[top.a].version == top.version_a &&
+          parts[top.b].version == top.version_b) {
+        best = top;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    // Under a threshold regime (min_sorts == 1) only allowed merges happen;
+    // under fixed-k (min_sorts == k) every merge is allowed by construction.
+    if (!best.allowed) break;
+
+    const int a = best.a;
+    const int b = best.b;
+    parts[a].members.insert(parts[a].members.end(), parts[b].members.begin(),
+                            parts[b].members.end());
+    parts[a].stats.MergeWith(parts[b].stats);
+    ++parts[a].version;
+    parts[b].alive = false;
+    --live;
+    if (live <= stop) break;
+
+    // Only rows touching the merged part change: rows whose cached best
+    // referenced a or b must rescan; earlier rows race the merged part as a
+    // single new candidate; a's own row is rebuilt against its new stats.
+    for (int x = 0; x < n; ++x) {
+      if (!parts[x].alive || x == a) continue;
+      if (has_row[x] && (row_best[x].b == a || row_best[x].b == b)) {
+        recompute_row(x);
+      } else if (x < a) {
+        PairEntry e = eval_pair(x, a);
+        if (!has_row[x] || merges_before(e, row_best[x])) {
+          row_best[x] = e;
+          has_row[x] = 1;
+          heap.push(row_best[x]);
         }
       }
     }
-    if (best_a < 0) break;
-    // Under a threshold regime (min_sorts == 1) only allowed merges happen;
-    // under fixed-k (min_sorts == k) every merge is allowed by construction.
-    if (!best_allowed) break;
-    parts[best_a].insert(parts[best_a].end(), parts[best_b].begin(),
-                         parts[best_b].end());
-    parts.erase(parts.begin() + best_b);
+    recompute_row(a);
+
+    // Stale snapshots accumulate until popped; rebuilding from the O(n) row
+    // cache keeps the heap from growing past O(n) between rounds.
+    if (heap.size() > 4 * static_cast<std::size_t>(n) + 64) {
+      while (!heap.empty()) heap.pop();
+      for (int x = 0; x < n; ++x) {
+        if (parts[x].alive && has_row[x]) heap.push(row_best[x]);
+      }
+    }
   }
 
   SortRefinement refinement;
   for (auto& part : parts) {
-    std::sort(part.begin(), part.end());
-    refinement.sorts.push_back(std::move(part));
+    if (!part.alive) continue;
+    std::sort(part.members.begin(), part.members.end());
+    refinement.sorts.push_back(std::move(part.members));
   }
   return refinement;
 }

@@ -8,6 +8,16 @@
 // maximizing the minimum sigma. It can only certify existence (a validated
 // refinement), never non-existence — the exact MIP remains the decision
 // procedure.
+//
+// Both heuristics evaluate candidate sorts through the incremental SortStats
+// subsystem (eval/sort_stats.h): per-slot / per-part aggregates are mutated
+// in place and sigma extracted in closed form, instead of re-walking member
+// signatures per probe. Greedy trial placements drop from O(k * |sort| * |P|)
+// to O(|supp| + k log k) each; an agglomerative merge round drops from
+// O(n^2 * |sort| * |P|) to O(n log n + n * |P|/64) via a lazy best-pair
+// priority queue (bench/bench_refine.cc measures both against the scratch
+// baselines). Outputs are bit-identical to scratch evaluation: the stats
+// carry the same exact integer counts the scratch closed forms compute.
 
 #ifndef RDFSR_CORE_GREEDY_H_
 #define RDFSR_CORE_GREEDY_H_

@@ -29,4 +29,32 @@ SigmaCounts CachedEvaluator::Counts(const std::vector<int>& sig_ids) const {
   return counts;
 }
 
+SigmaCounts CachedEvaluator::CountsFromStats(const SortStats& stats) const {
+  if (inner_->cheap_stats()) return inner_->CountsFromStats(stats);
+  auto it = cache_.find(stats.members());
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const SigmaCounts counts = inner_->CountsFromStats(stats);
+  cache_.emplace(stats.members(), counts);
+  return counts;
+}
+
+SigmaCounts CachedEvaluator::CountsFromMergedStats(const SortStats& a,
+                                                   const SortStats& b) const {
+  if (inner_->cheap_stats()) return inner_->CountsFromMergedStats(a, b);
+  schema::PropertySet key = Union(a.members(), b.members());
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const SigmaCounts counts = inner_->CountsFromMergedStats(a, b);
+  cache_.emplace(std::move(key), counts);
+  return counts;
+}
+
 }  // namespace rdfsr::eval

@@ -35,6 +35,19 @@ class CachedEvaluator : public Evaluator {
   }
   SigmaCounts Counts(const std::vector<int>& sig_ids) const override;
 
+  /// Stats carry their member set word-packed, which is exactly this cache's
+  /// key — so the stats path shares the memo table with Counts() without
+  /// rebuilding the key bit by bit. When the inner evaluator's stats
+  /// extractions are cheap closed forms (cheap_stats()), these delegate
+  /// without memoizing: building and hashing the member key would cost more
+  /// than the extraction, and the refinement heuristics issue millions of
+  /// such probes.
+  SortStats MakeStats() const override { return inner_->MakeStats(); }
+  SigmaCounts CountsFromStats(const SortStats& stats) const override;
+  SigmaCounts CountsFromMergedStats(const SortStats& a,
+                                    const SortStats& b) const override;
+  bool cheap_stats() const override { return inner_->cheap_stats(); }
+
   /// Cache statistics (diagnostics / tests).
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }

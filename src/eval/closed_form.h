@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "eval/counts.h"
+#include "eval/sort_stats.h"
 #include "schema/signature_index.h"
 
 namespace rdfsr::eval {
@@ -74,6 +75,53 @@ SigmaCounts SymDepCounts(const schema::SignatureIndex& index,
 SigmaCounts DepDisjCounts(const schema::SignatureIndex& index,
                           const std::vector<int>& sig_ids,
                           const std::string& p1, const std::string& p2);
+
+// --- Closed forms over incrementally maintained stats ------------------------
+// Each *FromStats function extracts the same SigmaCounts its scratch
+// counterpart above computes, but from a SortStats value in O(1) (O(|ignored|)
+// for CovIgnoring) — no walk over member signatures. All arithmetic is the
+// same exact integer arithmetic, so results are bit-identical to the scratch
+// path for equal member sets.
+
+/// sigma_Cov counts from stats: total = N * |P*|, favorable = Σ n_mu |supp|.
+SigmaCounts CovCountsFromStats(const SortStats& stats);
+
+/// sigma_Cov ignoring the properties of `ignored_mask` (word-packed over the
+/// same index; typically precomputed once by the evaluator).
+SigmaCounts CovIgnoringCountsFromStats(const SortStats& stats,
+                                       const schema::PropertySet& ignored_mask);
+
+/// sigma_Sim counts from stats: total = Σ_p cnt_p (N - 1) = support_sum (N-1),
+/// favorable = Σ_p cnt_p (cnt_p - 1) = count_sq_sum - support_sum.
+SigmaCounts SimCountsFromStats(const SortStats& stats);
+
+/// sigma_Dep counts from the stats' tracked pair; zero counts (sigma = 1)
+/// when either column is missing from the sort's view.
+SigmaCounts DepCountsFromStats(const SortStats& stats);
+
+/// sigma_SymDep counts from the stats' tracked pair.
+SigmaCounts SymDepCountsFromStats(const SortStats& stats);
+
+/// Disjunctive-consequent Dep variant counts from the stats' tracked pair.
+SigmaCounts DepDisjCountsFromStats(const SortStats& stats);
+
+// --- Closed forms over a candidate merge of two disjoint sorts ---------------
+// The agglomerative heuristic probes O(n) candidate merges per round; these
+// derive the union's counts straight from the two operands' aggregates —
+// O(|P|/64) word work plus the shared-column cross term for Sim — without
+// materializing (or copying) a merged SortStats. Identical integers to
+// merging first and extracting after.
+
+SigmaCounts CovCountsFromMergedStats(const SortStats& a, const SortStats& b);
+SigmaCounts CovIgnoringCountsFromMergedStats(
+    const SortStats& a, const SortStats& b,
+    const schema::PropertySet& ignored_mask);
+SigmaCounts SimCountsFromMergedStats(const SortStats& a, const SortStats& b);
+SigmaCounts DepCountsFromMergedStats(const SortStats& a, const SortStats& b);
+SigmaCounts SymDepCountsFromMergedStats(const SortStats& a,
+                                        const SortStats& b);
+SigmaCounts DepDisjCountsFromMergedStats(const SortStats& a,
+                                         const SortStats& b);
 
 /// Convenience: all signature ids of an index (the full dataset subset).
 std::vector<int> AllSignatures(const schema::SignatureIndex& index);

@@ -1,6 +1,7 @@
 #include "eval/counting.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "eval/partitions.h"
 #include "util/check.h"
@@ -11,10 +12,62 @@ namespace {
 
 std::string BigToString(BigCount value) { return BigCountToString(value); }
 
+/// Atom -> resolved variable indices, built once per enumeration. The
+/// abstract evaluator runs over the same formula tree for every partition and
+/// binding, so resolving var1/var2 with a std::find over the variable list on
+/// every visit was pure rework; a pointer-keyed lookup replaces it.
+class VarIndexCache {
+ public:
+  void Build(const rules::FormulaPtr& phi,
+             const std::vector<std::string>& variables) {
+    if (phi == nullptr) return;
+    using rules::FormulaKind;
+    switch (phi->kind) {
+      case FormulaKind::kNot:
+        Build(phi->left, variables);
+        return;
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        Build(phi->left, variables);
+        Build(phi->right, variables);
+        return;
+      case FormulaKind::kVarEq:
+      case FormulaKind::kValEqVal:
+      case FormulaKind::kSubjEqSubj:
+      case FormulaKind::kPropEqProp:
+        atoms_.emplace(phi.get(), std::pair<int, int>{
+                                      Resolve(phi->var1, variables),
+                                      Resolve(phi->var2, variables)});
+        return;
+      case FormulaKind::kValEqConst:
+      case FormulaKind::kSubjEqConst:
+      case FormulaKind::kPropEqConst:
+        atoms_.emplace(phi.get(),
+                       std::pair<int, int>{Resolve(phi->var1, variables), -1});
+        return;
+    }
+  }
+
+  std::pair<int, int> Vars(const rules::Formula* atom) const {
+    const auto it = atoms_.find(atom);
+    RDFSR_CHECK(it != atoms_.end()) << "unresolved atom";
+    return it->second;
+  }
+
+ private:
+  static int Resolve(const std::string& v,
+                     const std::vector<std::string>& variables) {
+    auto it = std::find(variables.begin(), variables.end(), v);
+    RDFSR_CHECK(it != variables.end()) << "unbound variable '" << v << "'";
+    return static_cast<int>(it - variables.begin());
+  }
+
+  std::unordered_map<const rules::Formula*, std::pair<int, int>> atoms_;
+};
+
 /// Context for evaluating a formula under a rough assignment plus a subject
 /// partition plus a class-to-constant binding.
 struct AbstractContext {
-  const std::vector<std::string>* variables = nullptr;
   const RoughAssignment* tau = nullptr;
   const std::vector<int>* class_of = nullptr;        // per variable index
   const std::vector<int>* class_constant = nullptr;  // per class; -1 = fresh
@@ -23,12 +76,8 @@ struct AbstractContext {
   // Per variable, the word-packed support of its assigned signature
   // (prefetched once per enumeration; val-atoms probe these words directly).
   const std::vector<const schema::PropertySet*>* var_support = nullptr;
-
-  int VarIndex(const std::string& v) const {
-    auto it = std::find(variables->begin(), variables->end(), v);
-    RDFSR_CHECK(it != variables->end()) << "unbound variable '" << v << "'";
-    return static_cast<int>(it - variables->begin());
-  }
+  // Atom variables resolved once per enumeration.
+  const VarIndexCache* vars = nullptr;
 };
 
 bool SatisfiesAbstract(const rules::FormulaPtr& phi,
@@ -37,44 +86,40 @@ bool SatisfiesAbstract(const rules::FormulaPtr& phi,
   RDFSR_CHECK(phi != nullptr);
   switch (phi->kind) {
     case FormulaKind::kValEqConst: {
-      const int v = ctx.VarIndex(phi->var1);
+      const int v = ctx.vars->Vars(phi.get()).first;
       const int prop = ctx.tau->cells[v].second;
       const bool bit = (*ctx.var_support)[v]->Contains(prop);
       return bit == (phi->value == 1);
     }
     case FormulaKind::kSubjEqConst: {
-      const int v = ctx.VarIndex(phi->var1);
+      const int v = ctx.vars->Vars(phi.get()).first;
       const int cls = (*ctx.class_of)[v];
       const int bound = (*ctx.class_constant)[cls];
       return bound >= 0 && (*ctx.constants)[bound] == phi->constant;
     }
     case FormulaKind::kPropEqConst: {
-      const int v = ctx.VarIndex(phi->var1);
+      const int v = ctx.vars->Vars(phi.get()).first;
       const int prop = ctx.tau->cells[v].second;
       return ctx.index->property_name(prop) == phi->constant;
     }
     case FormulaKind::kVarEq: {
-      const int a = ctx.VarIndex(phi->var1);
-      const int b = ctx.VarIndex(phi->var2);
+      const auto [a, b] = ctx.vars->Vars(phi.get());
       return (*ctx.class_of)[a] == (*ctx.class_of)[b] &&
              ctx.tau->cells[a].second == ctx.tau->cells[b].second;
     }
     case FormulaKind::kValEqVal: {
-      const int a = ctx.VarIndex(phi->var1);
-      const int b = ctx.VarIndex(phi->var2);
+      const auto [a, b] = ctx.vars->Vars(phi.get());
       const int pa = ctx.tau->cells[a].second;
       const int pb = ctx.tau->cells[b].second;
       return (*ctx.var_support)[a]->Contains(pa) ==
              (*ctx.var_support)[b]->Contains(pb);
     }
     case FormulaKind::kSubjEqSubj: {
-      const int a = ctx.VarIndex(phi->var1);
-      const int b = ctx.VarIndex(phi->var2);
+      const auto [a, b] = ctx.vars->Vars(phi.get());
       return (*ctx.class_of)[a] == (*ctx.class_of)[b];
     }
     case FormulaKind::kPropEqProp: {
-      const int a = ctx.VarIndex(phi->var1);
-      const int b = ctx.VarIndex(phi->var2);
+      const auto [a, b] = ctx.vars->Vars(phi.get());
       return ctx.tau->cells[a].second == ctx.tau->cells[b].second;
     }
     case FormulaKind::kNot:
@@ -92,41 +137,41 @@ bool SatisfiesAbstract(const rules::FormulaPtr& phi,
 /// Number of concrete subject choices for a given partition + constant
 /// binding: constants contribute factor 1 (their subject is fixed); fresh
 /// classes of signature mu choose distinct subjects from the signature set,
-/// avoiding the formula's mentioned constants.
-BigCount CountSubjectChoices(const std::vector<int>& class_of,
+/// avoiding the formula's mentioned constants. `fresh_count` is a caller-
+/// provided per-signature counter array (zeroed on entry, re-zeroed on exit)
+/// and `touched` its dirty list — direct addressing instead of the linear
+/// (sig, count) pair scan this used to do per class.
+BigCount CountSubjectChoices(int num_classes,
                              const std::vector<int>& class_constant,
                              const std::vector<int>& class_sig,
                              const std::vector<std::string>& constants,
-                             const schema::SignatureIndex& index) {
-  const int num_classes =
-      class_of.empty() ? 0 : *std::max_element(class_of.begin(),
-                                               class_of.end()) + 1;
-  // Per signature, how many fresh classes draw from it.
-  BigCount ways = 1;
-  std::vector<std::pair<int, int>> fresh_per_sig;  // (sig, count)
+                             const schema::SignatureIndex& index,
+                             std::vector<int>* fresh_count,
+                             std::vector<int>* touched) {
+  touched->clear();
   for (int cls = 0; cls < num_classes; ++cls) {
     if (class_constant[cls] >= 0) continue;  // bound to a constant: 1 way
     const int sig = class_sig[cls];
-    bool found = false;
-    for (auto& [s, c] : fresh_per_sig) {
-      if (s == sig) {
-        ++c;
-        found = true;
-        break;
-      }
-    }
-    if (!found) fresh_per_sig.emplace_back(sig, 1);
+    if ((*fresh_count)[sig]++ == 0) touched->push_back(sig);
   }
-  for (const auto& [sig, fresh] : fresh_per_sig) {
+  BigCount ways = 1;
+  bool exhausted = false;
+  for (const int sig : *touched) {
+    const int fresh = (*fresh_count)[sig];
+    (*fresh_count)[sig] = 0;  // leave the scratch clean for the next binding
+    if (exhausted) continue;
     const std::int64_t named = index.CountNamedSubjects(
         constants, static_cast<std::size_t>(sig));
-    BigCount base = index.signature(sig).count - named;
+    const BigCount base = index.signature(sig).count - named;
     for (int j = 0; j < fresh; ++j) {
-      if (base - j <= 0) return 0;
+      if (base - j <= 0) {
+        exhausted = true;
+        break;
+      }
       ways *= (base - j);
     }
   }
-  return ways;
+  return exhausted ? 0 : ways;
 }
 
 /// Shared enumeration core: walks partitions (and constant bindings) of the
@@ -156,6 +201,15 @@ SigmaCounts EnumeratePartitions(const rules::FormulaPtr& phi1,
   constants.erase(std::unique(constants.begin(), constants.end()),
                   constants.end());
 
+  VarIndexCache vars;
+  vars.Build(phi1, variables);
+  if (phi2 != nullptr) vars.Build(phi2, variables);
+
+  // Scratch for CountSubjectChoices, allocated once per enumeration.
+  std::vector<int> fresh_count(index.num_signatures(), 0);
+  std::vector<int> touched;
+  touched.reserve(variables.size());
+
   const int n = static_cast<int>(variables.size());
   SigmaCounts result;
 
@@ -179,16 +233,17 @@ SigmaCounts EnumeratePartitions(const rules::FormulaPtr& phi1,
     std::vector<int> class_constant(num_classes, -1);
     auto evaluate_binding = [&] {
       AbstractContext ctx;
-      ctx.variables = &variables;
       ctx.tau = &tau;
       ctx.class_of = &class_of;
       ctx.class_constant = &class_constant;
       ctx.constants = &constants;
       ctx.index = &index;
       ctx.var_support = &var_support;
+      ctx.vars = &vars;
       if (!SatisfiesAbstract(phi1, ctx)) return;
-      const BigCount ways = CountSubjectChoices(class_of, class_constant,
-                                                class_sig, constants, index);
+      const BigCount ways =
+          CountSubjectChoices(num_classes, class_constant, class_sig,
+                              constants, index, &fresh_count, &touched);
       if (ways == 0) return;
       result.total += ways;
       if (phi2 != nullptr && SatisfiesAbstract(phi2, ctx)) {

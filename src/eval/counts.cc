@@ -17,4 +17,35 @@ std::string BigCountToString(BigCount value) {
   return std::string(digits.rbegin(), digits.rend());
 }
 
+int CompareSigma(const SigmaCounts& a, const SigmaCounts& b) {
+  // Vacuous counts (total == 0) compare as the exact rational 1/1.
+  BigCount fa = a.total == 0 ? 1 : a.favorable;
+  BigCount ta = a.total == 0 ? 1 : a.total;
+  BigCount fb = b.total == 0 ? 1 : b.favorable;
+  BigCount tb = b.total == 0 ? 1 : b.total;
+  // Continued-fraction comparison of fa/ta vs fb/tb: alternate integer parts
+  // and reciprocals of the remainders (Euclidean steps), flipping the
+  // comparison direction at each level. Division only — no intermediate
+  // products, so no overflow for any representable counts (naive
+  // cross-multiplication would overflow __int128 once favorable * total
+  // exceeds ~1.7e38, which Sim's quadratic-in-subjects totals can reach).
+  int sign = 1;
+  while (true) {
+    const BigCount qa = fa / ta;
+    const BigCount qb = fb / tb;
+    if (qa != qb) return (qa < qb ? -1 : 1) * sign;
+    fa -= qa * ta;
+    fb -= qb * tb;
+    if (fa == 0 || fb == 0) {
+      if (fa == fb) return 0;
+      return (fa == 0 ? -1 : 1) * sign;
+    }
+    // Equal integer parts: compare the fractional parts fa/ta vs fb/tb via
+    // their reciprocals ta/fa vs tb/fb, which reverses the order.
+    std::swap(fa, ta);
+    std::swap(fb, tb);
+    sign = -sign;
+  }
+}
+
 }  // namespace rdfsr::eval

@@ -38,6 +38,15 @@ struct SigmaCounts {
 /// Decimal rendering of a BigCount (std::to_string lacks __int128 support).
 std::string BigCountToString(BigCount value);
 
+/// Exact three-way comparison of the sigma values two counts define (-1 when
+/// a < b, 0 when equal, +1 when a > b) by continued-fraction expansion — no
+/// floating point and no intermediate products, so merge-order decisions stay
+/// deterministic and overflow-safe for every representable count (Sim totals
+/// grow quadratically in the subject count, past what 128-bit
+/// cross-multiplication could hold). total == 0 reads as sigma = 1
+/// (Section 3.2). Requires non-negative counts.
+int CompareSigma(const SigmaCounts& a, const SigmaCounts& b);
+
 }  // namespace rdfsr::eval
 
 #endif  // RDFSR_EVAL_COUNTS_H_

@@ -24,6 +24,46 @@ ClosedFormEvaluator::ClosedFormEvaluator(Kind kind, rules::Rule rule,
       index_(index),
       params_(std::move(params)) {
   RDFSR_CHECK(index_ != nullptr);
+  switch (kind_) {
+    case Kind::kDep:
+    case Kind::kSymDep:
+    case Kind::kDepDisj:
+      dep_id1_ = index_->FindProperty(params_[0]);
+      dep_id2_ = index_->FindProperty(params_[1]);
+      break;
+    case Kind::kCovIgnoring:
+      ignored_mask_ = schema::PropertySet(index_->num_properties());
+      for (const std::string& name : params_) {
+        const int p = index_->FindProperty(name);
+        if (p >= 0) ignored_mask_.Insert(static_cast<std::size_t>(p));
+      }
+      break;
+    case Kind::kCov:
+    case Kind::kSim:
+      break;
+  }
+}
+
+SortStats ClosedFormEvaluator::MakeStats() const {
+  return SortStats(index_, dep_id1_, dep_id2_);
+}
+
+SigmaCounts ClosedFormEvaluator::CountsFromStats(const SortStats& stats) const {
+  switch (kind_) {
+    case Kind::kCov:
+      return CovCountsFromStats(stats);
+    case Kind::kCovIgnoring:
+      return CovIgnoringCountsFromStats(stats, ignored_mask_);
+    case Kind::kSim:
+      return SimCountsFromStats(stats);
+    case Kind::kDep:
+      return DepCountsFromStats(stats);
+    case Kind::kSymDep:
+      return SymDepCountsFromStats(stats);
+    case Kind::kDepDisj:
+      return DepDisjCountsFromStats(stats);
+  }
+  return {};
 }
 
 std::unique_ptr<ClosedFormEvaluator> ClosedFormEvaluator::Cov(
@@ -80,6 +120,25 @@ SigmaCounts ClosedFormEvaluator::Counts(const std::vector<int>& sig_ids) const {
       return SymDepCounts(*index_, sig_ids, params_[0], params_[1]);
     case Kind::kDepDisj:
       return DepDisjCounts(*index_, sig_ids, params_[0], params_[1]);
+  }
+  return {};
+}
+
+SigmaCounts ClosedFormEvaluator::CountsFromMergedStats(
+    const SortStats& a, const SortStats& b) const {
+  switch (kind_) {
+    case Kind::kCov:
+      return CovCountsFromMergedStats(a, b);
+    case Kind::kCovIgnoring:
+      return CovIgnoringCountsFromMergedStats(a, b, ignored_mask_);
+    case Kind::kSim:
+      return SimCountsFromMergedStats(a, b);
+    case Kind::kDep:
+      return DepCountsFromMergedStats(a, b);
+    case Kind::kSymDep:
+      return SymDepCountsFromMergedStats(a, b);
+    case Kind::kDepDisj:
+      return DepDisjCountsFromMergedStats(a, b);
   }
   return {};
 }

@@ -17,6 +17,7 @@
 #include "eval/closed_form.h"
 #include "eval/counts.h"
 #include "eval/enumerator.h"
+#include "eval/sort_stats.h"
 #include "rules/ast.h"
 #include "schema/signature_index.h"
 
@@ -46,6 +47,42 @@ class Evaluator {
 
   /// sigma over the whole base index.
   double SigmaAll() const { return CountsAll().Value(); }
+
+  /// Empty mergeable stats for this evaluator's rule: closed-form evaluators
+  /// configure rule-specific tracked state here (the Dep pair), so callers
+  /// can maintain candidate sorts incrementally and ask CountsFromStats
+  /// instead of re-walking member signatures.
+  virtual SortStats MakeStats() const { return SortStats(&index()); }
+
+  /// Counts from incrementally maintained stats; must equal
+  /// Counts(stats.members().ToVector()) exactly. This base implementation
+  /// does exactly that (the generic-enumerator fallback); closed-form
+  /// evaluators answer from the aggregates in O(1).
+  virtual SigmaCounts CountsFromStats(const SortStats& stats) const {
+    return Counts(stats.members().ToVector());
+  }
+
+  /// sigma from incrementally maintained stats.
+  double SigmaFromStats(const SortStats& stats) const {
+    return CountsFromStats(stats).Value();
+  }
+
+  /// Counts of the union of two disjoint stats — the agglomerative
+  /// candidate-merge probe. Must equal merging first and extracting after;
+  /// this base implementation does exactly that, closed-form evaluators
+  /// derive the union's counts pairwise without materializing it.
+  virtual SigmaCounts CountsFromMergedStats(const SortStats& a,
+                                            const SortStats& b) const {
+    SortStats merged = a;
+    merged.MergeWith(b);
+    return CountsFromStats(merged);
+  }
+
+  /// Whether the stats entry points are cheap closed-form extractions. The
+  /// memoizing wrapper skips its table for stats probes when true: hashing
+  /// and storing an O(n/64)-word member key costs more than the O(|P|/64)
+  /// extraction it would cache.
+  virtual bool cheap_stats() const { return false; }
 
   /// The base index subsets refer to.
   virtual const schema::SignatureIndex& index() const = 0;
@@ -90,6 +127,20 @@ class ClosedFormEvaluator : public Evaluator {
   const schema::SignatureIndex& index() const override { return *index_; }
   SigmaCounts Counts(const std::vector<int>& sig_ids) const override;
 
+  /// Dep families get their pair resolved to ids once at construction and
+  /// tracked through every stats mutation.
+  SortStats MakeStats() const override;
+
+  /// O(1) extraction from the aggregates (O(|ignored|) for CovIgnoring).
+  SigmaCounts CountsFromStats(const SortStats& stats) const override;
+
+  /// Pairwise union extraction: O(|P|/64) plus Sim's shared-column cross
+  /// term, no merged stats materialized.
+  SigmaCounts CountsFromMergedStats(const SortStats& a,
+                                    const SortStats& b) const override;
+
+  bool cheap_stats() const override { return true; }
+
  private:
   ClosedFormEvaluator(Kind kind, rules::Rule rule,
                       const schema::SignatureIndex* index,
@@ -99,6 +150,12 @@ class ClosedFormEvaluator : public Evaluator {
   rules::Rule rule_;
   const schema::SignatureIndex* index_;
   std::vector<std::string> params_;  // ignored props, or {p1, p2}
+  // Resolved-once parameter state for the stats path: the Dep pair's column
+  // ids and the CovIgnoring word mask (FindProperty runs at construction, not
+  // per evaluation).
+  int dep_id1_ = -1;
+  int dep_id2_ = -1;
+  schema::PropertySet ignored_mask_;
 };
 
 /// Picks the fastest evaluator for a rule: builtin rules created by

@@ -1,0 +1,108 @@
+#include "eval/sort_stats.h"
+
+#include "util/check.h"
+
+namespace rdfsr::eval {
+
+SortStats::SortStats(const schema::SignatureIndex* index, int pair_p1,
+                     int pair_p2)
+    : index_(index),
+      members_(index->num_signatures()),
+      used_(index->num_properties()),
+      property_count_(index->num_properties(), 0),
+      pair_p1_(pair_p1),
+      pair_p2_(pair_p2) {
+  RDFSR_CHECK(index_ != nullptr);
+  if (pair_p1_ >= 0 && pair_p2_ >= 0) {
+    pair_mask_ = schema::PropertySet(index->num_properties());
+    pair_mask_.Insert(static_cast<std::size_t>(pair_p1_));
+    pair_mask_.Insert(static_cast<std::size_t>(pair_p2_));
+  }
+}
+
+void SortStats::Add(int sig_id) {
+  RDFSR_CHECK(index_ != nullptr);
+  RDFSR_CHECK_GE(sig_id, 0);
+  RDFSR_CHECK_LT(static_cast<std::size_t>(sig_id), index_->num_signatures());
+  RDFSR_CHECK(!members_.Contains(static_cast<std::size_t>(sig_id)))
+      << "signature " << sig_id << " already a member";
+  const schema::Signature& sig = index_->signature(sig_id);
+  const std::int64_t n = sig.count;
+  members_.Insert(static_cast<std::size_t>(sig_id));
+  ++num_members_;
+  subjects_ += n;
+  support_sum_ +=
+      static_cast<BigCount>(n) * static_cast<BigCount>(sig.props().Popcount());
+  sig.props().ForEach([&](int p) {
+    std::int64_t& c = property_count_[p];
+    // (c + n)^2 - c^2 = n * (2c + n), kept exact in 128-bit.
+    count_sq_sum_ += static_cast<BigCount>(n) * (2 * c + n);
+    if (c == 0) {
+      used_.Insert(static_cast<std::size_t>(p));
+      ++used_properties_;
+    }
+    c += n;
+  });
+  if (pair_mask_.capacity() != 0 && pair_mask_.IsSubsetOf(sig.props())) {
+    pair_both_ += n;
+  }
+}
+
+void SortStats::Remove(int sig_id) {
+  RDFSR_CHECK(index_ != nullptr);
+  RDFSR_CHECK_GE(sig_id, 0);
+  RDFSR_CHECK(members_.Contains(static_cast<std::size_t>(sig_id)))
+      << "signature " << sig_id << " not a member";
+  const schema::Signature& sig = index_->signature(sig_id);
+  const std::int64_t n = sig.count;
+  members_.Erase(static_cast<std::size_t>(sig_id));
+  --num_members_;
+  subjects_ -= n;
+  support_sum_ -=
+      static_cast<BigCount>(n) * static_cast<BigCount>(sig.props().Popcount());
+  sig.props().ForEach([&](int p) {
+    std::int64_t& c = property_count_[p];
+    // c^2 - (c - n)^2 = n * (2c - n).
+    count_sq_sum_ -= static_cast<BigCount>(n) * (2 * c - n);
+    c -= n;
+    if (c == 0) {
+      used_.Erase(static_cast<std::size_t>(p));
+      --used_properties_;
+    }
+  });
+  if (pair_mask_.capacity() != 0 && pair_mask_.IsSubsetOf(sig.props())) {
+    pair_both_ -= n;
+  }
+}
+
+void SortStats::MergeWith(const SortStats& other) {
+  RDFSR_CHECK(index_ != nullptr);
+  RDFSR_CHECK(index_ == other.index_) << "stats over different indices";
+  RDFSR_CHECK(pair_p1_ == other.pair_p1_ && pair_p2_ == other.pair_p2_)
+      << "stats track different property pairs";
+  RDFSR_CHECK(!members_.Intersects(other.members_))
+      << "merging overlapping sorts";
+  // Cross term of Σ (a_p + b_p)^2 over shared columns, read before the
+  // per-column counts are folded in.
+  BigCount cross = 0;
+  used_.ForEachIntersect(other.used_, [&](int p) {
+    cross += static_cast<BigCount>(property_count_[p]) *
+             static_cast<BigCount>(other.property_count_[p]);
+  });
+  count_sq_sum_ += other.count_sq_sum_ + 2 * cross;
+  other.used_.ForEach([&](int p) {
+    std::int64_t& c = property_count_[p];
+    if (c == 0) {
+      used_.Insert(static_cast<std::size_t>(p));
+      ++used_properties_;
+    }
+    c += other.property_count_[p];
+  });
+  subjects_ += other.subjects_;
+  support_sum_ += other.support_sum_;
+  pair_both_ += other.pair_both_;
+  members_.UnionWith(other.members_);
+  num_members_ += other.num_members_;
+}
+
+}  // namespace rdfsr::eval

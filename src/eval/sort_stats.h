@@ -1,0 +1,111 @@
+// Mergeable per-sort statistics for incremental sigma evaluation.
+//
+// The refinement heuristics (core/greedy.cc) mutate candidate sorts one
+// signature (greedy trial placements) or one whole part (agglomerative
+// merges) at a time, yet the scratch closed forms of closed_form.h re-walk
+// every member signature per evaluation — O(|sort| * |P|) per probe, O(n^3)
+// and worse over a full agglomerative run. SortStats is the incremental
+// alternative: it carries exactly the aggregates the closed forms of every
+// builtin family consume —
+//
+//   subjects       N = Σ_mu n_mu
+//   support_sum    Σ_mu n_mu |supp(mu)|  ( = Σ_p cnt_p )
+//   count_sq_sum   Σ_p cnt_p^2           (Sim's favorable term)
+//   used           word-packed union of used properties (cnt_p > 0), with its
+//                  popcount maintained as used_properties
+//   property_count cnt_p per global property id
+//   pair_both      cnt over subjects having BOTH tracked properties
+//                  (Dep/SymDep/DepDisj; configured at construction)
+//   members        word-packed member signature ids (generic-evaluator
+//                  fallback and memo keys)
+//
+// and keeps all of them exact under Add / Remove / MergeWith, so a candidate
+// sort's SigmaCounts never requires re-walking its member signatures:
+// Add/Remove cost O(|supp(mu)| + |P|/64), MergeWith O(|P_used| + |P|/64).
+// All aggregates are integers, so the extracted counts — and therefore the
+// sigma doubles derived from them — are bit-identical to a scratch
+// SubsetStats::Compute over the same member set (property-tested in
+// tests/sort_stats_test.cc).
+
+#ifndef RDFSR_EVAL_SORT_STATS_H_
+#define RDFSR_EVAL_SORT_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/counts.h"
+#include "schema/property_set.h"
+#include "schema/signature_index.h"
+
+namespace rdfsr::eval {
+
+/// Aggregate statistics of an implicit sort, maintained incrementally.
+/// Created empty (usually via Evaluator::MakeStats, which configures the
+/// tracked dep pair for the rule); value-semantic, so heuristics can snapshot
+/// and restore candidate states by plain copies.
+class SortStats {
+ public:
+  /// Capacity-0 placeholder; usable only as an assignment target.
+  SortStats() = default;
+
+  /// Empty stats over `index`'s signatures. When both `pair_p1` and `pair_p2`
+  /// are valid property ids, the conjunction count cnt_{p1 ∧ p2} is tracked
+  /// through every mutation (the Dep-family favorable term).
+  explicit SortStats(const schema::SignatureIndex* index, int pair_p1 = -1,
+                     int pair_p2 = -1);
+
+  /// Adds signature set `sig_id` (must not be a member).
+  void Add(int sig_id);
+
+  /// Removes signature set `sig_id` (must be a member).
+  void Remove(int sig_id);
+
+  /// Folds `other` in. Requires the same index and pair configuration and
+  /// disjoint member sets.
+  void MergeWith(const SortStats& other);
+
+  bool empty() const { return num_members_ == 0; }
+  std::size_t num_members() const { return num_members_; }
+
+  /// Word-packed member signature ids (capacity = num_signatures).
+  const schema::PropertySet& members() const { return members_; }
+
+  BigCount subjects() const { return subjects_; }
+  BigCount support_sum() const { return support_sum_; }
+  BigCount count_sq_sum() const { return count_sq_sum_; }
+
+  /// |P*|: number of properties with cnt_p > 0, and their word-packed set.
+  int used_properties() const { return used_properties_; }
+  const schema::PropertySet& used() const { return used_; }
+
+  /// cnt_p for a global property id.
+  std::int64_t property_count(std::size_t p) const {
+    RDFSR_CHECK_LT(p, property_count_.size());
+    return property_count_[p];
+  }
+
+  /// The tracked pair (-1 when untracked / unresolved) and its conjunction
+  /// count.
+  int pair_p1() const { return pair_p1_; }
+  int pair_p2() const { return pair_p2_; }
+  BigCount pair_both() const { return pair_both_; }
+
+ private:
+  const schema::SignatureIndex* index_ = nullptr;
+  std::size_t num_members_ = 0;
+  schema::PropertySet members_;
+  BigCount subjects_ = 0;
+  BigCount support_sum_ = 0;
+  BigCount count_sq_sum_ = 0;
+  int used_properties_ = 0;
+  schema::PropertySet used_;
+  std::vector<std::int64_t> property_count_;
+  int pair_p1_ = -1;
+  int pair_p2_ = -1;
+  schema::PropertySet pair_mask_;  // non-empty iff the pair is tracked
+  BigCount pair_both_ = 0;
+};
+
+}  // namespace rdfsr::eval
+
+#endif  // RDFSR_EVAL_SORT_STATS_H_

@@ -99,6 +99,18 @@ class PropertySet {
     return false;
   }
 
+  /// |*this ∪ o| without materializing the union.
+  std::size_t UnionCount(const PropertySet& o) const {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    const std::uint64_t* a = words_.data();
+    const std::uint64_t* b = o.words_.data();
+    std::size_t n = 0;
+    for (std::size_t w = 0, count = words_.size(); w < count; ++w) {
+      n += static_cast<std::size_t>(std::popcount(a[w] | b[w]));
+    }
+    return n;
+  }
+
   /// |*this ∩ o|.
   std::size_t IntersectCount(const PropertySet& o) const {
     RDFSR_CHECK_EQ(capacity_, o.capacity_);
@@ -164,6 +176,22 @@ class PropertySet {
         const int bit = std::countr_zero(word);
         fn(static_cast<int>(w * 64 + static_cast<std::size_t>(bit)));
         word &= word - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// Calls fn(int index) for each element of *this ∩ o in ascending order,
+  /// without materializing the intersection (the incremental-stats merge path
+  /// walks shared columns this way).
+  template <typename Fn>
+  void ForEachIntersect(const PropertySet& o, Fn&& fn) const {
+    RDFSR_CHECK_EQ(capacity_, o.capacity_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w] & o.words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<int>(w * 64 + static_cast<std::size_t>(bit)));
+        word &= word - 1;
       }
     }
   }

@@ -1,0 +1,139 @@
+// Regression lock: greedy and agglomerative refinements recorded from the
+// scratch-evaluation implementation (pre incremental-SortStats rewrite, PR 4)
+// must be reproduced bit-identically by the incremental engines — on the
+// checked-in quickstart dataset and on random indices. Any deviation means
+// the incremental path changed a score or a merge decision.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "api/rdfsr.h"
+#include "core/greedy.h"
+#include "eval/evaluator.h"
+#include "gen/random_graph.h"
+#include "rules/builtins.h"
+
+namespace rdfsr::core {
+namespace {
+
+// The quickstart dataset (examples/data/quickstart.nt): four Persons, two
+// signatures — {name, email, birthDate} x2 subjects and {name} x2 subjects.
+constexpr const char* kQuickstart = R"(
+<http://x/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/alice> <http://x/name> "Alice" .
+<http://x/alice> <http://x/email> "alice@example.org" .
+<http://x/alice> <http://x/birthDate> "1990-01-01" .
+<http://x/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/bob> <http://x/name> "Bob" .
+<http://x/carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/carol> <http://x/name> "Carol" .
+<http://x/carol> <http://x/email> "carol@example.org" .
+<http://x/carol> <http://x/birthDate> "1985-05-05" .
+<http://x/dave> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/dave> <http://x/name> "Dave" .
+)";
+
+std::string Render(const SortRefinement& ref) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < ref.sorts.size(); ++i) {
+    if (i) out << ", ";
+    out << "{";
+    for (std::size_t j = 0; j < ref.sorts[i].size(); ++j) {
+      if (j) out << ",";
+      out << ref.sorts[i][j];
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+TEST(RefineRegressionTest, QuickstartRefinementsUnchanged) {
+  api::DatasetOptions options;
+  options.sort = "http://x/Person";
+  auto dataset = api::Dataset::FromNTriplesText(kQuickstart, options);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const schema::SignatureIndex& index = dataset->index();
+  ASSERT_EQ(index.num_signatures(), 2u);
+
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  auto sim = eval::MakeEvaluator(rules::SimRule(), &index);
+  for (const auto* evaluator : {cov.get(), sim.get()}) {
+    const std::string rule = evaluator->rule().name();
+    EXPECT_EQ(Render(AgglomerativeLowestK(*evaluator, Rational(9, 10))),
+              "{{0}, {1}}")
+        << rule;
+    EXPECT_EQ(Render(AgglomerativeFixedK(*evaluator, 1)), "{{0,1}}") << rule;
+    EXPECT_EQ(Render(AgglomerativeFixedK(*evaluator, 2)), "{{0}, {1}}")
+        << rule;
+    EXPECT_EQ(Render(GreedyMaxMinSigma(*evaluator, 1)), "{{0,1}}") << rule;
+    EXPECT_EQ(Render(GreedyMaxMinSigma(*evaluator, 2)), "{{0}, {1}}") << rule;
+  }
+}
+
+struct RecordedCase {
+  std::uint64_t seed;
+  const char* rule;  // "cov" or "sim"
+  const char* agglo_lowestk_9_10;
+  const char* agglo_fixedk_3;
+  const char* greedy_k3;
+};
+
+// Recorded from the scratch implementation at commit c2222b7 (12 signatures,
+// 8 properties, default density/max_count). Greedy sort contents are in
+// placement order — part of the bit-identical contract.
+constexpr RecordedCase kRecorded[] = {
+    {1, "cov",
+     "{{0}, {1,9}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {10}, {11}}",
+     "{{0,2}, {1,4,5,6,7,8,9,10,11}, {3}}",
+     "{{3,4}, {0,2}, {1,10,6,5,8,9,11,7}}"},
+    {1, "sim",
+     "{{0,11}, {1,9}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {10}}",
+     "{{0,2,8,11}, {1,4,5,6,7,9,10}, {3}}",
+     "{{7,8,6,10,11}, {2,0,5}, {4,3,1,9}}"},
+    {7, "cov",
+     "{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}, {11}}",
+     "{{0,2}, {1,4,5,6,8,9}, {3,7,10,11}}",
+     "{{9,1,5,2,0,8}, {7,4}, {11,10,3,6}}"},
+    {7, "sim",
+     "{{0}, {1,5}, {2}, {3,11}, {4}, {6,9}, {7}, {8}, {10}}",
+     "{{0,1,2,5,8}, {3,7,10,11}, {4,6,9}}",
+     "{{5,1,7,11}, {6,9,3,4,10}, {8,0,2}}"},
+    {21, "cov",
+     "{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}, {11}}",
+     "{{0,3,6,7,9,10,11}, {1,5,8}, {2,4}}",
+     "{{7,6,0,1}, {2,4,5}, {8,3,11,9,10}}"},
+    {21, "sim",
+     "{{0,11}, {1,8}, {2,10}, {3,9}, {4}, {5}, {6}, {7}}",
+     "{{0,7,11}, {1,6,8}, {2,3,4,5,9,10}}",
+     "{{5,8,7}, {3,10,2,4,9}, {11,1,0,6}}"},
+};
+
+TEST(RefineRegressionTest, RandomIndexRefinementsUnchanged) {
+  for (const RecordedCase& c : kRecorded) {
+    gen::RandomIndexSpec spec;
+    spec.num_signatures = 12;
+    spec.num_properties = 8;
+    spec.seed = c.seed;
+    const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+    auto evaluator =
+        eval::MakeEvaluator(std::string(c.rule) == "cov" ? rules::CovRule()
+                                                         : rules::SimRule(),
+                            &index);
+    const std::string context =
+        "seed " + std::to_string(c.seed) + " " + c.rule;
+    EXPECT_EQ(Render(AgglomerativeLowestK(*evaluator, Rational(9, 10))),
+              c.agglo_lowestk_9_10)
+        << context;
+    EXPECT_EQ(Render(AgglomerativeFixedK(*evaluator, 3)), c.agglo_fixedk_3)
+        << context;
+    EXPECT_EQ(Render(GreedyMaxMinSigma(*evaluator, 3)), c.greedy_k3)
+        << context;
+  }
+}
+
+}  // namespace
+}  // namespace rdfsr::core
