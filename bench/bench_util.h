@@ -13,6 +13,7 @@
 #ifndef RDFSR_BENCH_BENCH_UTIL_H_
 #define RDFSR_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -95,10 +96,13 @@ class JsonRecorder {
     return out + "\"";
   }
 
-  /// JSON has no NaN/Inf literals; clamp them to null. Full round-trip
-  /// precision — these records exist to be parsed back.
+  /// JSON has no NaN/Inf literals: non-finite values serialize as null (the
+  /// former magnitude check also nulled finite values above 1e308 and would
+  /// have let a plain `<<` print "inf"/"nan", invalidating the artifact).
+  /// Finite values keep full round-trip precision — these records exist to
+  /// be parsed back.
   static std::string Number(double value) {
-    if (!(value == value) || value > 1e308 || value < -1e308) return "null";
+    if (!std::isfinite(value)) return "null";
     std::ostringstream out;
     out << std::setprecision(std::numeric_limits<double>::max_digits10)
         << value;
@@ -140,6 +144,21 @@ inline void InitHarness(int argc, char** argv, const std::string& bench_name) {
       std::exit(2);
     }
   }
+}
+
+/// Compact one-line rendering of a refinement's sort contents
+/// ("0,2|1,3" — sorts separated by '|'), for identity comparisons and
+/// failure messages in the harness binaries.
+inline std::string RenderSorts(const core::SortRefinement& refinement) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < refinement.sorts.size(); ++i) {
+    if (i) out << "|";
+    for (std::size_t j = 0; j < refinement.sorts[i].size(); ++j) {
+      if (j) out << ",";
+      out << refinement.sorts[i][j];
+    }
+  }
+  return out.str();
 }
 
 /// Prints the standard experiment banner.

@@ -1,5 +1,7 @@
 #include "api/rdfsr.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/report.h"
@@ -40,7 +42,14 @@ Analysis& Analysis::MaxNodes(long long nodes) {
 }
 
 Analysis& Analysis::ThetaStep(double step) {
-  options_.theta_step = step;
+  // Clamp into the grid's representable range before it reaches the solver:
+  // a step below 1/1000 would collapse to the zero rational (and once divided
+  // the grid derivation), junk falls back to the paper's 0.01. MakeThetaGrid
+  // re-validates, but clamping here keeps options() honest about what runs.
+  if (!std::isfinite(step) || step <= 0) {
+    step = 0.01;
+  }
+  options_.theta_step = std::clamp(step, 0.001, 1.0);
   solver_.reset();
   return *this;
 }

@@ -191,6 +191,9 @@ class Analysis {
   /// Exact-solver node budget per decision instance.
   Analysis& MaxNodes(long long nodes);
   /// Step size of the sequential highest-theta search (paper: 0.01).
+  /// Clamped into [0.001, 1]; non-finite or non-positive values fall back to
+  /// 0.01 (the theta grid is derived in exact rationals with denominators up
+  /// to 1000, so smaller steps are not representable).
   Analysis& ThetaStep(double step);
   /// Restarts of the greedy primal heuristic.
   Analysis& GreedyRestarts(int restarts);

@@ -2,53 +2,116 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <functional>
+#include <utility>
 
+#include "eval/counts.h"
 #include "util/check.h"
 
 namespace rdfsr::core {
 
+std::vector<TauShape> AnalyzeTaus(const std::vector<eval::TauCount>& tau_counts,
+                                  const schema::SignatureIndex& index) {
+  std::vector<TauShape> shapes;
+  shapes.reserve(tau_counts.size());
+  for (const eval::TauCount& tc : tau_counts) {
+    TauShape shape;
+    // Distinct member signatures (first-appearance order) and the union of
+    // their supports: a property is "covered" when some member signature's
+    // support word already contains it.
+    schema::PropertySet seen_sigs(index.num_signatures());
+    schema::PropertySet covered(index.num_properties());
+    for (const auto& [sig, prop] : tc.tau.cells) {
+      (void)prop;
+      if (!seen_sigs.Contains(sig)) {
+        seen_sigs.Insert(sig);
+        shape.sigs.push_back(sig);
+        covered.UnionWith(index.signature(sig).props());
+      }
+    }
+    schema::PropertySet linked(index.num_properties());
+    for (const auto& [sig, prop] : tc.tau.cells) {
+      (void)sig;
+      if (!covered.Contains(prop) && !linked.Contains(prop)) {
+        linked.Insert(prop);
+        shape.linked_props.push_back(prop);
+      }
+    }
+    shape.total = tc.total;
+    shape.favorable = tc.favorable;
+    shapes.push_back(std::move(shape));
+  }
+  return shapes;
+}
+
 namespace {
 
-/// Static (sort-independent) analysis of one tau: which distinct signatures
-/// must be present and which properties still need a U link (those not covered
-/// by any of tau's own signatures' supports).
-struct TauShape {
-  std::vector<int> sigs;          ///< distinct signature ids
-  std::vector<int> linked_props;  ///< distinct props needing a U link
-  eval::BigCount weight = 0;      ///< theta2*cF - theta1*cT
-};
-
-TauShape AnalyzeTau(const eval::TauCount& tc,
-                    const schema::SignatureIndex& index, Rational theta) {
-  TauShape shape;
-  // Distinct member signatures (first-appearance order) and the union of
-  // their supports: a property is "covered" when some member signature's
-  // support word already contains it.
-  schema::PropertySet seen_sigs(index.num_signatures());
-  schema::PropertySet covered(index.num_properties());
-  for (const auto& [sig, prop] : tc.tau.cells) {
-    (void)prop;
-    if (!seen_sigs.Contains(sig)) {
-      seen_sigs.Insert(sig);
-      shape.sigs.push_back(sig);
-      covered.UnionWith(index.signature(sig).props());
-    }
-  }
-  schema::PropertySet linked(index.num_properties());
-  for (const auto& [sig, prop] : tc.tau.cells) {
-    (void)sig;
-    if (!covered.Contains(prop) && !linked.Contains(prop)) {
-      linked.Insert(prop);
-      shape.linked_props.push_back(prop);
-    }
-  }
-  shape.weight = static_cast<eval::BigCount>(theta.den()) * tc.favorable -
-                 static_cast<eval::BigCount>(theta.num()) * tc.total;
-  return shape;
+bool IsSubstituted(const TauShape& shape, const IlpBuildOptions& options) {
+  return options.substitute_singleton_taus && shape.sigs.size() == 1 &&
+         shape.linked_props.empty();
 }
 
 }  // namespace
+
+namespace {
+
+/// Shared accounting for the two row counters: `link_rows_per_tau` maps a
+/// materialized tau's linked-variable count to its contribution to (4).
+std::size_t CountRows(const schema::SignatureIndex& index,
+                      const std::vector<TauShape>& shapes, int k,
+                      const IlpBuildOptions& options,
+                      const std::function<std::size_t(std::size_t)>&
+                          link_rows_per_tau) {
+  const std::size_t n = index.num_signatures();
+  std::size_t support_links = 0;
+  for (std::size_t mu = 0; mu < n; ++mu) {
+    support_links += index.signature(mu).props().Popcount();
+  }
+  std::size_t tau_links = 0;
+  for (const TauShape& shape : shapes) {
+    if (IsSubstituted(shape, options)) continue;
+    tau_links +=
+        link_rows_per_tau(shape.sigs.size() + shape.linked_props.size());
+  }
+  std::size_t rows =
+      n +  // assignment rows (1)
+      static_cast<std::size_t>(k) *
+          (support_links + index.num_properties() +  // (2) + (3)
+           tau_links +                               // linking rows (4)
+           1);                                       // threshold row (5)
+  switch (options.symmetry) {
+    case IlpBuildOptions::SymmetryBreaking::kHash:
+      rows += static_cast<std::size_t>(k - 1);
+      break;
+    case IlpBuildOptions::SymmetryBreaking::kPrecedence:
+      rows += static_cast<std::size_t>(k - 1) * n;
+      break;
+    case IlpBuildOptions::SymmetryBreaking::kNone:
+      break;
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::size_t RefinementIlpRows(const schema::SignatureIndex& index,
+                              const std::vector<TauShape>& shapes, int k,
+                              const IlpBuildOptions& options) {
+  // The skeleton always carries both directions: |linked| upper + 1 lower.
+  return CountRows(index, shapes, k, options,
+                   [](std::size_t linked) { return linked + 1; });
+}
+
+std::size_t RefinementIlpActiveRows(const schema::SignatureIndex& index,
+                                    const std::vector<TauShape>& shapes, int k,
+                                    const IlpBuildOptions& options) {
+  if (!options.sign_directed_linking) return RefinementIlpRows(index, shapes, k, options);
+  // Sign-directed: at any theta a tau keeps at most one side — the |linked|
+  // upper rows (positive weight) or the single lower row (negative weight).
+  return CountRows(index, shapes, k, options, [](std::size_t linked) {
+    return std::max<std::size_t>(linked, 1);
+  });
+}
 
 SortRefinement IlpEncoding::Decode(const std::vector<double>& x) const {
   SortRefinement refinement;
@@ -62,32 +125,32 @@ SortRefinement IlpEncoding::Decode(const std::vector<double>& x) const {
   return refinement;
 }
 
-IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
-                               const rules::Rule& rule,
-                               const std::vector<eval::TauCount>& tau_counts,
-                               int k, Rational theta,
-                               const IlpBuildOptions& options) {
-  RDFSR_CHECK_GT(k, 0);
-  RDFSR_CHECK_GE(theta.num(), 0);
-  (void)rule;
+bool RefinementIlpInstance::Substituted(const TauShape& shape) const {
+  return IsSubstituted(shape, options_);
+}
 
-  IlpEncoding enc;
-  enc.k = k;
-  enc.num_signatures = static_cast<int>(index.num_signatures());
+RefinementIlpInstance::RefinementIlpInstance(
+    const schema::SignatureIndex& index, std::vector<TauShape> shapes, int k,
+    const IlpBuildOptions& options)
+    : shapes_(std::move(shapes)), options_(options) {
+  RDFSR_CHECK_GT(k, 0);
+
+  enc_.k = k;
+  enc_.num_signatures = static_cast<int>(index.num_signatures());
   const int num_props = static_cast<int>(index.num_properties());
 
-  ilp::Model& model = enc.model;
+  ilp::Model& model = enc_.model;
 
-  // --- X variables -------------------------------------------------------
-  enc.x_var.assign(k, std::vector<int>(enc.num_signatures, -1));
+  // --- X variables -----------------------------------------------------
+  enc_.x_var.assign(k, std::vector<int>(enc_.num_signatures, -1));
   for (int i = 0; i < k; ++i) {
-    for (int mu = 0; mu < enc.num_signatures; ++mu) {
-      enc.x_var[i][mu] = model.AddBinary("X_" + std::to_string(i) + "_" +
-                                         std::to_string(mu));
+    for (int mu = 0; mu < enc_.num_signatures; ++mu) {
+      enc_.x_var[i][mu] = model.AddBinary("X_" + std::to_string(i) + "_" +
+                                          std::to_string(mu));
     }
   }
 
-  // --- U variables ---------------------------------------------------
+  // --- U variables -------------------------------------------------------
   // Constraints (2)+(3) pin U to its exact 0/1 value once X is integral, so U
   // may be continuous (see header).
   std::vector<std::vector<int>> u_var(k, std::vector<int>(num_props, -1));
@@ -100,9 +163,9 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
   }
 
   // (1) each signature placed exactly once.
-  for (int mu = 0; mu < enc.num_signatures; ++mu) {
+  for (int mu = 0; mu < enc_.num_signatures; ++mu) {
     std::vector<ilp::LinTerm> terms;
-    for (int i = 0; i < k; ++i) terms.push_back({enc.x_var[i][mu], 1.0});
+    for (int i = 0; i < k; ++i) terms.push_back({enc_.x_var[i][mu], 1.0});
     model.AddConstraint("assign_" + std::to_string(mu), std::move(terms), 1, 1);
   }
 
@@ -112,7 +175,7 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
   // signature supports yields, per property, the ascending list of supporting
   // signatures, instead of probing every (mu, p) pair per sort.
   std::vector<std::vector<int>> sigs_with(num_props);
-  for (int mu = 0; mu < enc.num_signatures; ++mu) {
+  for (int mu = 0; mu < enc_.num_signatures; ++mu) {
     index.signature(mu).props().ForEach(
         [&](int p) { sigs_with[p].push_back(mu); });
   }
@@ -123,8 +186,9 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
         model.AddConstraint(
             "use_lo_" + std::to_string(i) + "_" + std::to_string(mu) + "_" +
                 std::to_string(p),
-            {{enc.x_var[i][mu], 1.0}, {u_var[i][p], -1.0}}, -ilp::kInfinity, 0);
-        supporters.push_back({enc.x_var[i][mu], 1.0});
+            {{enc_.x_var[i][mu], 1.0}, {u_var[i][p], -1.0}}, -ilp::kInfinity,
+            0);
+        supporters.push_back({enc_.x_var[i][mu], 1.0});
       }
       supporters.push_back({u_var[i][p], -1.0});
       model.AddConstraint(
@@ -133,70 +197,45 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
     }
   }
 
-  // --- T variables and the threshold row (4)+(5) --------------------------
-  std::vector<TauShape> shapes;
-  shapes.reserve(tau_counts.size());
-  for (const eval::TauCount& tc : tau_counts) {
-    shapes.push_back(AnalyzeTau(tc, index, theta));
-  }
-  // Scale the threshold row so its coefficients stay O(1) for the double
-  // simplex regardless of dataset size.
-  double max_weight = 1.0;
-  for (const TauShape& shape : shapes) {
-    max_weight = std::max(
-        max_weight, std::abs(static_cast<double>(shape.weight)));
-  }
-
+  // --- T variables, linking rows (4), threshold rows (5) ------------------
+  // The skeleton materializes every non-substituted tau with BOTH linking
+  // directions; link rows start vacuous (both bounds infinite) and threshold
+  // rows empty — Reweight activates the theta-dependent parts per instance.
+  t_var_.assign(k, std::vector<int>(shapes_.size(), -1));
+  link_row_.assign(k, std::vector<int>(shapes_.size(), -1));
+  threshold_row_.assign(k, -1);
   for (int i = 0; i < k; ++i) {
-    std::vector<ilp::LinTerm> threshold;  // sum w(tau) T_{i,tau} >= 0
-    for (std::size_t t = 0; t < shapes.size(); ++t) {
-      const TauShape& shape = shapes[t];
-      if (shape.weight == 0) continue;  // cannot affect the row
-      const double w = static_cast<double>(shape.weight) / max_weight;
-
-      // Singleton substitution: T == X_{i,mu}.
-      if (options.substitute_singleton_taus && shape.sigs.size() == 1 &&
-          shape.linked_props.empty()) {
-        threshold.push_back({enc.x_var[i][shape.sigs[0]], w});
-        if (i == 0) ++enc.num_tau_substituted;
-        continue;
+    for (std::size_t t = 0; t < shapes_.size(); ++t) {
+      const TauShape& shape = shapes_[t];
+      if (Substituted(shape)) {
+        if (i == 0) ++enc_.num_tau_substituted;
+        continue;  // T == X_{i,mu}; folded into the threshold row
       }
-
-      const int t_var = model.AddVariable(
+      const int t_var = enc_.model.AddVariable(
           "T_" + std::to_string(i) + "_" + std::to_string(t), 0, 1,
           !options.continuous_aux);
-      if (i == 0) ++enc.num_tau_variables;
-      threshold.push_back({t_var, w});
+      if (i == 0) ++enc_.num_tau_variables;
+      t_var_[i][t] = t_var;
 
-      // Collect the variables T is the conjunction of.
+      // The variables T is the conjunction of.
       std::vector<int> linked;
-      for (int mu : shape.sigs) linked.push_back(enc.x_var[i][mu]);
+      for (int mu : shape.sigs) linked.push_back(enc_.x_var[i][mu]);
       for (int p : shape.linked_props) linked.push_back(u_var[i][p]);
-      const double n_linked = static_cast<double>(linked.size());
 
-      const bool need_upper =
-          !options.sign_directed_linking || shape.weight > 0;
-      const bool need_lower =
-          !options.sign_directed_linking || shape.weight < 0;
-      if (need_upper) {
-        // T <= each linked variable (tight McCormick upper envelope).
-        for (int lv : linked) {
-          model.AddConstraint("t_ub", {{t_var, 1.0}, {lv, -1.0}},
-                              -ilp::kInfinity, 0);
-        }
+      // Upper envelope rows: T <= each linked variable.
+      link_row_[i][t] = static_cast<int>(model.num_constraints());
+      for (int lv : linked) {
+        model.AddConstraint("t_ub", {{t_var, 1.0}, {lv, -1.0}},
+                            -ilp::kInfinity, ilp::kInfinity);
       }
-      if (need_lower) {
-        // T >= sum(linked) - (n-1).
-        std::vector<ilp::LinTerm> lower{{t_var, 1.0}};
-        for (int lv : linked) lower.push_back({lv, -1.0});
-        model.AddConstraint("t_lb", std::move(lower), 1.0 - n_linked,
-                            ilp::kInfinity);
-      }
+      // Lower envelope row: T >= sum(linked) - (n-1).
+      std::vector<ilp::LinTerm> lower{{t_var, 1.0}};
+      for (int lv : linked) lower.push_back({lv, -1.0});
+      model.AddConstraint("t_lb", std::move(lower), -ilp::kInfinity,
+                          ilp::kInfinity);
     }
-    if (!threshold.empty()) {
-      model.AddConstraint("theta_" + std::to_string(i), std::move(threshold),
-                          0, ilp::kInfinity);
-    }
+    threshold_row_[i] = model.AddConstraint("theta_" + std::to_string(i), {},
+                                            0, ilp::kInfinity);
   }
 
   // --- (6) symmetry breaking ----------------------------------------------
@@ -204,11 +243,11 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
     // hash(i) = sum_j 2^min(j, cap) X_{i, mu_j};  hash(i) <= hash(i+1).
     for (int i = 0; i + 1 < k; ++i) {
       std::vector<ilp::LinTerm> terms;
-      for (int mu = 0; mu < enc.num_signatures; ++mu) {
+      for (int mu = 0; mu < enc_.num_signatures; ++mu) {
         const double weight =
             std::pow(2.0, std::min(mu, options.hash_exponent_cap));
-        terms.push_back({enc.x_var[i][mu], weight});
-        terms.push_back({enc.x_var[i + 1][mu], -weight});
+        terms.push_back({enc_.x_var[i][mu], weight});
+        terms.push_back({enc_.x_var[i + 1][mu], -weight});
       }
       model.AddConstraint("hash_" + std::to_string(i), std::move(terms),
                           -ilp::kInfinity, 0);
@@ -219,10 +258,10 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
     // sort i-1; equivalently X_{i,mu} <= sum_{mu' < mu} X_{i-1,mu'}. For
     // mu < i the right-hand side chain is structurally empty, fixing X to 0.
     for (int i = 1; i < k; ++i) {
-      for (int mu = 0; mu < enc.num_signatures; ++mu) {
-        std::vector<ilp::LinTerm> terms{{enc.x_var[i][mu], 1.0}};
+      for (int mu = 0; mu < enc_.num_signatures; ++mu) {
+        std::vector<ilp::LinTerm> terms{{enc_.x_var[i][mu], 1.0}};
         for (int prev = 0; prev < mu; ++prev) {
-          terms.push_back({enc.x_var[i - 1][prev], -1.0});
+          terms.push_back({enc_.x_var[i - 1][prev], -1.0});
         }
         model.AddConstraint(
             "prec_" + std::to_string(i) + "_" + std::to_string(mu),
@@ -230,8 +269,76 @@ IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
       }
     }
   }
+}
 
-  return enc;
+void RefinementIlpInstance::Reweight(Rational theta) {
+  RDFSR_CHECK_GE(theta.num(), 0);
+  ilp::Model& model = enc_.model;
+
+  // Exact per-tau weights w = theta2*cF - theta1*cT, and the scale keeping
+  // threshold coefficients O(1) for the double simplex regardless of dataset
+  // size.
+  std::vector<eval::BigCount> weight(shapes_.size(), 0);
+  double max_weight = 1.0;
+  for (std::size_t t = 0; t < shapes_.size(); ++t) {
+    weight[t] =
+        static_cast<eval::BigCount>(theta.den()) * shapes_[t].favorable -
+        static_cast<eval::BigCount>(theta.num()) * shapes_[t].total;
+    max_weight =
+        std::max(max_weight, std::abs(static_cast<double>(weight[t])));
+  }
+
+  const int k = enc_.k;
+  for (int i = 0; i < k; ++i) {
+    std::vector<ilp::LinTerm> threshold;  // sum w(tau) T_{i,tau} >= 0
+    for (std::size_t t = 0; t < shapes_.size(); ++t) {
+      const TauShape& shape = shapes_[t];
+      const bool materialized = t_var_[i][t] >= 0;
+      if (weight[t] != 0) {
+        const double w = static_cast<double>(weight[t]) / max_weight;
+        threshold.push_back(
+            {materialized ? t_var_[i][t] : enc_.x_var[i][shape.sigs[0]], w});
+      }
+      if (!materialized) continue;
+
+      // Sign-directed activation: a positive-weight tau only needs the upper
+      // links (the row pushes T up), a negative-weight one only the lower
+      // link; a zero-weight tau is absent from the row, so both sides relax
+      // (its T is free and unused). Without sign_directed_linking both sides
+      // stay active for every tau in the row.
+      const bool need_upper = options_.sign_directed_linking
+                                  ? weight[t] > 0
+                                  : weight[t] != 0;
+      const bool need_lower = options_.sign_directed_linking
+                                  ? weight[t] < 0
+                                  : weight[t] != 0;
+      const int first = link_row_[i][t];
+      const int n_linked =
+          static_cast<int>(shape.sigs.size() + shape.linked_props.size());
+      for (int r = 0; r < n_linked; ++r) {
+        model.SetConstraintBounds(first + r,
+                                  -ilp::kInfinity,
+                                  need_upper ? 0.0 : ilp::kInfinity);
+      }
+      model.SetConstraintBounds(first + n_linked,
+                                need_lower ? 1.0 - n_linked : -ilp::kInfinity,
+                                ilp::kInfinity);
+    }
+    model.SetConstraintTerms(threshold_row_[i], std::move(threshold), 0,
+                             ilp::kInfinity);
+  }
+}
+
+IlpEncoding BuildRefinementIlp(const schema::SignatureIndex& index,
+                               const rules::Rule& rule,
+                               const std::vector<eval::TauCount>& tau_counts,
+                               int k, Rational theta,
+                               const IlpBuildOptions& options) {
+  (void)rule;
+  RefinementIlpInstance instance(index, AnalyzeTaus(tau_counts, index), k,
+                                 options);
+  instance.Reweight(theta);
+  return std::move(instance).ReleaseEncoding();
 }
 
 }  // namespace rdfsr::core

@@ -38,9 +38,8 @@ bool SigmaAtLeast(const eval::SigmaCounts& counts, Rational theta) {
          static_cast<eval::BigCount>(theta.num()) * counts.total;
 }
 
-Status ValidateRefinement(const eval::Evaluator& evaluator,
-                          const SortRefinement& refinement, Rational theta) {
-  const schema::SignatureIndex& index = evaluator.index();
+Status ValidatePartition(const schema::SignatureIndex& index,
+                         const SortRefinement& refinement) {
   std::vector<int> seen(index.num_signatures(), 0);
   if (refinement.sorts.empty()) {
     return Status::InvalidArgument("refinement has no sorts");
@@ -69,15 +68,36 @@ Status ValidateRefinement(const eval::Evaluator& evaluator,
                                      " is not covered by any sort");
     }
   }
-  for (std::size_t i = 0; i < refinement.sorts.size(); ++i) {
-    const eval::SigmaCounts counts = evaluator.Counts(refinement.sorts[i]);
-    if (!SigmaAtLeast(counts, theta)) {
+  return Status::OK();
+}
+
+std::vector<eval::SigmaCounts> SortCounts(const eval::Evaluator& evaluator,
+                                          const SortRefinement& refinement) {
+  std::vector<eval::SigmaCounts> counts;
+  counts.reserve(refinement.sorts.size());
+  for (const std::vector<int>& sort : refinement.sorts) {
+    counts.push_back(evaluator.CountsViaStats(sort));
+  }
+  return counts;
+}
+
+Status ValidateSortCounts(const std::vector<eval::SigmaCounts>& counts,
+                          Rational theta) {
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (!SigmaAtLeast(counts[i], theta)) {
       return Status::InvalidArgument(
           "sort " + std::to_string(i) + " has sigma " +
-          std::to_string(counts.Value()) + " < theta " + theta.ToString());
+          std::to_string(counts[i].Value()) + " < theta " + theta.ToString());
     }
   }
   return Status::OK();
+}
+
+Status ValidateRefinement(const eval::Evaluator& evaluator,
+                          const SortRefinement& refinement, Rational theta) {
+  Status structure = ValidatePartition(evaluator.index(), refinement);
+  if (!structure.ok()) return structure;
+  return ValidateSortCounts(SortCounts(evaluator, refinement), theta);
 }
 
 double MinSigma(const eval::Evaluator& evaluator,

@@ -39,8 +39,30 @@ struct SortRefinement {
 ///  * the sorts are non-empty and partition the signature ids exactly,
 ///  * sigma(sort) >= theta for every sort, compared exactly
 ///    (theta2 * favorable >= theta1 * total in integer arithmetic).
+/// Composed of the three pieces below, which the searches also use
+/// separately: a refinement's structure and per-sort counts are
+/// theta-independent, so validating one refinement against many thresholds
+/// (the theta grid, the k ladder) computes SortCounts once and re-runs only
+/// the exact comparisons.
 Status ValidateRefinement(const eval::Evaluator& evaluator,
                           const SortRefinement& refinement, Rational theta);
+
+/// The structural half of ValidateRefinement: non-empty sorts partitioning
+/// the index's signature ids exactly. Theta-independent.
+Status ValidatePartition(const schema::SignatureIndex& index,
+                         const SortRefinement& refinement);
+
+/// Exact per-sort counts, evaluated through the incremental-stats subsystem
+/// (closed forms for builtin rules — no member re-walks in the extraction).
+/// Theta-independent: reusable across every threshold a refinement is
+/// checked against.
+std::vector<eval::SigmaCounts> SortCounts(const eval::Evaluator& evaluator,
+                                          const SortRefinement& refinement);
+
+/// The threshold half of ValidateRefinement on precomputed per-sort counts:
+/// OK iff sigma(counts[i]) >= theta for every i (exact integer comparison).
+Status ValidateSortCounts(const std::vector<eval::SigmaCounts>& counts,
+                          Rational theta);
 
 /// Exact comparison sigma(counts) >= theta without floating point.
 bool SigmaAtLeast(const eval::SigmaCounts& counts, Rational theta);

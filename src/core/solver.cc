@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "eval/closed_form.h"
 #include "util/check.h"
@@ -19,6 +20,37 @@ const char* DecisionName(Decision decision) {
       return "Unknown";
   }
   return "Unknown";
+}
+
+Rational ThetaGrid::Theta(std::int64_t g) const {
+  const Rational value = Rational(g) * step;
+  return value > Rational(1) ? Rational(1) : value;
+}
+
+ThetaGrid MakeThetaGrid(Rational sigma_all, double theta_step) {
+  ThetaGrid grid;
+  if (!std::isfinite(theta_step) || theta_step <= 0) {
+    grid.step = Rational(1, 100);  // the paper's step
+  } else if (theta_step >= 1) {
+    grid.step = Rational(1);
+  } else {
+    grid.step = Rational::FromDouble(theta_step, 1000);
+    // A step below the grid resolution collapses to the zero rational, which
+    // would divide the index derivation by zero: clamp to the finest grid.
+    if (grid.step.num() <= 0) grid.step = Rational(1, 1000);
+  }
+  RDFSR_CHECK_GE(sigma_all.num(), 0);
+  // First index strictly above sigma_all, by exact integer floor division
+  // (double rounding could skip a point or re-test sigma_all when it lies
+  // exactly on the grid).
+  const __int128 num = static_cast<__int128>(sigma_all.num()) * grid.step.den();
+  const __int128 den = static_cast<__int128>(sigma_all.den()) * grid.step.num();
+  grid.first = static_cast<std::int64_t>(num / den) + 1;  // >= 0: trunc = floor
+  // Smallest index at or above theta = 1; Theta() clamps it to exactly 1, so
+  // the endpoint is always on the grid even when step does not divide 1
+  // (step = 3/100: last = 34, Theta(last) = 1, not 99/100).
+  grid.last = (grid.step.den() + grid.step.num() - 1) / grid.step.num();
+  return grid;
 }
 
 RefinementSolver::RefinementSolver(const eval::Evaluator* evaluator,
@@ -39,12 +71,78 @@ const std::vector<eval::TauCount>& RefinementSolver::TauCounts() {
   return tau_counts_;
 }
 
-const SortRefinement& RefinementSolver::AgglomerativeForTheta(Rational theta) {
+const std::vector<TauShape>& RefinementSolver::Shapes() {
+  if (!shapes_.has_value()) {
+    shapes_ = AnalyzeTaus(TauCounts(), evaluator_->index());
+  }
+  return *shapes_;
+}
+
+RefinementIlpInstance& RefinementSolver::InstanceFor(int k) {
+  if (!options_.reuse_instances) {
+    // Rebuild-per-instance baseline: a fresh skeleton every call.
+    instance_ = std::make_unique<RefinementIlpInstance>(
+        evaluator_->index(), Shapes(), k, options_.build);
+    instance_k_ = k;
+    return *instance_;
+  }
+  if (instance_ == nullptr || instance_k_ != k) {
+    instance_ = std::make_unique<RefinementIlpInstance>(
+        evaluator_->index(), Shapes(), k, options_.build);
+    instance_k_ = k;
+  }
+  return *instance_;
+}
+
+RefinementSolver::ScoredRefinement RefinementSolver::Score(
+    SortRefinement refinement) const {
+  ScoredRefinement scored;
+  scored.structure_ok =
+      ValidatePartition(Eval().index(), refinement).ok();
+  if (scored.structure_ok) {
+    scored.counts = SortCounts(Eval(), refinement);
+  }
+  scored.refinement = std::move(refinement);
+  return scored;
+}
+
+const RefinementSolver::ScoredRefinement&
+RefinementSolver::AgglomerativeForTheta(Rational theta) {
+  // Cached per theta regardless of reuse_instances (the pre-reuse solver
+  // already memoized these across the k ladder).
   const std::pair<std::int64_t, std::int64_t> key{theta.num(), theta.den()};
   auto it = agglomerative_cache_.find(key);
   if (it == agglomerative_cache_.end()) {
     it = agglomerative_cache_
-             .emplace(key, AgglomerativeLowestK(Eval(), theta))
+             .emplace(key, Score(AgglomerativeLowestK(Eval(), theta)))
+             .first;
+  }
+  return it->second;
+}
+
+const RefinementSolver::ScoredRefinement&
+RefinementSolver::AgglomerativeFixedKFor(int k) {
+  if (!options_.reuse_instances) {
+    scratch_scored_ = Score(AgglomerativeFixedK(Eval(), k));
+    return scratch_scored_;
+  }
+  auto it = fixed_k_cache_.find(k);
+  if (it == fixed_k_cache_.end()) {
+    it = fixed_k_cache_.emplace(k, Score(AgglomerativeFixedK(Eval(), k)))
+             .first;
+  }
+  return it->second;
+}
+
+const RefinementSolver::ScoredRefinement& RefinementSolver::GreedyFor(int k) {
+  if (!options_.reuse_instances) {
+    scratch_scored_ = Score(GreedyMaxMinSigma(Eval(), k, options_.greedy));
+    return scratch_scored_;
+  }
+  auto it = greedy_cache_.find(k);
+  if (it == greedy_cache_.end()) {
+    it = greedy_cache_
+             .emplace(k, Score(GreedyMaxMinSigma(Eval(), k, options_.greedy)))
              .first;
   }
   return it->second;
@@ -82,73 +180,68 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
   if (options_.greedy_first && k > 1) {
     // Heuristic ladder (cheapest first): agglomerative threshold merging,
     // agglomerative k-clustering, randomized greedy + local search. Any
-    // exactly-validated witness settles the instance.
+    // exactly-validated witness settles the instance. The ladder's
+    // refinements are scored once (structure + per-sort counts); checking an
+    // instance is then one exact comparison per sort.
     {
-      const SortRefinement& agg = AgglomerativeForTheta(theta);
-      if (agg.num_sorts() <= static_cast<std::size_t>(k) &&
-          !agg.sorts.empty() &&
-          ValidateRefinement(Eval(), agg, theta).ok()) {
+      const ScoredRefinement& agg = AgglomerativeForTheta(theta);
+      if (agg.structure_ok &&
+          agg.refinement.num_sorts() <= static_cast<std::size_t>(k) &&
+          ValidateSortCounts(agg.counts, theta).ok()) {
         result.decision = Decision::kExists;
-        result.refinement = agg;
+        result.refinement = agg.refinement;
         result.via_greedy = true;
         result.seconds = timer.Seconds();
         return result;
       }
     }
     {
-      SortRefinement clustered = AgglomerativeFixedK(Eval(), k);
-      if (ValidateRefinement(Eval(), clustered, theta).ok()) {
+      const ScoredRefinement& clustered = AgglomerativeFixedKFor(k);
+      if (clustered.structure_ok &&
+          ValidateSortCounts(clustered.counts, theta).ok()) {
         result.decision = Decision::kExists;
-        result.refinement = std::move(clustered);
+        result.refinement = clustered.refinement;
         result.via_greedy = true;
         result.seconds = timer.Seconds();
         return result;
       }
     }
-    std::optional<SortRefinement> found =
-        GreedyFindRefinement(Eval(), k, theta, options_.greedy);
-    if (found.has_value()) {
-      result.decision = Decision::kExists;
-      result.refinement = std::move(found);
-      result.via_greedy = true;
-      result.seconds = timer.Seconds();
-      return result;
+    {
+      const ScoredRefinement& greedy = GreedyFor(k);
+      if (greedy.structure_ok &&
+          ValidateSortCounts(greedy.counts, theta).ok()) {
+        result.decision = Decision::kExists;
+        result.refinement = greedy.refinement;
+        result.via_greedy = true;
+        result.seconds = timer.Seconds();
+        return result;
+      }
     }
   }
 
-  // Exact decision via the Section 6 ILP. Estimate the encoding size first:
-  // rows ~= assignments + per-sort (support links + property rows + tau
-  // links) + symmetry; building a model only to discard it wastes seconds on
-  // large rule/dataset combinations.
-  {
-    std::size_t support_links = 0;
-    for (std::size_t mu = 0; mu < index.num_signatures(); ++mu) {
-      support_links += index.signature(mu).props().Popcount();
-    }
-    const std::size_t rows_estimate =
-        index.num_signatures() +
-        static_cast<std::size_t>(k) *
-            (support_links + index.num_properties() + TauCounts().size() + 1);
-    if (rows_estimate / 2 > options_.max_mip_rows) {
-      result.decision = Decision::kUnknown;
-      result.seconds = timer.Seconds();
-      return result;
-    }
-  }
-  IlpEncoding enc = BuildRefinementIlp(index, evaluator_->rule(), TauCounts(),
-                                       k, theta, options_.build);
-  if (enc.model.num_constraints() > options_.max_mip_rows) {
-    // Too large for the dense-simplex MIP; the answer stays open.
+  // Exact decision via the Section 6 ILP. The row count the dense simplex
+  // will actually see is known exactly from the theta-independent tau
+  // analysis, so oversized instances resolve to kUnknown before any model
+  // (or skeleton) is built. With presolve on (default) the deactivated link
+  // sides are dropped before the simplex, so only the active rows count;
+  // without it the simplex is handed the whole skeleton.
+  const std::size_t simplex_rows =
+      options_.mip.use_presolve
+          ? RefinementIlpActiveRows(index, Shapes(), k, options_.build)
+          : RefinementIlpRows(index, Shapes(), k, options_.build);
+  if (simplex_rows > options_.max_mip_rows) {
     result.decision = Decision::kUnknown;
     result.seconds = timer.Seconds();
     return result;
   }
-  const ilp::MipResult mip = ilp::SolveMip(enc.model, options_.mip);
+  RefinementIlpInstance& instance = InstanceFor(k);
+  instance.Reweight(theta);
+  const ilp::MipResult mip = ilp::SolveMip(instance.model(), options_.mip);
   result.mip_nodes = mip.nodes;
   switch (mip.status) {
     case ilp::MipStatus::kOptimal:
     case ilp::MipStatus::kFeasible: {
-      SortRefinement decoded = enc.Decode(mip.x);
+      SortRefinement decoded = instance.Decode(mip.x);
       const Status valid = ValidateRefinement(Eval(), decoded, theta);
       if (valid.ok()) {
         result.decision = Decision::kExists;
@@ -188,26 +281,28 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
   best.refinement.sorts.push_back(eval::AllSignatures(Eval().index()));
   best.instances = 0;
 
-  const Rational step = Rational::FromDouble(options_.theta_step, 1000);
-  // First grid index strictly above sigma_all; last index is theta = 1.
-  const std::int64_t first_grid =
-      static_cast<std::int64_t>(
-          std::floor(sigma_all.ToDouble() / step.ToDouble())) + 1;
-  const std::int64_t last_grid = step.num() == 0
-                                     ? first_grid
-                                     : step.den() / step.num();
+  const ThetaGrid grid = MakeThetaGrid(sigma_all, options_.theta_step);
+  if (grid.first > grid.last) {
+    // sigma_all is already 1: nothing lies above the baseline.
+    best.ceiling_proven = true;
+    best.seconds = timer.Seconds();
+    return best;
+  }
 
   if (!options_.binary_theta_search) {
     // Sequential search upward on the grid (paper Section 7: preferred over
     // bisection because infeasible instances are far slower than feasible
     // ones, and the sequential scan meets exactly one infeasible instance).
-    for (std::int64_t g = first_grid; g <= last_grid; ++g) {
-      const Rational theta = Rational(g) * step;
+    for (std::int64_t g = grid.first; g <= grid.last; ++g) {
+      const Rational theta = grid.Theta(g);
       DecisionResult r = Exists(k, theta);
       ++best.instances;
       if (r.decision == Decision::kExists) {
         best.theta = theta;
         best.refinement = std::move(*r.refinement);
+        // Reaching the endpoint (theta = 1) proves the ceiling: no threshold
+        // above 1 is satisfiable.
+        if (g == grid.last) best.ceiling_proven = true;
         continue;
       }
       best.ceiling_proven = (r.decision == Decision::kNotExists);
@@ -220,12 +315,12 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
   // Bisection on the grid. Invariant: everything at or below `lo` is known
   // feasible (or is the sigma_all baseline); everything above `hi` is known
   // infeasible or unknown.
-  std::int64_t lo = first_grid - 1;  // baseline (sigma_all)
-  std::int64_t hi = last_grid;
+  std::int64_t lo = grid.first - 1;  // baseline (sigma_all)
+  std::int64_t hi = grid.last;
   best.ceiling_proven = true;
   while (lo < hi) {
     const std::int64_t mid = lo + (hi - lo + 1) / 2;
-    const Rational theta = Rational(mid) * step;
+    const Rational theta = grid.Theta(mid);
     DecisionResult r = Exists(k, theta);
     ++best.instances;
     if (r.decision == Decision::kExists) {
@@ -248,6 +343,7 @@ Result<LowestKResult> RefinementSolver::FindLowestK(Rational theta, int max_k) {
 
   LowestKResult out;
   out.proven_minimal = true;
+  bool undecided = false;
   for (int k = 1; k <= max_k; ++k) {
     DecisionResult r = Exists(k, theta);
     ++out.instances;
@@ -257,11 +353,23 @@ Result<LowestKResult> RefinementSolver::FindLowestK(Rational theta, int max_k) {
       out.seconds = timer.Seconds();
       return out;
     }
-    if (r.decision == Decision::kUnknown) out.proven_minimal = false;
+    if (r.decision == Decision::kUnknown) {
+      undecided = true;
+      out.proven_minimal = false;
+    }
   }
-  return Status::NotFound("no sort refinement with theta = " +
-                          theta.ToString() + " and k <= " +
-                          std::to_string(max_k));
+  // Exhausted. Distinguish a proof (every k <= max_k infeasible) from an
+  // undecided sweep (some instances hit solver limits), and keep the search
+  // statistics in the message — callers see how much work the failure cost.
+  std::ostringstream detail;
+  detail << "theta = " << theta.ToString() << " and k <= " << max_k << " ("
+         << out.instances << " instances, " << timer.Seconds() << " s)";
+  if (undecided) {
+    return Status::ResourceExhausted(
+        "undecided: found no sort refinement with " + detail.str() +
+        ", but some instances exceeded solver limits; one may still exist");
+  }
+  return Status::NotFound("proven: no sort refinement with " + detail.str());
 }
 
 }  // namespace rdfsr::core

@@ -11,14 +11,30 @@
 // exact branch-and-bound over the Section 6 ILP settles instances the
 // heuristic cannot, and is the only component that can prove non-existence.
 // Node/time limits surface as kUnknown rather than a wrong answer.
+//
+// Both searches drive many closely-related instances, and everything but the
+// threshold is shared between them, so the solver is incremental across
+// instances (reuse_instances, on by default):
+//  * one RefinementIlpInstance per k, reweighted per theta instead of
+//    rebuilding the O(k * |P| * n) encoding,
+//  * the theta-independent heuristics (greedy max-min, fixed-k agglomerative)
+//    run once per k; their per-sort counts are cached so re-validation
+//    against each instance's threshold is O(#sorts) exact comparisons,
+//  * the theta grid itself is derived in exact integer arithmetic
+//    (ThetaGrid), so no grid point is skipped or re-tested and theta = 1 is
+//    always the endpoint.
+// Outputs are bit-identical with reuse off — bench/bench_solver.cc asserts it
+// while measuring the speedup.
 
 #ifndef RDFSR_CORE_SOLVER_H_
 #define RDFSR_CORE_SOLVER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/greedy.h"
 #include "eval/cached_evaluator.h"
@@ -54,7 +70,12 @@ struct SolverOptions {
   ilp::MipOptions mip;
   GreedyOptions greedy;
   bool greedy_first = true;  ///< try the heuristic before the exact solver
-  double theta_step = 0.01;  ///< paper's sequential step
+  /// Step of the sequential highest-theta search (paper: 0.01). Validated by
+  /// MakeThetaGrid: non-finite / non-positive values fall back to 0.01, and
+  /// values below the 1/1000 grid resolution clamp to 0.001 (a smaller step
+  /// would otherwise collapse to a zero rational and divide the grid
+  /// derivation by zero).
+  double theta_step = 0.01;
   /// Use bisection instead of the paper's sequential scan in
   /// FindHighestTheta. The paper prefers sequential search because "it has
   /// proven to be much slower to find an instance infeasible than to find a
@@ -63,11 +84,41 @@ struct SolverOptions {
   bool binary_theta_search = false;
   /// Memoize sigma evaluations across heuristic and validation calls.
   bool cache_evaluations = true;
+  /// Reuse work across decision instances: one ILP encoding per k reweighted
+  /// per theta, theta-independent heuristic refinements computed once per k,
+  /// and per-sort counts cached so validation per instance is a handful of
+  /// exact comparisons. Outputs are bit-identical with the flag off (the
+  /// heuristics are deterministic and a reweighted instance equals a fresh
+  /// build); off exists as the rebuild-per-instance baseline for
+  /// bench_solver and the regression tests.
+  bool reuse_instances = true;
   /// Skip the exact MIP when the encoding exceeds this many rows (our dense
   /// simplex keeps an m x m basis inverse; CPLEX had no such ceiling). The
   /// instance then resolves to kUnknown unless the heuristic found a witness.
+  /// Checked against the exact worst-case count of rows the simplex will see
+  /// (RefinementIlpActiveRows — deactivated link sides presolve away) before
+  /// any model is built.
   std::size_t max_mip_rows = 4000;
 };
+
+/// The exact theta grid of FindHighestTheta: indices first..last over
+/// multiples of `step`, with the endpoint clamped so Theta(last) == 1 exactly
+/// (e.g. step = 3/100 ends at min(34 * 3/100, 1) = 1, not 99/100). Empty
+/// (first > last) only when sigma_all is already 1.
+struct ThetaGrid {
+  Rational step;
+  std::int64_t first = 0;  ///< smallest index with Theta(first) > sigma_all
+  std::int64_t last = 0;   ///< Theta(last) == 1
+
+  /// min(g * step, 1).
+  Rational Theta(std::int64_t g) const;
+};
+
+/// Derives the grid strictly above `sigma_all` with integer arithmetic only
+/// (the former double floor could skip or re-test a point when sigma_all sat
+/// exactly on the grid). `theta_step` is validated as documented on
+/// SolverOptions::theta_step.
+ThetaGrid MakeThetaGrid(Rational sigma_all, double theta_step);
 
 /// Result of the highest-theta search.
 struct HighestThetaResult {
@@ -103,29 +154,61 @@ class RefinementSolver {
   HighestThetaResult FindHighestTheta(int k);
 
   /// Smallest k admitting a refinement with threshold theta; searches k
-  /// upward from 1 to max_k (default: number of signatures). Fails with
-  /// NotFound when no k up to the cap works.
+  /// upward from 1 to max_k (default: number of signatures). On exhaustion
+  /// the failure distinguishes decidedness: NotFound means every k <= max_k
+  /// was PROVEN infeasible; ResourceExhausted means at least one instance hit
+  /// solver limits (kUnknown), so a refinement may still exist. Both carry
+  /// the instance count and elapsed seconds in the message.
   Result<LowestKResult> FindLowestK(Rational theta, int max_k = -1);
 
  private:
+  /// A heuristic refinement scored once: structure checked and per-sort
+  /// counts extracted (theta-independent), so checking it against any
+  /// threshold afterwards is an exact comparison per sort.
+  struct ScoredRefinement {
+    SortRefinement refinement;
+    std::vector<eval::SigmaCounts> counts;
+    bool structure_ok = false;
+  };
+
   /// The evaluator actually consulted (the cache wrapper when enabled).
   const eval::Evaluator& Eval() const {
     return cached_ != nullptr ? *cached_ : *evaluator_;
   }
 
+  const std::vector<eval::TauCount>& TauCounts();
+  /// Theta-independent tau link analysis, shared by every encoding.
+  const std::vector<TauShape>& Shapes();
+  /// The reusable encoding for k (single slot — the searches drive one k at
+  /// a time). With reuse_instances off, builds a fresh instance per call.
+  RefinementIlpInstance& InstanceFor(int k);
+  ScoredRefinement Score(SortRefinement refinement) const;
+  const ScoredRefinement& AgglomerativeForTheta(Rational theta);
+  const ScoredRefinement& AgglomerativeFixedKFor(int k);
+  const ScoredRefinement& GreedyFor(int k);
+
   const eval::Evaluator* evaluator_;
   std::unique_ptr<eval::CachedEvaluator> cached_;
   SolverOptions options_;
-  // Tau counts depend only on (rule, dataset) — theta enters the encoding
-  // via the weights — so the enumeration is cached across instances.
+  // Tau counts and shapes depend only on (rule, dataset) — theta enters the
+  // encoding via the weights — so both are cached across instances.
   std::vector<eval::TauCount> tau_counts_;
   bool tau_counts_ready_ = false;
-  // Agglomerative lowest-k partitions per theta (reused across the k sweep).
-  std::map<std::pair<std::int64_t, std::int64_t>, SortRefinement>
+  std::optional<std::vector<TauShape>> shapes_;
+  // The reusable exact encoding (reuse_instances): rebuilt only when k
+  // changes, reweighted per theta.
+  std::unique_ptr<RefinementIlpInstance> instance_;
+  int instance_k_ = -1;
+  // Heuristic-ladder caches. Agglomerative lowest-k partitions per theta
+  // (reused across the k ladder); fixed-k agglomerative and greedy max-min
+  // per k (theta-independent, reused across the theta grid).
+  std::map<std::pair<std::int64_t, std::int64_t>, ScoredRefinement>
       agglomerative_cache_;
-
-  const std::vector<eval::TauCount>& TauCounts();
-  const SortRefinement& AgglomerativeForTheta(Rational theta);
+  std::map<int, ScoredRefinement> fixed_k_cache_;
+  std::map<int, ScoredRefinement> greedy_cache_;
+  // Single-slot scratch for the reuse_instances=false baseline, so the
+  // accessors can still hand out references.
+  ScoredRefinement scratch_scored_;
 };
 
 }  // namespace rdfsr::core

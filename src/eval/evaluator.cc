@@ -16,6 +16,12 @@ SigmaCounts GenericEvaluator::Counts(const std::vector<int>& sig_ids) const {
   return EvaluateRuleOnIndex(rule_, sub);
 }
 
+SigmaCounts Evaluator::CountsViaStats(const std::vector<int>& sig_ids) const {
+  SortStats stats = MakeStats();
+  for (int sig : sig_ids) stats.Add(sig);
+  return CountsFromStats(stats);
+}
+
 ClosedFormEvaluator::ClosedFormEvaluator(Kind kind, rules::Rule rule,
                                          const schema::SignatureIndex* index,
                                          std::vector<std::string> params)

@@ -67,6 +67,13 @@ class Evaluator {
     return CountsFromStats(stats).Value();
   }
 
+  /// Counts through the stats subsystem: folds `sig_ids` into fresh stats and
+  /// extracts (closed form for the builtin families). Equals Counts(sig_ids)
+  /// exactly; refinement validation runs on this so it shares the same
+  /// aggregates the heuristics maintain instead of re-walking member
+  /// signatures through the scratch closed forms.
+  SigmaCounts CountsViaStats(const std::vector<int>& sig_ids) const;
+
   /// Counts of the union of two disjoint stats — the agglomerative
   /// candidate-merge probe. Must equal merging first and extracting after;
   /// this base implementation does exactly that, closed-form evaluators

@@ -51,6 +51,27 @@ int Model::AddConstraint(std::string name, std::vector<LinTerm> terms,
   return static_cast<int>(constraints_.size()) - 1;
 }
 
+void Model::SetConstraintTerms(int r, std::vector<LinTerm> terms, double lower,
+                               double upper) {
+  RDFSR_CHECK_GE(r, 0);
+  RDFSR_CHECK_LT(static_cast<std::size_t>(r), constraints_.size());
+  RDFSR_CHECK_LE(lower, upper)
+      << "constraint '" << constraints_[r].name << "' is empty";
+  Constraint& c = constraints_[r];
+  c.terms = MergeTerms(std::move(terms), variables_.size());
+  c.lower = lower;
+  c.upper = upper;
+}
+
+void Model::SetConstraintBounds(int r, double lower, double upper) {
+  RDFSR_CHECK_GE(r, 0);
+  RDFSR_CHECK_LT(static_cast<std::size_t>(r), constraints_.size());
+  RDFSR_CHECK_LE(lower, upper)
+      << "constraint '" << constraints_[r].name << "' is empty";
+  constraints_[r].lower = lower;
+  constraints_[r].upper = upper;
+}
+
 void Model::SetObjective(std::vector<LinTerm> terms) {
   objective_ = MergeTerms(std::move(terms), variables_.size());
 }

@@ -56,6 +56,20 @@ class Model {
   int AddConstraint(std::string name, std::vector<LinTerm> terms, double lower,
                     double upper);
 
+  /// Replaces the terms and bounds of constraint `r` in place, with the same
+  /// merging rules as AddConstraint (duplicates merged, zero coefficients
+  /// dropped). The name is kept. This is the coefficient-update entry point
+  /// the reusable refinement encoding drives per decision instance: threshold
+  /// rows are rewritten for each theta without rebuilding the model.
+  void SetConstraintTerms(int r, std::vector<LinTerm> terms, double lower,
+                          double upper);
+
+  /// Rewrites only the bounds of constraint `r`. Setting both sides infinite
+  /// deactivates the row (the presolve drops such rows as activity-redundant)
+  /// — how theta-dependent sign-directed linking rows are toggled per
+  /// instance.
+  void SetConstraintBounds(int r, double lower, double upper);
+
   /// Sets the (minimization) objective. Default is the zero objective.
   void SetObjective(std::vector<LinTerm> terms);
 

@@ -57,21 +57,66 @@ std::string Rational::ToString() const {
   return std::to_string(num_) + "/" + std::to_string(den_);
 }
 
+namespace {
+
+__int128 Abs128(__int128 v) { return v < 0 ? -v : v; }
+
+__int128 Gcd128(__int128 a, __int128 b) {
+  a = Abs128(a);
+  b = Abs128(b);
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational Rational::FromInt128(__int128 num, __int128 den) {
+  RDFSR_CHECK(den != 0) << "Rational with zero denominator";
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const __int128 g = Gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  if (num == 0) den = 1;
+  constexpr __int128 kMin = INT64_MIN;
+  constexpr __int128 kMax = INT64_MAX;
+  RDFSR_CHECK(num >= kMin && num <= kMax && den <= kMax)
+      << "Rational overflow: reduced result exceeds int64";
+  Rational out;
+  out.num_ = static_cast<std::int64_t>(num);
+  out.den_ = static_cast<std::int64_t>(den);
+  return out;
+}
+
 Rational Rational::operator+(const Rational& o) const {
-  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+  return FromInt128(
+      static_cast<__int128>(num_) * o.den_ + static_cast<__int128>(o.num_) * den_,
+      static_cast<__int128>(den_) * o.den_);
 }
 
 Rational Rational::operator-(const Rational& o) const {
-  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+  return FromInt128(
+      static_cast<__int128>(num_) * o.den_ - static_cast<__int128>(o.num_) * den_,
+      static_cast<__int128>(den_) * o.den_);
 }
 
 Rational Rational::operator*(const Rational& o) const {
-  return Rational(num_ * o.num_, den_ * o.den_);
+  return FromInt128(static_cast<__int128>(num_) * o.num_,
+                    static_cast<__int128>(den_) * o.den_);
 }
 
 Rational Rational::operator/(const Rational& o) const {
   RDFSR_CHECK_NE(o.num_, 0) << "Rational division by zero";
-  return Rational(num_ * o.den_, den_ * o.num_);
+  return FromInt128(static_cast<__int128>(num_) * o.den_,
+                    static_cast<__int128>(den_) * o.num_);
 }
 
 bool Rational::operator<(const Rational& o) const {

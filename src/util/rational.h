@@ -14,9 +14,10 @@
 namespace rdfsr {
 
 /// An exact rational number num/den with den > 0, always stored normalized
-/// (gcd(|num|, den) == 1). Arithmetic is checked against int64 overflow only via
-/// normalization; intended operand magnitudes here are small (thresholds,
-/// counts under ~2^40).
+/// (gcd(|num|, den) == 1). Arithmetic runs through 128-bit intermediates, so
+/// cross-products of any two representable rationals cannot silently wrap; the
+/// result is normalized in 128 bits and then checked to fit back into int64
+/// (a genuine overflow of the reduced result is a fatal error, not UB).
 class Rational {
  public:
   /// Zero.
@@ -53,6 +54,10 @@ class Rational {
 
  private:
   void Normalize();
+
+  /// Builds num/den from 128-bit intermediates: normalizes in 128 bits, then
+  /// checked-narrows to int64 (fatal on a result that truly cannot fit).
+  static Rational FromInt128(__int128 num, __int128 den);
 
   std::int64_t num_;
   std::int64_t den_;

@@ -1,0 +1,95 @@
+// JsonRecorder must emit valid JSON for every double, including non-finite
+// metrics (a timed-out ratio is commonly inf or nan): those serialize as
+// null, never as the "inf"/"nan" literals that invalidate the CI artifacts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "../bench/bench_util.h"
+
+namespace rdfsr::bench {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Minimal structural JSON check: quotes pair up and brackets/braces balance
+/// outside strings — enough to catch bare inf/nan/empty tokens, which always
+/// break nesting-aware parsers at the value position.
+bool LooksLikeJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': case '{': ++depth; break;
+      case ']': case '}':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(JsonRecorderTest, NonFiniteMetricsSerializeAsNull) {
+  const std::string path =
+      ::testing::TempDir() + "/bench_util_test_records.json";
+  JsonRecorder recorder;
+  recorder.Open(path, "bench_util_test");
+  recorder.Record(
+      "nonfinite",
+      {{"config", "smoke"}},
+      std::numeric_limits<double>::quiet_NaN(),
+      {{"inf", std::numeric_limits<double>::infinity()},
+       {"neg_inf", -std::numeric_limits<double>::infinity()},
+       {"nan", std::nan("")},
+       {"max", std::numeric_limits<double>::max()},
+       {"plain", 1.5}});
+
+  const std::string text = ReadAll(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(LooksLikeJson(text)) << text;
+  // Non-finite values come out as null (keys are quoted, values are not).
+  EXPECT_NE(text.find("\"inf\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"neg_inf\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"nan\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"seconds\": null"), std::string::npos) << text;
+  // Finite values survive untouched — DBL_MAX is finite and must round-trip,
+  // not collapse to null.
+  EXPECT_NE(text.find("1.7976931348623157e+308"), std::string::npos) << text;
+  EXPECT_NE(text.find("1.5"), std::string::npos) << text;
+  std::remove(path.c_str());
+}
+
+TEST(JsonRecorderTest, EscapesStringsAndStaysParseable) {
+  const std::string path =
+      ::testing::TempDir() + "/bench_util_test_escapes.json";
+  JsonRecorder recorder;
+  recorder.Open(path, "bench_util_test");
+  recorder.Record("quote\"and\\slash\nnewline", {{"k", "v\t"}}, 0.25, {});
+  const std::string text = ReadAll(path);
+  EXPECT_TRUE(LooksLikeJson(text)) << text;
+  EXPECT_NE(text.find("quote\\\"and\\\\slash\\nnewline"), std::string::npos)
+      << text;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rdfsr::bench

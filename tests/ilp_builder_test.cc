@@ -144,6 +144,73 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+TEST(IlpBuilderTest, ReweightMatchesPerInstanceRebuildBitForBit) {
+  // One reused instance swept through a theta ladder must equal a fresh
+  // build at every step — including after crossing weight sign flips — for
+  // every encoding variant. ToString covers names, coefficients, and bounds.
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 5;
+  spec.num_properties = 4;
+  spec.seed = 3;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  const Rational thetas[] = {Rational(0),      Rational(1, 10), Rational(1, 2),
+                             Rational(17, 20), Rational(9, 10), Rational(1)};
+
+  for (const rules::Rule& rule : {rules::SimRule(), rules::CovRule()}) {
+    const auto taus = eval::EnumerateTauCounts(rule, index);
+    for (const EncodingVariant& variant : Variants()) {
+      RefinementIlpInstance reused(index, AnalyzeTaus(taus, index), 2,
+                                   variant.options);
+      for (const Rational& theta : thetas) {
+        reused.Reweight(theta);
+        const IlpEncoding fresh =
+            BuildRefinementIlp(index, rule, taus, 2, theta, variant.options);
+        EXPECT_EQ(reused.model().ToString(), fresh.model.ToString())
+            << rule.name() << " theta=" << theta.ToString() << " variant "
+            << variant.name;
+      }
+      // Sweeping back down must remain exact (no residue from earlier
+      // instances).
+      reused.Reweight(Rational(1, 2));
+      const IlpEncoding fresh = BuildRefinementIlp(index, rule, taus, 2,
+                                                   Rational(1, 2),
+                                                   variant.options);
+      EXPECT_EQ(reused.model().ToString(), fresh.model.ToString());
+    }
+  }
+}
+
+TEST(IlpBuilderTest, RefinementIlpRowsIsExact) {
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 6;
+  spec.num_properties = 4;
+  spec.seed = 5;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  for (const rules::Rule& rule : {rules::CovRule(), rules::SimRule()}) {
+    const auto taus = eval::EnumerateTauCounts(rule, index);
+    const auto shapes = AnalyzeTaus(taus, index);
+    for (int k : {1, 2, 4}) {
+      for (const EncodingVariant& variant : Variants()) {
+        RefinementIlpInstance instance(index, shapes, k, variant.options);
+        const std::size_t rows =
+            RefinementIlpRows(index, shapes, k, variant.options);
+        EXPECT_EQ(rows, instance.model().num_constraints())
+            << rule.name() << " k=" << k << " variant " << variant.name;
+        // The solver's row ceiling gates on the active count: never more
+        // than the skeleton, equal to it without sign-directed linking.
+        const std::size_t active =
+            RefinementIlpActiveRows(index, shapes, k, variant.options);
+        EXPECT_LE(active, rows)
+            << rule.name() << " k=" << k << " variant " << variant.name;
+        if (!variant.options.sign_directed_linking) {
+          EXPECT_EQ(active, rows)
+              << rule.name() << " k=" << k << " variant " << variant.name;
+        }
+      }
+    }
+  }
+}
+
 TEST(IlpBuilderTest, EncodingShapesDiagnostics) {
   gen::RandomIndexSpec spec;
   spec.num_signatures = 5;

@@ -60,6 +60,44 @@ TEST(ModelTest, IsFeasibleChecksEverything) {
   EXPECT_FALSE(m.IsFeasible({1.0}));       // arity
 }
 
+TEST(ModelTest, SetConstraintTermsReplacesRowInPlace) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 1, false);
+  const int y = m.AddVariable("y", 0, 1, false);
+  const int r = m.AddConstraint("row", {{x, 1.0}}, 0, 1);
+
+  m.SetConstraintTerms(r, {{y, 2.0}, {y, 1.0}, {x, 0.0}}, -1, 3);
+  EXPECT_EQ(m.num_constraints(), 1u);
+  EXPECT_EQ(m.constraint(r).name, "row");  // name kept
+  ASSERT_EQ(m.constraint(r).terms.size(), 1u);  // merged, zero dropped
+  EXPECT_EQ(m.constraint(r).terms[0].var, y);
+  EXPECT_DOUBLE_EQ(m.constraint(r).terms[0].coef, 3.0);
+  EXPECT_DOUBLE_EQ(m.constraint(r).lower, -1.0);
+  EXPECT_DOUBLE_EQ(m.constraint(r).upper, 3.0);
+
+  // Rewriting to an empty row is allowed (a threshold row with no active
+  // taus); feasibility then depends only on the bounds including zero.
+  m.SetConstraintTerms(r, {}, 0, kInfinity);
+  EXPECT_TRUE(m.constraint(r).terms.empty());
+  EXPECT_TRUE(m.IsFeasible({0.0, 0.0}));
+}
+
+TEST(ModelTest, SetConstraintBoundsTogglesRowActivity) {
+  Model m;
+  const int x = m.AddVariable("x", 0, 1, false);
+  const int r = m.AddConstraint("link", {{x, 1.0}}, -kInfinity, 0);
+  EXPECT_FALSE(m.IsFeasible({1.0}));
+
+  // Deactivate: both sides infinite makes the row vacuous.
+  m.SetConstraintBounds(r, -kInfinity, kInfinity);
+  EXPECT_TRUE(m.IsFeasible({1.0}));
+
+  // Reactivate with the opposite sense.
+  m.SetConstraintBounds(r, 1, kInfinity);
+  EXPECT_TRUE(m.IsFeasible({1.0}));
+  EXPECT_FALSE(m.IsFeasible({0.0}));
+}
+
 TEST(ModelTest, ToStringMentionsNamesAndBounds) {
   Model m;
   const int x = m.AddVariable("price", 0, 1, false);

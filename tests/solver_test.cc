@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/solver.h"
 #include "eval/evaluator.h"
 #include "gen/random_graph.h"
@@ -164,6 +167,130 @@ TEST(SolverTest, GreedyFirstAndPureMipAgree) {
       const Decision db = b.Exists(2, theta).decision;
       EXPECT_EQ(da, db) << "seed=" << seed << " theta=" << theta.ToString();
     }
+  }
+}
+
+TEST(ThetaGridTest, EndpointIsAlwaysExactlyOne) {
+  // Steps that do not divide 1 must still end the grid at theta = 1 (the old
+  // integer division den/num stopped 0.03 at 99/100).
+  for (double step : {0.03, 0.01, 0.07, 0.3, 1.0, 0.999}) {
+    const ThetaGrid grid = MakeThetaGrid(Rational(0), step);
+    EXPECT_EQ(grid.Theta(grid.last), Rational(1)) << "step " << step;
+    EXPECT_LT(grid.Theta(grid.last - 1), Rational(1)) << "step " << step;
+  }
+}
+
+TEST(ThetaGridTest, FirstIndexIsStrictlyAboveSigmaAll) {
+  // sigma_all exactly on a grid point: the first tested theta must be the
+  // next point, neither re-testing sigma_all nor skipping past 51/100.
+  {
+    const ThetaGrid grid = MakeThetaGrid(Rational(1, 2), 0.01);
+    EXPECT_EQ(grid.step, Rational(1, 100));
+    EXPECT_EQ(grid.first, 51);
+    EXPECT_EQ(grid.Theta(grid.first), Rational(51, 100));
+  }
+  // sigma_all between grid points: first point above it.
+  {
+    const ThetaGrid grid = MakeThetaGrid(Rational(499, 1000), 0.01);
+    EXPECT_EQ(grid.Theta(grid.first), Rational(1, 2));
+  }
+  // sigma_all = 1: the grid is empty (nothing lies above the baseline).
+  {
+    const ThetaGrid grid = MakeThetaGrid(Rational(1), 0.01);
+    EXPECT_GT(grid.first, grid.last);
+  }
+  // sigma_all = 0 with a coarse step.
+  {
+    const ThetaGrid grid = MakeThetaGrid(Rational(0), 0.25);
+    EXPECT_EQ(grid.first, 1);
+    EXPECT_EQ(grid.Theta(1), Rational(1, 4));
+    EXPECT_EQ(grid.last, 4);
+  }
+}
+
+TEST(ThetaGridTest, DegenerateStepsAreClampedNotDivideByZero) {
+  // A tiny step used to collapse to Rational(0) and divide by zero in the
+  // grid derivation; junk steps fall back to the paper's default.
+  const ThetaGrid tiny = MakeThetaGrid(Rational(1, 2), 1e-9);
+  EXPECT_EQ(tiny.step, Rational(1, 1000));
+  EXPECT_EQ(tiny.Theta(tiny.last), Rational(1));
+
+  for (double bad : {0.0, -0.5, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    const ThetaGrid grid = MakeThetaGrid(Rational(1, 3), bad);
+    EXPECT_EQ(grid.step, Rational(1, 100)) << "step " << bad;
+    EXPECT_EQ(grid.Theta(grid.last), Rational(1)) << "step " << bad;
+  }
+
+  // Oversized steps clamp to a one-point grid at theta = 1.
+  const ThetaGrid big = MakeThetaGrid(Rational(0), 7.5);
+  EXPECT_EQ(big.step, Rational(1));
+  EXPECT_EQ(big.first, 1);
+  EXPECT_EQ(big.last, 1);
+}
+
+TEST(SolverTest, HighestThetaReachesOneWithNonDividingStep) {
+  // Two incompatible one-property profiles: apart both sorts are perfect, so
+  // theta = 1 is feasible with k = 2 — and must be found even when the step
+  // (0.03) does not divide 1.
+  std::vector<schema::Signature> sigs = {{{0}, 10}, {{1}, 10}};
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"a", "b"}, sigs);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  SolverOptions options;
+  options.theta_step = 0.03;
+  RefinementSolver solver(cov.get(), options);
+  const HighestThetaResult best = solver.FindHighestTheta(2);
+  EXPECT_EQ(best.theta, Rational(1));
+  EXPECT_TRUE(best.ceiling_proven);
+  EXPECT_TRUE(ValidateRefinement(*cov, best.refinement, best.theta).ok());
+}
+
+TEST(SolverTest, HighestThetaTestsSigmaAllOnGridExactlyOnce) {
+  // sigma_Cov = 1/2 sits exactly on the 0.01 grid; with k = 1 no improvement
+  // exists, so the search must solve exactly one instance (51/100, proven
+  // infeasible) — not re-test 1/2 or skip to 52/100.
+  std::vector<schema::Signature> sigs = {{{0}, 1}, {{1}, 1}};
+  const schema::SignatureIndex index =
+      schema::SignatureIndex::FromSignatures({"a", "b"}, sigs);
+  auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
+  ASSERT_DOUBLE_EQ(cov->SigmaAll(), 0.5);
+  RefinementSolver solver(cov.get());
+  const HighestThetaResult best = solver.FindHighestTheta(1);
+  EXPECT_EQ(best.theta, Rational(1, 2));
+  EXPECT_EQ(best.instances, 1);
+  EXPECT_TRUE(best.ceiling_proven);
+}
+
+TEST(SolverTest, FindLowestKFailureDistinguishesProvenFromUndecided) {
+  const schema::SignatureIndex index = MakeDeathIndex();
+  auto symdep = eval::MakeEvaluator(
+      rules::SymDepRule("deathPlace", "deathDate"), &index);
+
+  // Proven: k <= 2 cannot reach theta = 1 on this data and every instance is
+  // decidable, so exhaustion is a proof -> NotFound.
+  {
+    RefinementSolver solver(symdep.get());
+    auto result = solver.FindLowestK(Rational(1), /*max_k=*/2);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(result.status().message().find("proven"), std::string::npos);
+    EXPECT_NE(result.status().message().find("2 instances"),
+              std::string::npos);
+  }
+
+  // Undecided: with the heuristics off and the MIP row ceiling at zero every
+  // instance resolves to kUnknown, so exhaustion proves nothing ->
+  // ResourceExhausted.
+  {
+    SolverOptions options;
+    options.greedy_first = false;
+    options.max_mip_rows = 0;
+    RefinementSolver solver(symdep.get(), options);
+    auto result = solver.FindLowestK(Rational(1), /*max_k=*/2);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(result.status().message().find("undecided"), std::string::npos);
   }
 }
 

@@ -72,6 +72,30 @@ TEST(RationalTest, Arithmetic) {
   EXPECT_EQ(-a, Rational(-1, 2));
 }
 
+TEST(RationalTest, ArithmeticSurvivesInt64CrossProductOverflow) {
+  // den * den = 1.6e19 > INT64_MAX, but the reduced sum fits: the 128-bit
+  // intermediates must carry it exactly instead of wrapping.
+  const Rational tiny(1, 4'000'000'000LL);
+  EXPECT_EQ(tiny + tiny, Rational(1, 2'000'000'000LL));
+  EXPECT_EQ(tiny - tiny, Rational(0));
+
+  // num * num and den * den both overflow int64 before reduction.
+  const Rational big(4'000'000'000'000'000'000LL, 9);
+  const Rational inv(9, 4'000'000'000'000'000'000LL);
+  EXPECT_EQ(big * inv, Rational(1));
+  EXPECT_EQ(big / big, Rational(1));
+
+  // Mixed-sign cross products at the boundary.
+  const Rational neg(-4'000'000'000'000'000'000LL, 7);
+  EXPECT_EQ(neg * Rational(7, 4'000'000'000'000'000'000LL), Rational(-1));
+  EXPECT_EQ(neg - neg, Rational(0));
+
+  // Subtraction whose cross products exceed int64 but whose difference is
+  // small and exact.
+  const Rational a(9'000'000'000'000'000'000LL, 9'000'000'000'000'000'001LL);
+  EXPECT_EQ(a - a, Rational(0));
+}
+
 TEST(RationalTest, Comparisons) {
   EXPECT_LT(Rational(1, 3), Rational(1, 2));
   EXPECT_LE(Rational(2, 4), Rational(1, 2));
