@@ -13,7 +13,14 @@
 //             heterogeneous interning, IndexBuilder pairs -> sort -> group
 //             (no dense intermediate)
 //   api       api::Dataset::FromNTriplesFile — the production façade path
-//   api-mt    same, with parse_threads = hardware concurrency
+//   api-mt8   same, with parse_threads = 8 (clamped to the input's chunk
+//             count; the sharded parse merges through Graph::MergeShards)
+//
+// The mt run also asserts the tentpole's bit-identical contract: an 8-thread
+// parse of the same file must produce exactly the same dictionary (ids,
+// kinds, lexical forms) and triple/subject/property orders as the 1-thread
+// parse, fingerprint-compared. Every record carries the effective thread
+// count and the process peak RSS.
 //
 // The `intermediate_bytes` metric is the peak transient state of the
 // index-construction stage: S x P matrix cells for legacy, 8-byte pairs plus
@@ -95,7 +102,39 @@ struct LoadResult {
   std::size_t subjects = 0;
   std::size_t properties = 0;
   std::size_t signatures = 0;
+  int threads = 1;             // effective parser threads of the run
+  std::size_t peak_rss = 0;    // process high-water RSS after the load
 };
+
+/// Order-sensitive FNV fingerprint of everything the parse is contracted to
+/// reproduce bit-identically: dictionary ids/kinds/strings, triple order,
+/// and the subject / property first-appearance orders.
+std::uint64_t FingerprintGraph(const rdf::Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
+  const auto mix_str = [&](const std::string& str) {
+    mix(str.size());
+    for (const char c : str) mix(static_cast<unsigned char>(c));
+  };
+  const rdf::Dictionary& dict = g.dict();
+  mix(dict.size());
+  for (rdf::TermId id = 0; id < dict.size(); ++id) {
+    const rdf::Term& t = dict.term(id);
+    mix(static_cast<std::uint64_t>(t.kind));
+    mix_str(t.lexical);
+    mix_str(t.datatype);
+    mix_str(t.lang);
+  }
+  mix(g.size());
+  for (const rdf::Triple& t : g.triples()) {
+    mix(t.subject);
+    mix(t.predicate);
+    mix(t.object);
+  }
+  for (const rdf::TermId s : g.subjects()) mix(s);
+  for (const rdf::TermId p : g.properties()) mix(p);
+  return h;
+}
 
 // --- The seed's load chain, mirrored verbatim so the speedup is measured
 // --- against what this repo actually did before the streaming pipeline:
@@ -216,6 +255,7 @@ LoadResult LoadLegacy(const std::string& path) {
   r.subjects = num_subjects;
   r.properties = num_props;
   r.signatures = groups.size();
+  r.peak_rss = PeakRssBytes();
   return r;
 }
 
@@ -255,6 +295,7 @@ LoadResult LoadStreaming(const std::string& path) {
   r.subjects = static_cast<std::size_t>(index.total_subjects());
   r.properties = index.num_properties();
   r.signatures = index.num_signatures();
+  r.peak_rss = PeakRssBytes();
   return r;
 }
 
@@ -273,14 +314,19 @@ LoadResult LoadApi(const std::string& path, int parse_threads) {
   r.subjects = static_cast<std::size_t>(dataset->num_subjects());
   r.properties = dataset->num_properties();
   r.signatures = dataset->num_signatures();
+  r.threads = dataset->effective_parse_threads();
+  r.peak_rss = PeakRssBytes();
   return r;
 }
 
 void RecordRun(const std::string& config, std::size_t triples,
-               const LoadResult& r, double speedup_vs_legacy) {
+               const LoadResult& r, double speedup_vs_legacy,
+               double speedup_vs_1thread = 0) {
   std::vector<std::pair<std::string, double>> metrics = {
       {"triples", static_cast<double>(triples)},
       {"triples_per_sec", static_cast<double>(triples) / r.seconds},
+      {"threads", static_cast<double>(r.threads)},
+      {"peak_rss_bytes", static_cast<double>(r.peak_rss)},
       {"intermediate_bytes", static_cast<double>(r.intermediate_bytes)},
       // What a dense |S| x |P| intermediate would cost for this view — the
       // legacy config's intermediate_bytes equals this; the streaming
@@ -293,6 +339,9 @@ void RecordRun(const std::string& config, std::size_t triples,
   };
   if (speedup_vs_legacy > 0) {
     metrics.emplace_back("speedup_vs_legacy", speedup_vs_legacy);
+  }
+  if (speedup_vs_1thread > 0) {
+    metrics.emplace_back("speedup_vs_1thread", speedup_vs_1thread);
   }
   Json().Record("ingest/" + config,
                 {{"config", config}, {"triples", std::to_string(triples)}},
@@ -314,15 +363,33 @@ int Run(const std::vector<std::size_t>& sizes) {
     const LoadResult legacy = LoadLegacy(path);
     const LoadResult stream = LoadStreaming(path);
     const LoadResult api = LoadApi(path, /*parse_threads=*/1);
-    const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    LoadResult api_mt;
-    if (hw > 1) api_mt = LoadApi(path, hw);
+    const LoadResult api_mt = LoadApi(path, /*parse_threads=*/8);
+
+    // Bit-identical contract of the sharded parse: the 8-thread graph (ids,
+    // terms, triple/subject/property orders) must fingerprint the same as
+    // the sequential one. Oversubscription is fine — the contract holds for
+    // any thread count, so this assertion is meaningful on any machine.
+    std::uint64_t fp1 = 0, fp8 = 0;
+    {
+      rdf::ParseOptions po;
+      po.threads = 1;
+      auto g1 = rdf::ParseNTriplesFile(path, po);
+      RDFSR_CHECK(g1.ok()) << g1.status().ToString();
+      fp1 = FingerprintGraph(*g1);
+      po.threads = 8;
+      auto g8 = rdf::ParseNTriplesFile(path, po);
+      RDFSR_CHECK(g8.ok()) << g8.status().ToString();
+      fp8 = FingerprintGraph(*g8);
+    }
+    if (fp1 != fp8) {
+      std::cerr << "FAIL: 8-thread parse is not bit-identical to 1-thread at "
+                << triples << " triples\n";
+      ok = false;
+    }
     std::remove(path.c_str());
 
     // All paths must agree on the resulting view.
-    std::vector<const LoadResult*> checked = {&stream, &api};
-    if (hw > 1) checked.push_back(&api_mt);
-    for (const LoadResult* r : checked) {
+    for (const LoadResult* r : {&stream, &api, &api_mt}) {
       if (r->subjects != legacy.subjects ||
           r->properties != legacy.properties ||
           r->signatures != legacy.signatures) {
@@ -333,7 +400,7 @@ int Run(const std::vector<std::size_t>& sizes) {
     }
 
     const auto row = [&](const std::string& config, const LoadResult& r,
-                         double speedup) {
+                         double speedup, double speedup_mt = 0) {
       std::ostringstream mb;
       mb << std::fixed << std::setprecision(1)
          << static_cast<double>(r.intermediate_bytes) / (1024.0 * 1024.0)
@@ -351,15 +418,17 @@ int Run(const std::vector<std::size_t>& sizes) {
       }
       table.AddRow({std::to_string(triples), config, sec.str(), rate.str(),
                     mb.str(), sp.str()});
-      RecordRun(config, triples, r, speedup);
+      RecordRun(config, triples, r, speedup, speedup_mt);
     };
     row("legacy", legacy, 0);
     row("stream", stream, legacy.seconds / stream.seconds);
     row("api", api, legacy.seconds / api.seconds);
-    if (hw > 1) {
-      row("api-mt" + std::to_string(hw), api_mt,
-          legacy.seconds / api_mt.seconds);
-    }
+    row("api-mt8", api_mt, legacy.seconds / api_mt.seconds,
+        api.seconds / api_mt.seconds);
+    std::cout << "  parse determinism @" << triples
+              << " triples: 8-thread fingerprint "
+              << (fp1 == fp8 ? "== 1-thread (bit-identical)\n"
+                             : "!= 1-thread (MISMATCH)\n");
   }
   std::cout << table.ToString();
   std::cout << "\nintermediate = transient bytes of the index-construction "

@@ -36,10 +36,19 @@
 // --scratch-max (default 1000) skip it and record the incremental side only
 // (so --signatures 4000 is cheap).
 //
+// `--threads N` runs the incremental agglomerative side on N worker threads
+// (0 = one per hardware thread). For sizes up to --parallel-check-max the
+// harness re-runs the search serially and on >= 2 threads and asserts all
+// three refinements are bit-identical (exit non-zero otherwise); every
+// record carries the thread count and the process peak RSS, so large runs
+// (--signatures 100000) document the sparse-SortStats memory footprint.
+//
 // Usage: bench_refine [--json <path>] [--signatures N[,N...]]
-//                     [--scratch-max N]          (default sizes 256, 1000)
+//                     [--scratch-max N] [--threads N]
+//                     [--parallel-check-max N]    (default sizes 256, 1000)
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <functional>
 #include <iostream>
@@ -234,8 +243,17 @@ core::SortRefinement AgglomerativeLowestK(const eval::Evaluator& evaluator,
 /// supports, counts uniform in [1, 50].
 schema::SignatureIndex MakeClusteredIndex(int n, std::uint64_t seed) {
   constexpr int kFamilies = 8;
-  constexpr int kBlock = 12;
   constexpr int kShared = 2;
+  // At the 0.85 draw density each block column contributes only ~0.6 bits
+  // of support entropy, so a family's draws concentrate on ~2^(0.6*kBlock)
+  // typical sets. 12 columns cover the default sizes (<= 4k signatures);
+  // widen the blocks for larger n so the distinct-support draw cannot
+  // stall (kept at 12 below 4k so the small shapes stay bit-identical).
+  int kBlock = 12;
+  while (n > 4096 &&
+         0.6 * kBlock < std::log2(16.0 * static_cast<double>(n) / kFamilies)) {
+    ++kBlock;
+  }
   const int num_props = kShared + kFamilies * kBlock;
   Rng rng(seed);
   std::set<std::vector<int>> seen;
@@ -283,6 +301,10 @@ struct Measurement {
   std::size_t sorts = 0;
   bool match = true;
   bool scratch_ran = false;
+  int threads = 1;             // worker threads of the timed incremental run
+  std::size_t peak_rss = 0;    // process high-water RSS after the run
+  bool parallel_checked = false;
+  bool parallel_match = true;  // serial == parallel refinement
 };
 
 void Report(TextTable* table, bool* ok, const std::string& config,
@@ -310,10 +332,23 @@ void Report(TextTable* table, bool* ok, const std::string& config,
               << "\n";
     *ok = false;
   }
+  if (!m.parallel_match) {
+    std::cerr << "FAIL: parallel and serial agglomerative refinements differ "
+              << "for " << config << "/" << algo << "/" << rule << " at n = "
+              << n << "\n";
+    *ok = false;
+  }
   std::vector<std::pair<std::string, double>> metrics = {
       {"signatures", static_cast<double>(n)},
       {"sorts", static_cast<double>(m.sorts)},
+      {"threads", static_cast<double>(m.threads)},
+      {"peak_rss_bytes", static_cast<double>(m.peak_rss)},
   };
+  if (m.parallel_checked) {
+    // Emitted only when the serial-vs-parallel comparison ran, so a CI
+    // assertion on it never passes vacuously.
+    metrics.emplace_back("parallel_match", m.parallel_match ? 1.0 : 0.0);
+  }
   if (m.scratch_ran) {
     // Emitted only when the scratch comparison actually ran, so a CI
     // assertion on `match` never passes vacuously for skipped configs.
@@ -329,7 +364,8 @@ void Report(TextTable* table, bool* ok, const std::string& config,
       m.incr_seconds, metrics);
 }
 
-int Run(const std::vector<int>& sizes, int scratch_max) {
+int Run(const std::vector<int>& sizes, int scratch_max, int threads,
+        int parallel_check_max) {
   Banner("Refinement heuristics: incremental SortStats vs scratch evaluation",
          "Sections 6-7 Exists(k, theta) search; Figure 8 runtime shape");
 
@@ -353,9 +389,21 @@ int Run(const std::vector<int>& sizes, int scratch_max) {
       Measurement m;
       WallTimer timer;
       const core::SortRefinement incr =
-          core::AgglomerativeLowestK(*evaluator, theta);
+          core::AgglomerativeLowestK(*evaluator, theta, threads);
       m.incr_seconds = timer.Seconds();
       m.sorts = incr.num_sorts();
+      m.threads = threads;
+      m.peak_rss = PeakRssBytes();
+      if (n <= parallel_check_max) {
+        const core::SortRefinement serial =
+            core::AgglomerativeLowestK(*evaluator, theta, 1);
+        const core::SortRefinement parallel =
+            threads > 1 ? incr
+                        : core::AgglomerativeLowestK(*evaluator, theta, 2);
+        m.parallel_checked = true;
+        m.parallel_match =
+            SameRefinement(serial, parallel) && SameRefinement(serial, incr);
+      }
       if (run_scratch) {
         WallTimer scratch_timer;
         const core::SortRefinement base =
@@ -374,9 +422,22 @@ int Run(const std::vector<int>& sizes, int scratch_max) {
       Measurement m;
       WallTimer timer;
       const core::SortRefinement incr =
-          core::AgglomerativeLowestK(*evaluator, theta_random);
+          core::AgglomerativeLowestK(*evaluator, theta_random, threads);
       m.incr_seconds = timer.Seconds();
       m.sorts = incr.num_sorts();
+      m.threads = threads;
+      m.peak_rss = PeakRssBytes();
+      if (n <= parallel_check_max) {
+        const core::SortRefinement serial =
+            core::AgglomerativeLowestK(*evaluator, theta_random, 1);
+        const core::SortRefinement parallel =
+            threads > 1
+                ? incr
+                : core::AgglomerativeLowestK(*evaluator, theta_random, 2);
+        m.parallel_checked = true;
+        m.parallel_match =
+            SameRefinement(serial, parallel) && SameRefinement(serial, incr);
+      }
       if (run_scratch) {
         WallTimer scratch_timer;
         const core::SortRefinement base =
@@ -397,6 +458,7 @@ int Run(const std::vector<int>& sizes, int scratch_max) {
           core::GreedyMaxMinSigma(*evaluator, kGreedySlots, greedy_options);
       m.incr_seconds = timer.Seconds();
       m.sorts = incr.num_sorts();
+      m.peak_rss = PeakRssBytes();
       if (run_scratch) {
         WallTimer scratch_timer;
         const core::SortRefinement base = scratch::GreedyMaxMinSigma(
@@ -424,6 +486,8 @@ int Run(const std::vector<int>& sizes, int scratch_max) {
 int main(int argc, char** argv) {
   std::vector<int> sizes;
   int scratch_max = 1000;
+  int threads = 1;
+  int parallel_check_max = 4000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       rdfsr::bench::Json().Open(argv[++i], "bench_refine");
@@ -433,13 +497,19 @@ int main(int argc, char** argv) {
       while (std::getline(list, item, ',')) sizes.push_back(std::stoi(item));
     } else if (std::strcmp(argv[i], "--scratch-max") == 0 && i + 1 < argc) {
       scratch_max = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--parallel-check-max") == 0 &&
+               i + 1 < argc) {
+      parallel_check_max = std::stoi(argv[++i]);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--json <path>] [--signatures N[,N...]]"
-                   " [--scratch-max N]\n";
+                   " [--scratch-max N] [--threads N]"
+                   " [--parallel-check-max N]\n";
       return 2;
     }
   }
   if (sizes.empty()) sizes = {256, 1000};
-  return rdfsr::bench::Run(sizes, scratch_max);
+  return rdfsr::bench::Run(sizes, scratch_max, threads, parallel_check_max);
 }

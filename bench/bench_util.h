@@ -13,6 +13,10 @@
 #ifndef RDFSR_BENCH_BENCH_UTIL_H_
 #define RDFSR_BENCH_BENCH_UTIL_H_
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -131,6 +135,25 @@ class JsonRecorder {
 inline JsonRecorder& Json() {
   static JsonRecorder recorder;
   return recorder;
+}
+
+/// Peak resident set size of this process in bytes (getrusage; Linux
+/// reports ru_maxrss in KiB, macOS in bytes). 0 when the platform offers no
+/// reading. A high-water mark: it never decreases, so benches that compare
+/// configurations should record it immediately after the section of
+/// interest — later sections can only push it up.
+inline std::size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
 }
 
 /// Parses the shared harness flags out of argv — currently `--json <path>` —

@@ -41,6 +41,12 @@ Analysis& Analysis::MaxNodes(long long nodes) {
   return *this;
 }
 
+Analysis& Analysis::HeuristicThreads(int threads) {
+  options_.heuristic_threads = threads;
+  solver_.reset();
+  return *this;
+}
+
 Analysis& Analysis::ThetaStep(double step) {
   // Clamp into the grid's representable range before it reaches the solver:
   // a step below 1/1000 would collapse to the zero rational (and once divided

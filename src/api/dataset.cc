@@ -1,33 +1,37 @@
 #include "api/rdfsr.h"
 
+#include <memory>
 #include <utility>
 
 #include "rdf/ntriples.h"
 #include "schema/ascii_view.h"
 #include "schema/index_builder.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace rdfsr::api {
 
 Result<Dataset> Dataset::Build(std::shared_ptr<const rdf::Graph> graph,
                                const std::string& sort,
-                               const DatasetOptions& options) {
+                               const DatasetOptions& options,
+                               util::ThreadPool* pool, int parse_threads) {
   auto rep = std::make_shared<Rep>();
+  rep->parse_threads = parse_threads;
   // Both paths stream (subject, property) pairs straight into the signature
   // index — no dense PropertyMatrix, and slicing never materializes the
   // slice as a second graph (membership comes from the rdf:type postings).
   if (!sort.empty()) {
     std::size_t slice_triples = 0;
     rep->index = schema::IndexBuilder::FromSortSlice(
-        *graph, sort, options.keep_subject_names, &slice_triples);
+        *graph, sort, options.keep_subject_names, &slice_triples, pool);
     if (slice_triples == 0) {
       return Status::NotFound("no subjects of sort <" + sort + ">");
     }
     rep->sort = sort;
     rep->triples = slice_triples;
   } else {
-    rep->index =
-        schema::IndexBuilder::FromGraph(*graph, options.keep_subject_names);
+    rep->index = schema::IndexBuilder::FromGraph(
+        *graph, options.keep_subject_names, pool);
     rep->triples = graph->size();
   }
   if (options.keep_graph) rep->graph = std::move(graph);
@@ -36,21 +40,30 @@ Result<Dataset> Dataset::Build(std::shared_ptr<const rdf::Graph> graph,
 
 Result<Dataset> Dataset::FromNTriplesFile(const std::string& path,
                                           const DatasetOptions& options) {
-  rdf::ParseOptions parse_options;
-  parse_options.threads = options.parse_threads;
-  auto graph = rdf::ParseNTriplesFile(path, parse_options);
-  if (!graph.ok()) return graph.status();
-  return FromGraph(std::move(graph).value(), options);
+  auto text = rdf::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return FromNTriplesText(*text, options);
 }
 
 Result<Dataset> Dataset::FromNTriplesText(std::string_view text,
                                           const DatasetOptions& options) {
   rdf::ParseOptions parse_options;
   parse_options.threads = options.parse_threads;
+  const int effective = rdf::EffectiveParseThreads(parse_options, text.size());
+  parse_options.threads = effective;
+  // One pool carries the whole load: sharded parse, shard merge, and the
+  // index build's sort / grouping stages all draw from the same workers.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (effective > 1) {
+    pool = std::make_unique<util::ThreadPool>(effective - 1);
+    parse_options.pool = pool.get();
+  }
   rdf::Graph parsed;
   Status st = rdf::ParseNTriplesInto(text, &parsed, parse_options);
   if (!st.ok()) return st;
-  return FromGraph(std::move(parsed), options);
+  parsed.TypePostings();  // warm while exclusively owned, as in FromGraph
+  return Build(std::make_shared<const rdf::Graph>(std::move(parsed)),
+               options.sort, options, pool.get(), effective);
 }
 
 Result<Dataset> Dataset::FromGraph(rdf::Graph graph,
@@ -108,6 +121,8 @@ const std::vector<std::string>& Dataset::property_names() const {
 }
 
 const std::string& Dataset::sort() const { return rep_->sort; }
+
+int Dataset::effective_parse_threads() const { return rep_->parse_threads; }
 
 int Dataset::SignatureOf(const std::string& subject_name) const {
   return rep_->index.FindSubjectSignature(subject_name);

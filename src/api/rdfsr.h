@@ -66,7 +66,12 @@ struct DatasetOptions {
   /// parses sequentially; higher values shard the input at line boundaries
   /// and merge per-shard dictionaries in chunk order, which produces the
   /// exact same dataset (term ids, triple order, index) as sequential — a
-  /// pure throughput knob for multi-million-triple files.
+  /// pure throughput knob for multi-million-triple files. Values < 1 mean
+  /// one thread per hardware thread; the count is capped so every chunk
+  /// keeps at least ~1 MiB of input (tiny files parse on fewer threads).
+  /// The clamped count the load actually used is
+  /// Dataset::effective_parse_threads(); the same worker pool is reused for
+  /// the signature-index build stages.
   int parse_threads = 1;
 };
 
@@ -140,6 +145,12 @@ class Dataset {
   /// keep_subject_names).
   int SignatureOf(const std::string& subject_name) const;
 
+  /// Parser threads the load actually used after clamping
+  /// DatasetOptions::parse_threads (< 1 resolved to the hardware
+  /// concurrency, then capped at the input's chunk count). 1 for datasets
+  /// built FromGraph / FromIndex or sliced from another dataset.
+  int effective_parse_threads() const;
+
   /// One-line shape summary: "4 subjects, 3 properties, 2 signatures".
   std::string Describe() const;
 
@@ -158,16 +169,21 @@ class Dataset {
     std::shared_ptr<const rdf::Graph> graph;  // null when dropped / FromIndex
     std::string sort;                         // sliced sort IRI, or empty
     std::size_t triples = 0;
+    int parse_threads = 1;  // effective parser thread count of the load
   };
 
   explicit Dataset(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
 
   /// The one loading chain: slices `graph` to `sort` (when non-empty), builds
   /// the index, and assembles the Rep. Shared by the From* factories and
-  /// Slice().
+  /// Slice(). `pool`, when non-null, parallelizes the index build stages
+  /// (same bit-identical result); `parse_threads` is recorded for
+  /// effective_parse_threads().
   static Result<Dataset> Build(std::shared_ptr<const rdf::Graph> graph,
                                const std::string& sort,
-                               const DatasetOptions& options);
+                               const DatasetOptions& options,
+                               util::ThreadPool* pool = nullptr,
+                               int parse_threads = 1);
 
   std::shared_ptr<const Rep> rep_;
 };
@@ -190,6 +206,10 @@ class Analysis {
   Analysis& TimeLimit(double seconds);
   /// Exact-solver node budget per decision instance.
   Analysis& MaxNodes(long long nodes);
+  /// Worker threads for the agglomerative heuristics (< 1 = one per
+  /// hardware thread). Results are bit-identical for every value; see
+  /// core::SolverOptions::heuristic_threads.
+  Analysis& HeuristicThreads(int threads);
   /// Step size of the sequential highest-theta search (paper: 0.01).
   /// Clamped into [0.001, 1]; non-finite or non-positive values fall back to
   /// 0.01 (the theta grid is derived in exact rationals with denominators up

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <queue>
 #include <utility>
@@ -10,6 +12,7 @@
 #include "schema/property_set.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rdfsr::core {
 
@@ -205,10 +208,31 @@ namespace {
 /// partner survived just race the merged part as one new candidate. A merge
 /// round therefore costs O(n log n + n * |P|/64) instead of the scratch
 /// baseline's O(n^2 * |sort| * |P|) (measured in bench/bench_refine.cc).
+/// Instances below this many signatures run serial regardless of `threads`:
+/// a full row scan is ~n closed-form evaluations, and the fan-out overhead
+/// only amortizes once rows are a few hundred entries wide.
+constexpr int kParallelAgglomerateCutoff = 256;
+
 SortRefinement Agglomerate(
     const eval::Evaluator& evaluator, std::size_t min_sorts,
-    const std::function<bool(const eval::SigmaCounts&)>& may_merge) {
+    const std::function<bool(const eval::SigmaCounts&)>& may_merge,
+    int threads) {
   const int n = static_cast<int>(evaluator.index().num_signatures());
+
+  // Worker pool for row recomputation. Only engaged when sigma extraction is
+  // a pure closed form (cheap_stats() — the cached evaluator's memo is not
+  // thread-safe, but it bypasses the memo entirely in that regime) and the
+  // instance is large enough to amortize the dispatch. The pool only ever
+  // computes PairEntry values into disjoint slots; every heap mutation stays
+  // on this thread, and the total order on pairs makes each row's best
+  // unique, so the merge sequence cannot depend on thread scheduling.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (n >= kParallelAgglomerateCutoff && evaluator.cheap_stats()) {
+    const int resolved = util::ThreadPool::ResolveThreads(threads);
+    if (resolved > 1) {
+      pool = std::make_unique<util::ThreadPool>(resolved - 1);
+    }
+  }
 
   // Parts live in fixed slots; a merge folds the later slot into the earlier
   // one, so ascending live slots reproduce the erase-based ordering (and the
@@ -267,7 +291,14 @@ SortRefinement Agglomerate(
   std::vector<PairEntry> row_best(static_cast<std::size_t>(n));
   std::vector<char> has_row(static_cast<std::size_t>(n), 0);
 
-  const auto recompute_row = [&](int a) {
+  // Scratch for the parallel post-merge update, hoisted out of the loop.
+  std::vector<int> rescan, probe;
+  std::vector<PairEntry> probe_entries;
+
+  // Scans row a (pairs (a, b) over live b > a) into row_best[a] / has_row[a].
+  // Touches no shared state besides its own row slots, so disjoint rows are
+  // safe to compute concurrently. Does NOT push to the heap.
+  const auto compute_row = [&](int a) {
     has_row[a] = 0;
     for (int b = a + 1; b < n; ++b) {
       if (!parts[b].alive) continue;
@@ -277,13 +308,64 @@ SortRefinement Agglomerate(
         has_row[a] = 1;
       }
     }
+  };
+
+  // Like compute_row but splits the single row across the pool — used for
+  // the merged part's own rebuild, which runs outside any row fan-out (the
+  // pool's ParallelFor must not nest). Each chunk reduces to a local best;
+  // the total order on pairs makes the mutex-folded result unique.
+  const auto compute_row_split = [&](int a) {
+    const std::size_t span =
+        a + 1 < n ? static_cast<std::size_t>(n - a - 1) : 0;
+    if (pool == nullptr || span < 512) {
+      compute_row(a);
+      return;
+    }
+    has_row[a] = 0;
+    std::mutex row_mu;
+    pool->ParallelFor(span, [&](std::size_t lo, std::size_t hi) {
+      PairEntry local;
+      bool has_local = false;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const int b = a + 1 + static_cast<int>(i);
+        if (!parts[b].alive) continue;
+        PairEntry e = eval_pair(a, b);
+        if (!has_local || merges_before(e, local)) {
+          local = e;
+          has_local = true;
+        }
+      }
+      if (has_local) {
+        std::lock_guard<std::mutex> lock(row_mu);
+        if (!has_row[a] || merges_before(local, row_best[a])) {
+          row_best[a] = local;
+          has_row[a] = 1;
+        }
+      }
+    });
+  };
+
+  const auto recompute_row = [&](int a) {
+    compute_row(a);
     if (has_row[a]) heap.push(row_best[a]);
   };
 
   std::size_t live = static_cast<std::size_t>(n);
   const std::size_t stop = std::max<std::size_t>(min_sorts, 1);
   if (live > stop) {
-    for (int a = 0; a < n; ++a) recompute_row(a);
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<std::size_t>(n),
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t a = lo; a < hi; ++a) {
+                            compute_row(static_cast<int>(a));
+                          }
+                        });
+      for (int a = 0; a < n; ++a) {
+        if (has_row[a]) heap.push(row_best[a]);
+      }
+    } else {
+      for (int a = 0; a < n; ++a) recompute_row(a);
+    }
   }
   while (live > stop) {
     // Pop to the best still-valid snapshot; entries for dead or since-merged
@@ -319,20 +401,68 @@ SortRefinement Agglomerate(
     // Only rows touching the merged part change: rows whose cached best
     // referenced a or b must rescan; earlier rows race the merged part as a
     // single new candidate; a's own row is rebuilt against its new stats.
-    for (int x = 0; x < n; ++x) {
-      if (!parts[x].alive || x == a) continue;
-      if (has_row[x] && (row_best[x].b == a || row_best[x].b == b)) {
-        recompute_row(x);
-      } else if (x < a) {
-        PairEntry e = eval_pair(x, a);
-        if (!has_row[x] || merges_before(e, row_best[x])) {
-          row_best[x] = e;
-          has_row[x] = 1;
-          heap.push(row_best[x]);
+    if (pool != nullptr) {
+      // Classify serially (cheap flag reads), fan the evaluations out —
+      // rescans write disjoint row slots, probes write disjoint scratch —
+      // then fold results and push on this thread in ascending row order,
+      // exactly as the serial loop does.
+      rescan.clear();
+      probe.clear();
+      for (int x = 0; x < n; ++x) {
+        if (!parts[x].alive || x == a) continue;
+        if (has_row[x] && (row_best[x].b == a || row_best[x].b == b)) {
+          rescan.push_back(x);
+        } else if (x < a) {
+          probe.push_back(x);
         }
       }
+      probe_entries.resize(probe.size());
+      pool->ParallelFor(
+          rescan.size() + probe.size(),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              if (i < rescan.size()) {
+                compute_row(rescan[i]);
+              } else {
+                const std::size_t j = i - rescan.size();
+                probe_entries[j] = eval_pair(probe[j], a);
+              }
+            }
+          });
+      std::size_t ri = 0, pi = 0;
+      while (ri < rescan.size() || pi < probe.size()) {
+        if (pi >= probe.size() ||
+            (ri < rescan.size() && rescan[ri] < probe[pi])) {
+          const int x = rescan[ri++];
+          if (has_row[x]) heap.push(row_best[x]);
+        } else {
+          const int x = probe[pi];
+          const PairEntry& e = probe_entries[pi++];
+          if (!has_row[x] || merges_before(e, row_best[x])) {
+            row_best[x] = e;
+            has_row[x] = 1;
+            heap.push(row_best[x]);
+          }
+        }
+      }
+      compute_row_split(a);
+      if (has_row[a]) heap.push(row_best[a]);
+    } else {
+      for (int x = 0; x < n; ++x) {
+        if (!parts[x].alive || x == a) continue;
+        if (has_row[x] && (row_best[x].b == a || row_best[x].b == b)) {
+          recompute_row(x);
+        } else if (x < a) {
+          PairEntry e = eval_pair(x, a);
+          if (!has_row[x] || merges_before(e, row_best[x])) {
+            row_best[x] = e;
+            has_row[x] = 1;
+            heap.push(row_best[x]);
+          }
+        }
+      }
+      recompute_row(a);
     }
-    recompute_row(a);
 
     // Stale snapshots accumulate until popped; rebuilding from the O(n) row
     // cache keeps the heap from growing past O(n) between rounds.
@@ -356,16 +486,20 @@ SortRefinement Agglomerate(
 }  // namespace
 
 SortRefinement AgglomerativeLowestK(const eval::Evaluator& evaluator,
-                                    Rational theta) {
-  return Agglomerate(evaluator, 1, [&](const eval::SigmaCounts& counts) {
-    return SigmaAtLeast(counts, theta);
-  });
+                                    Rational theta, int threads) {
+  return Agglomerate(
+      evaluator, 1,
+      [&](const eval::SigmaCounts& counts) {
+        return SigmaAtLeast(counts, theta);
+      },
+      threads);
 }
 
-SortRefinement AgglomerativeFixedK(const eval::Evaluator& evaluator, int k) {
+SortRefinement AgglomerativeFixedK(const eval::Evaluator& evaluator, int k,
+                                   int threads) {
   RDFSR_CHECK_GT(k, 0);
   return Agglomerate(evaluator, static_cast<std::size_t>(k),
-                     [](const eval::SigmaCounts&) { return true; });
+                     [](const eval::SigmaCounts&) { return true; }, threads);
 }
 
 }  // namespace rdfsr::core

@@ -56,13 +56,24 @@ std::optional<SortRefinement> GreedyFindRefinement(
 /// sorts whose merged sigma is highest, as long as that merged sigma still
 /// meets theta (checked exactly). Stops when no pair can merge — the number
 /// of remaining sorts is a greedy upper bound on the lowest k. Deterministic.
+///
+/// `threads` parallelizes the best-pair row recomputation (values < 1 mean
+/// one thread per hardware thread). The merge sequence — and therefore the
+/// returned refinement — is bit-identical for every thread count: candidate
+/// pairs are totally ordered (exact sigma comparison, then pair index), so
+/// the per-row best and the popped merge are unique regardless of the order
+/// worker threads discover them. Parallelism engages only when the evaluator
+/// reports cheap_stats() (pure closed-form extraction, no shared memo) and
+/// the instance is large enough to pay for the fan-out.
 SortRefinement AgglomerativeLowestK(const eval::Evaluator& evaluator,
-                                    Rational theta);
+                                    Rational theta, int threads = 1);
 
 /// Merge variant for fixed k: merge best pairs unconditionally until at most
 /// `k` sorts remain (a hierarchical-clustering seed for Exists/highest-theta;
-/// callers validate against their threshold).
-SortRefinement AgglomerativeFixedK(const eval::Evaluator& evaluator, int k);
+/// callers validate against their threshold). `threads` as in
+/// AgglomerativeLowestK.
+SortRefinement AgglomerativeFixedK(const eval::Evaluator& evaluator, int k,
+                                   int threads = 1);
 
 }  // namespace rdfsr::core
 

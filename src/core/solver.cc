@@ -114,7 +114,7 @@ RefinementSolver::AgglomerativeForTheta(Rational theta) {
   auto it = agglomerative_cache_.find(key);
   if (it == agglomerative_cache_.end()) {
     it = agglomerative_cache_
-             .emplace(key, Score(AgglomerativeLowestK(Eval(), theta)))
+             .emplace(key, Score(AgglomerativeLowestK(Eval(), theta, options_.heuristic_threads)))
              .first;
   }
   return it->second;
@@ -123,12 +123,12 @@ RefinementSolver::AgglomerativeForTheta(Rational theta) {
 const RefinementSolver::ScoredRefinement&
 RefinementSolver::AgglomerativeFixedKFor(int k) {
   if (!options_.reuse_instances) {
-    scratch_scored_ = Score(AgglomerativeFixedK(Eval(), k));
+    scratch_scored_ = Score(AgglomerativeFixedK(Eval(), k, options_.heuristic_threads));
     return scratch_scored_;
   }
   auto it = fixed_k_cache_.find(k);
   if (it == fixed_k_cache_.end()) {
-    it = fixed_k_cache_.emplace(k, Score(AgglomerativeFixedK(Eval(), k)))
+    it = fixed_k_cache_.emplace(k, Score(AgglomerativeFixedK(Eval(), k, options_.heuristic_threads)))
              .first;
   }
   return it->second;

@@ -99,6 +99,11 @@ struct SolverOptions {
   /// (RefinementIlpActiveRows — deactivated link sides presolve away) before
   /// any model is built.
   std::size_t max_mip_rows = 4000;
+  /// Worker threads for the agglomerative heuristics' best-pair row
+  /// recomputation (values < 1 mean one per hardware thread). Purely a
+  /// throughput knob: the merge sequence is bit-identical for every value
+  /// (see AgglomerativeLowestK), and small instances stay serial regardless.
+  int heuristic_threads = 1;
 };
 
 /// The exact theta grid of FindHighestTheta: indices first..last over

@@ -31,21 +31,26 @@ SigmaCounts CachedEvaluator::Counts(const std::vector<int>& sig_ids) const {
 
 SigmaCounts CachedEvaluator::CountsFromStats(const SortStats& stats) const {
   if (inner_->cheap_stats()) return inner_->CountsFromStats(stats);
-  auto it = cache_.find(stats.members());
+  // Only the generic (non-cheap) path reaches the memo, so materializing the
+  // word-packed key from the hybrid member set is off the closed-form hot
+  // paths.
+  schema::PropertySet key = stats.members().ToPropertySet();
+  auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
     return it->second;
   }
   ++misses_;
   const SigmaCounts counts = inner_->CountsFromStats(stats);
-  cache_.emplace(stats.members(), counts);
+  cache_.emplace(std::move(key), counts);
   return counts;
 }
 
 SigmaCounts CachedEvaluator::CountsFromMergedStats(const SortStats& a,
                                                    const SortStats& b) const {
   if (inner_->cheap_stats()) return inner_->CountsFromMergedStats(a, b);
-  schema::PropertySet key = Union(a.members(), b.members());
+  schema::PropertySet key = a.members().ToPropertySet();
+  b.members().ForEach([&key](int id) { key.Insert(static_cast<std::size_t>(id)); });
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;

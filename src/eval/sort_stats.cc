@@ -9,7 +9,6 @@ SortStats::SortStats(const schema::SignatureIndex* index, int pair_p1,
     : index_(index),
       members_(index->num_signatures()),
       used_(index->num_properties()),
-      property_count_(index->num_properties(), 0),
       pair_p1_(pair_p1),
       pair_p2_(pair_p2) {
   RDFSR_CHECK(index_ != nullptr);
@@ -18,6 +17,65 @@ SortStats::SortStats(const schema::SignatureIndex* index, int pair_p1,
     pair_mask_.Insert(static_cast<std::size_t>(pair_p1_));
     pair_mask_.Insert(static_cast<std::size_t>(pair_p2_));
   }
+}
+
+void SortStats::StoreCount(std::size_t p, std::int64_t value) {
+  if (counts_dense_) {
+    property_count_[p] = value;
+    return;
+  }
+  const auto pos = std::lower_bound(sparse_props_.begin(), sparse_props_.end(),
+                                    static_cast<std::uint32_t>(p));
+  const std::size_t i = static_cast<std::size_t>(pos - sparse_props_.begin());
+  if (pos != sparse_props_.end() && *pos == p) {
+    if (value == 0) {
+      sparse_props_.erase(pos);
+      sparse_counts_.erase(sparse_counts_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    } else {
+      sparse_counts_[i] = value;
+    }
+    return;
+  }
+  RDFSR_CHECK_NE(value, 0);
+  sparse_props_.insert(pos, static_cast<std::uint32_t>(p));
+  sparse_counts_.insert(sparse_counts_.begin() + static_cast<std::ptrdiff_t>(i),
+                        value);
+}
+
+void SortStats::MaybeDensifyCounts() {
+  const std::size_t num_props = index_->num_properties();
+  if (counts_dense_ || 2 * static_cast<std::size_t>(used_properties_) < num_props) {
+    return;
+  }
+  property_count_.assign(num_props, 0);
+  for (std::size_t i = 0; i < sparse_props_.size(); ++i) {
+    property_count_[sparse_props_[i]] = sparse_counts_[i];
+  }
+  sparse_props_.clear();
+  sparse_props_.shrink_to_fit();
+  sparse_counts_.clear();
+  sparse_counts_.shrink_to_fit();
+  counts_dense_ = true;
+}
+
+void SortStats::MaybeSparsifyCounts() {
+  const std::size_t num_props = index_->num_properties();
+  // Hysteresis: re-sparsify only well below the densify bound (|P| / 8 vs
+  // |P| / 2), so sorts hovering at the boundary do not thrash.
+  if (!counts_dense_ ||
+      8 * static_cast<std::size_t>(used_properties_) > num_props) {
+    return;
+  }
+  sparse_props_.reserve(static_cast<std::size_t>(used_properties_));
+  sparse_counts_.reserve(static_cast<std::size_t>(used_properties_));
+  used_.ForEach([&](int p) {
+    sparse_props_.push_back(static_cast<std::uint32_t>(p));
+    sparse_counts_.push_back(property_count_[static_cast<std::size_t>(p)]);
+  });
+  property_count_.clear();
+  property_count_.shrink_to_fit();
+  counts_dense_ = false;
 }
 
 void SortStats::Add(int sig_id) {
@@ -34,15 +92,17 @@ void SortStats::Add(int sig_id) {
   support_sum_ +=
       static_cast<BigCount>(n) * static_cast<BigCount>(sig.props().Popcount());
   sig.props().ForEach([&](int p) {
-    std::int64_t& c = property_count_[p];
+    const std::size_t prop = static_cast<std::size_t>(p);
+    const std::int64_t c = property_count(prop);
     // (c + n)^2 - c^2 = n * (2c + n), kept exact in 128-bit.
     count_sq_sum_ += static_cast<BigCount>(n) * (2 * c + n);
     if (c == 0) {
-      used_.Insert(static_cast<std::size_t>(p));
+      used_.Insert(prop);
       ++used_properties_;
     }
-    c += n;
+    StoreCount(prop, c + n);
   });
+  MaybeDensifyCounts();
   if (pair_mask_.capacity() != 0 && pair_mask_.IsSubsetOf(sig.props())) {
     pair_both_ += n;
   }
@@ -61,15 +121,17 @@ void SortStats::Remove(int sig_id) {
   support_sum_ -=
       static_cast<BigCount>(n) * static_cast<BigCount>(sig.props().Popcount());
   sig.props().ForEach([&](int p) {
-    std::int64_t& c = property_count_[p];
+    const std::size_t prop = static_cast<std::size_t>(p);
+    const std::int64_t c = property_count(prop);
     // c^2 - (c - n)^2 = n * (2c - n).
     count_sq_sum_ -= static_cast<BigCount>(n) * (2 * c - n);
-    c -= n;
-    if (c == 0) {
-      used_.Erase(static_cast<std::size_t>(p));
+    if (c == n) {
+      used_.Erase(prop);
       --used_properties_;
     }
+    StoreCount(prop, c - n);
   });
+  MaybeSparsifyCounts();
   if (pair_mask_.capacity() != 0 && pair_mask_.IsSubsetOf(sig.props())) {
     pair_both_ -= n;
   }
@@ -86,18 +148,20 @@ void SortStats::MergeWith(const SortStats& other) {
   // per-column counts are folded in.
   BigCount cross = 0;
   used_.ForEachIntersect(other.used_, [&](int p) {
-    cross += static_cast<BigCount>(property_count_[p]) *
-             static_cast<BigCount>(other.property_count_[p]);
+    const std::size_t prop = static_cast<std::size_t>(p);
+    cross += static_cast<BigCount>(property_count(prop)) *
+             static_cast<BigCount>(other.property_count(prop));
   });
   count_sq_sum_ += other.count_sq_sum_ + 2 * cross;
-  other.used_.ForEach([&](int p) {
-    std::int64_t& c = property_count_[p];
+  other.ForEachCount([&](std::size_t prop, std::int64_t oc) {
+    const std::int64_t c = property_count(prop);
     if (c == 0) {
-      used_.Insert(static_cast<std::size_t>(p));
+      used_.Insert(prop);
       ++used_properties_;
     }
-    c += other.property_count_[p];
+    StoreCount(prop, c + oc);
   });
+  MaybeDensifyCounts();
   subjects_ += other.subjects_;
   support_sum_ += other.support_sum_;
   pair_both_ += other.pair_both_;

@@ -16,24 +16,39 @@
 //   property_count cnt_p per global property id
 //   pair_both      cnt over subjects having BOTH tracked properties
 //                  (Dep/SymDep/DepDisj; configured at construction)
-//   members        word-packed member signature ids (generic-evaluator
-//                  fallback and memo keys)
+//   members        member signature ids (generic-evaluator fallback and memo
+//                  keys)
 //
 // and keeps all of them exact under Add / Remove / MergeWith, so a candidate
-// sort's SigmaCounts never requires re-walking its member signatures:
-// Add/Remove cost O(|supp(mu)| + |P|/64), MergeWith O(|P_used| + |P|/64).
+// sort's SigmaCounts never requires re-walking its member signatures.
 // All aggregates are integers, so the extracted counts — and therefore the
 // sigma doubles derived from them — are bit-identical to a scratch
 // SubsetStats::Compute over the same member set (property-tested in
 // tests/sort_stats_test.cc).
+//
+// Memory diet (the ~100k-signature agglomerative regime holds one SortStats
+// per part):
+//  * members is a schema::MemberSet — sorted id vector while small, flipping
+//    to the word-packed bitset at its density threshold — instead of an
+//    unconditional n-bit bitset per part (O(n^2) bits across n parts).
+//  * cnt_p lives in sorted (property, count) parallel arrays while the sort
+//    uses fewer than half the global properties, flipping to the dense
+//    per-property vector at 2 * |P*| >= |P| and back below |P| / 8
+//    (hysteresis; see StoreCount). Lookups are O(log |P*|) sparse, O(1)
+//    dense; both representations hold identical exact integers, so every
+//    extracted count is independent of the representation.
+//   `used` stays a dense |P|-bit set in both modes — the closed forms
+//    intersect it word-at-a-time and |P| bits per sort is not the wall.
 
 #ifndef RDFSR_EVAL_SORT_STATS_H_
 #define RDFSR_EVAL_SORT_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "eval/counts.h"
+#include "schema/member_set.h"
 #include "schema/property_set.h"
 #include "schema/signature_index.h"
 
@@ -67,8 +82,8 @@ class SortStats {
   bool empty() const { return num_members_ == 0; }
   std::size_t num_members() const { return num_members_; }
 
-  /// Word-packed member signature ids (capacity = num_signatures).
-  const schema::PropertySet& members() const { return members_; }
+  /// Member signature ids (capacity = num_signatures; sparse/dense hybrid).
+  const schema::MemberSet& members() const { return members_; }
 
   BigCount subjects() const { return subjects_; }
   BigCount support_sum() const { return support_sum_; }
@@ -80,9 +95,36 @@ class SortStats {
 
   /// cnt_p for a global property id.
   std::int64_t property_count(std::size_t p) const {
-    RDFSR_CHECK_LT(p, property_count_.size());
-    return property_count_[p];
+    if (counts_dense_) {
+      RDFSR_CHECK_LT(p, property_count_.size());
+      return property_count_[p];
+    }
+    const auto pos = std::lower_bound(sparse_props_.begin(),
+                                      sparse_props_.end(),
+                                      static_cast<std::uint32_t>(p));
+    if (pos == sparse_props_.end() || *pos != p) return 0;
+    return sparse_counts_[static_cast<std::size_t>(pos - sparse_props_.begin())];
   }
+
+  /// Calls fn(std::size_t p, std::int64_t cnt_p) over used properties in
+  /// ascending order — O(|P*|), independent of the count representation.
+  template <typename Fn>
+  void ForEachCount(Fn&& fn) const {
+    if (counts_dense_) {
+      used_.ForEach([&](int p) {
+        fn(static_cast<std::size_t>(p),
+           property_count_[static_cast<std::size_t>(p)]);
+      });
+    } else {
+      for (std::size_t i = 0; i < sparse_props_.size(); ++i) {
+        fn(static_cast<std::size_t>(sparse_props_[i]), sparse_counts_[i]);
+      }
+    }
+  }
+
+  /// Whether cnt_p currently uses the dense per-property vector. Tests lock
+  /// the transition thresholds through this; nothing else may depend on it.
+  bool counts_dense() const { return counts_dense_; }
 
   /// The tracked pair (-1 when untracked / unresolved) and its conjunction
   /// count.
@@ -91,15 +133,26 @@ class SortStats {
   BigCount pair_both() const { return pair_both_; }
 
  private:
+  /// Sets cnt_p, keeping the sparse arrays sorted and zero-free; a zero
+  /// `value` erases the sparse entry. Representation flips happen only in
+  /// MaybeDensify/MaybeSparsify (called once per mutation, not per column).
+  void StoreCount(std::size_t p, std::int64_t value);
+  void MaybeDensifyCounts();
+  void MaybeSparsifyCounts();
+
   const schema::SignatureIndex* index_ = nullptr;
   std::size_t num_members_ = 0;
-  schema::PropertySet members_;
+  schema::MemberSet members_;
   BigCount subjects_ = 0;
   BigCount support_sum_ = 0;
   BigCount count_sq_sum_ = 0;
   int used_properties_ = 0;
   schema::PropertySet used_;
-  std::vector<std::int64_t> property_count_;
+  // cnt_p storage: exactly one of the two representations is active.
+  bool counts_dense_ = false;
+  std::vector<std::int64_t> property_count_;   // dense: |P| entries
+  std::vector<std::uint32_t> sparse_props_;    // sparse: used ids, ascending
+  std::vector<std::int64_t> sparse_counts_;    // sparse: parallel counts
   int pair_p1_ = -1;
   int pair_p2_ = -1;
   schema::PropertySet pair_mask_;  // non-empty iff the pair is tracked

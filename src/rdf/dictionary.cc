@@ -1,22 +1,98 @@
 #include "rdf/dictionary.h"
 
+#include <atomic>
 #include <utility>
 
 namespace rdfsr::rdf {
 
+namespace {
+constexpr std::uint32_t kEmptySlot = static_cast<std::uint32_t>(-1);
+
+std::size_t SlotsFor(std::size_t terms) {
+  std::size_t slots = 64;
+  while (slots < 2 * (terms + 1)) slots *= 2;
+  return slots;
+}
+}  // namespace
+
+void Dictionary::Rehash(std::size_t slots) {
+  slots_.assign(slots, kEmptySlot);
+  const std::size_t mask = slots - 1;
+  for (std::size_t id = 0; id < terms_.size(); ++id) {
+    std::size_t i = TermHash{}(terms_[id]) & mask;
+    while (slots_[i] != kEmptySlot) i = (i + 1) & mask;
+    slots_[i] = static_cast<std::uint32_t>(id);
+  }
+}
+
+void Dictionary::Reserve(std::size_t terms) {
+  const std::size_t slots = SlotsFor(terms);
+  if (slots > slots_.size()) Rehash(slots);
+}
+
 TermId Dictionary::Intern(const TermView& term) {
-  auto it = ids_.find(term);
-  if (it != ids_.end()) return it->second;
-  const TermId id = static_cast<TermId>(terms_.size());
-  auto [pos, inserted] = ids_.emplace(term.ToTerm(), id);
-  RDFSR_CHECK(inserted);
-  terms_.push_back(&pos->first);
-  return id;
+  if (slots_.size() < 2 * (terms_.size() + 1)) {
+    Rehash(slots_.empty() ? 64 : slots_.size() * 2);
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = TermHash{}(term) & mask;
+  while (true) {
+    const std::uint32_t slot = slots_[i];
+    if (slot == kEmptySlot) {
+      const TermId id = static_cast<TermId>(terms_.size());
+      terms_.push_back(term.ToTerm());
+      slots_[i] = id;
+      return id;
+    }
+    if (TermEq{}(terms_[slot], term)) return slot;
+    i = (i + 1) & mask;
+  }
 }
 
 TermId Dictionary::Find(const TermView& term) const {
-  auto it = ids_.find(term);
-  return it == ids_.end() ? kInvalidTermId : it->second;
+  if (slots_.empty()) return kInvalidTermId;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = TermHash{}(term) & mask;
+  while (true) {
+    const std::uint32_t slot = slots_[i];
+    if (slot == kEmptySlot) return kInvalidTermId;
+    if (TermEq{}(terms_[slot], term)) return slot;
+    i = (i + 1) & mask;
+  }
+}
+
+TermId Dictionary::BulkAppend(std::size_t count) {
+  const TermId first = static_cast<TermId>(terms_.size());
+  // Grow the slot index before the resize: Rehash re-inserts every current
+  // term, and the about-to-be-appended slots are all identical empty Terms —
+  // hashing those would pile them onto one probe chain (quadratic) and leave
+  // stale entries BulkIndex then duplicates. The new ids are published by
+  // BulkIndex alone, after BulkSet has filled them.
+  const std::size_t slots = SlotsFor(terms_.size() + count);
+  if (slots > slots_.size()) Rehash(slots);
+  terms_.resize(terms_.size() + count);
+  return first;
+}
+
+void Dictionary::BulkIndex(TermId begin, TermId end) {
+  const std::size_t mask = slots_.size() - 1;
+  for (TermId id = begin; id < end; ++id) {
+    std::size_t i = TermHash{}(terms_[id]) & mask;
+    while (true) {
+      std::atomic_ref<std::uint32_t> slot(slots_[i]);
+      std::uint32_t expected = kEmptySlot;
+      // Every bulk term is distinct from every other term (the merge dedups
+      // first), so claiming any empty slot on the probe path is correct — no
+      // equality check needed, and the winning interleaving only affects the
+      // (unobservable) slot layout.
+      if (slot.load(std::memory_order_relaxed) == kEmptySlot &&
+          slot.compare_exchange_strong(expected, id,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+  }
 }
 
 }  // namespace rdfsr::rdf

@@ -3,13 +3,22 @@
 // This is the standard triple-store trick (see the horizontal-database view of
 // Section 2.1): all structural computation downstream works on integer ids; the
 // strings are only needed at the I/O boundary.
+//
+// Storage is a deque of Terms (id -> term, reference-stable across growth)
+// plus a flat open-addressing slot index (hash -> id, linear probing, load
+// factor < 1/2). Besides being allocation-lean, this layout is what enables
+// the sharded-parse bulk merge (rdf/ntriples.cc): new terms are appended and
+// filled in parallel, then published into the index by concurrent CAS inserts
+// — every bulk term is distinct, so publication needs no equality probes and
+// the slot layout (the only thing the interleaving can vary) is never
+// observable through the lookup API.
 
 #ifndef RDFSR_RDF_DICTIONARY_H_
 #define RDFSR_RDF_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "rdf/term.h"
@@ -24,7 +33,8 @@ using TermId = std::uint32_t;
 inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
 
 /// Bidirectional Term <-> TermId map. Ids are assigned in interning order and
-/// are stable for the dictionary's lifetime. Not thread-safe.
+/// are stable for the dictionary's lifetime. Not thread-safe, except for the
+/// documented bulk-build protocol.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -62,7 +72,7 @@ class Dictionary {
   /// The term for a (valid) id.
   const Term& term(TermId id) const {
     RDFSR_CHECK_LT(id, terms_.size());
-    return *terms_[id];
+    return terms_[id];
   }
 
   /// Number of interned terms.
@@ -70,20 +80,44 @@ class Dictionary {
 
   /// Pre-sizes the intern table for an expected term count (avoids rehash
   /// cascades during bulk loads).
-  void Reserve(std::size_t terms) {
-    ids_.reserve(terms);
-    terms_.reserve(terms);
+  void Reserve(std::size_t terms);
+
+  // --- Sharded-merge bulk-build protocol (Graph::MergeShards) -------------
+  // Usage: BulkAppend once (serial), fill every new slot with BulkSet and
+  // publish disjoint id ranges with BulkIndex (both parallel), then resume
+  // normal use. Until the protocol completes, lookups are undefined.
+
+  /// Appends `count` empty term slots, returning the id of the first, and
+  /// pre-grows the slot index to its final size (so BulkIndex never rehashes
+  /// concurrently). Serial.
+  TermId BulkAppend(std::size_t count);
+
+  /// Fills a bulk-appended slot. The term must be distinct from every term
+  /// the dictionary will hold. Safe to call concurrently for distinct ids.
+  void BulkSet(TermId id, Term&& term) {
+    RDFSR_CHECK_LT(id, terms_.size());
+    terms_[id] = std::move(term);
+  }
+
+  /// Publishes filled bulk ids [begin, end) into the slot index via atomic
+  /// claims. Safe to call concurrently for disjoint ranges.
+  void BulkIndex(TermId begin, TermId end);
+
+  /// Destructively moves out the term for `id` (shard dictionaries hand
+  /// their strings to the merged dictionary this way). The dictionary's
+  /// lookup index is stale afterwards; only term extraction remains valid.
+  Term StealTerm(TermId id) {
+    RDFSR_CHECK_LT(id, terms_.size());
+    return std::move(terms_[id]);
   }
 
  private:
-  // Each term is stored once, as a map key; terms_ maps ids to the keys.
-  // unordered_map nodes are stable across rehash and container moves, so the
-  // pointers stay valid for the dictionary's lifetime. Transparent hash/equal
-  // enable lookup by TermView (C++20 heterogeneous lookup) — the parser's
-  // hot path does zero allocations for already-interned terms, and a miss
-  // materializes the Term exactly once.
-  std::unordered_map<Term, TermId, TermHash, TermEq> ids_;
-  std::vector<const Term*> terms_;  // id -> interned term (key of ids_)
+  /// Grows the slot index to `slots` entries (power of two) and reindexes
+  /// every stored term. Serial.
+  void Rehash(std::size_t slots);
+
+  std::deque<Term> terms_;            // id -> term; stable references
+  std::vector<std::uint32_t> slots_;  // open addressing: TermId or kInvalid
 };
 
 }  // namespace rdfsr::rdf

@@ -15,6 +15,10 @@
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
 
+namespace rdfsr::util {
+class ThreadPool;
+}  // namespace rdfsr::util
+
 namespace rdfsr::rdf {
 
 /// A dictionary-encoded RDF triple (subject, predicate, object).
@@ -118,6 +122,21 @@ class Graph {
 
   /// All sort constants t appearing in (s, type, t) triples.
   std::vector<TermId> SortConstants() const;
+
+  /// Bulk-merges the first `count` parsed shards into this graph on `pool` —
+  /// the parallel equivalent of interning each shard's terms into dict() in
+  /// shard order and Add()ing each shard's triples in shard order. Requires
+  /// this graph (and its dictionary) to be empty; the sharded parser falls
+  /// back to the serial merge loop when appending to a non-empty graph.
+  ///
+  /// The result is bit-identical to the serial merge: term ids and the
+  /// triple / subject / property orders are first-occurrence orders of the
+  /// concatenated shard streams, derived by per-shard prefix sums rather
+  /// than by any scheduling order (hash-table slot layouts are the only
+  /// thing the thread interleaving can vary, and those are unobservable).
+  /// Consumes the shards (terms are moved out of their dictionaries).
+  void MergeShards(std::vector<Graph>* shards, std::size_t count,
+                   util::ThreadPool* pool);
 
   /// Positions (indices into triples()) of all (s, rdf:type, t) triples, in
   /// insertion order. Built lazily on first use and extended incrementally as

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
-#include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace rdfsr::rdf {
 
@@ -327,62 +329,91 @@ std::vector<std::pair<std::size_t, std::size_t>> SplitAtLines(
 /// private dictionary; the shards then merge into `graph` in chunk order,
 /// interning each shard's terms in shard-local id order. Both orders coincide
 /// with first-occurrence order in the byte stream, so the merged graph is
-/// bit-identical (term ids, triple order) to a sequential parse.
-Status ParseShardedInto(std::string_view text, Graph* graph, int threads) {
+/// bit-identical (term ids, triple order) to a sequential parse. The merge
+/// itself runs on the pool (Graph::MergeShards) when `graph` starts empty;
+/// appends to a non-empty graph fall back to the serial id-remap loop.
+Status ParseShardedInto(std::string_view text, Graph* graph, int threads,
+                        util::ThreadPool* pool) {
   const auto chunks = SplitAtLines(text, threads);
 
-  // Global line number of each chunk's first line (one memchr-speed pass);
-  // the total doubles as the pre-size estimate for the merged graph.
+  // Global line number of each chunk's first line: parallel per-chunk
+  // newline counts (memchr speed, but serial it costs as much as a parse
+  // shard on large inputs), then a serial prefix. The total doubles as the
+  // pre-size estimate for the serial merge path.
+  std::vector<std::size_t> chunk_lines(chunks.size());
+  pool->ParallelFor(chunks.size(), [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t i = cb; i < ce; ++i) {
+      const auto [begin, end] = chunks[i];
+      chunk_lines[i] = static_cast<std::size_t>(
+          std::count(text.begin() + static_cast<std::ptrdiff_t>(begin),
+                     text.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+    }
+  });
   std::vector<std::size_t> first_line(chunks.size());
   std::size_t line = 1;
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     first_line[i] = line;
-    const auto [begin, end] = chunks[i];
-    line += static_cast<std::size_t>(
-        std::count(text.begin() + static_cast<std::ptrdiff_t>(begin),
-                   text.begin() + static_cast<std::ptrdiff_t>(end), '\n'));
+    line += chunk_lines[i];
   }
-  if (text.size() >= (1u << 20)) graph->Reserve(line, line);
 
-  struct Shard {
-    Graph graph;
-    Status status = Status::OK();
-  };
-  std::vector<Shard> shards(chunks.size());
-  std::vector<std::thread> workers;
-  workers.reserve(chunks.size());
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
-    workers.emplace_back([&, i] {
+  std::vector<Graph> shards(chunks.size());
+  std::vector<Status> shard_status(chunks.size(), Status::OK());
+  pool->ParallelFor(chunks.size(), [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t i = cb; i < ce; ++i) {
       const auto [begin, end] = chunks[i];
-      Graph& local = shards[i].graph;
-      shards[i].status = ParseLinesInto(
+      Graph& local = shards[i];
+      shard_status[i] = ParseLinesInto(
           text.substr(begin, end - begin), first_line[i],
           [&local](const TermView& s, const TermView& p, const TermView& o) {
             local.Add(s, p, o);
           });
-    });
-  }
-  for (std::thread& w : workers) w.join();
+    }
+  });
 
-  // Merge in chunk order; stop at the first failing shard (lowest line
-  // number), keeping the triples parsed before it — same partial-append
-  // semantics as the sequential parser.
+  // Merge in chunk order up to and including the first failing shard (lowest
+  // line number), keeping the triples parsed before the error — same
+  // partial-append semantics as the sequential parser.
+  std::size_t merge_count = shards.size();
+  Status result = Status::OK();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shard_status[i].ok()) {
+      merge_count = i + 1;
+      result = shard_status[i];
+      break;
+    }
+  }
+
+  if (graph->empty() && graph->dict().size() == 0) {
+    graph->MergeShards(&shards, merge_count, pool);
+    return result;
+  }
+  if (text.size() >= (1u << 20)) graph->Reserve(line, line);
   std::vector<TermId> remap;
-  for (Shard& shard : shards) {
-    const Dictionary& shard_dict = shard.graph.dict();
+  for (std::size_t s = 0; s < merge_count; ++s) {
+    const Dictionary& shard_dict = shards[s].dict();
     remap.resize(shard_dict.size());
     for (TermId id = 0; id < shard_dict.size(); ++id) {
       remap[id] = graph->dict().Intern(shard_dict.term(id));
     }
-    for (const Triple& t : shard.graph.triples()) {
+    for (const Triple& t : shards[s].triples()) {
       graph->Add(Triple{remap[t.subject], remap[t.predicate], remap[t.object]});
     }
-    if (!shard.status.ok()) return shard.status;
   }
-  return Status::OK();
+  return result;
 }
 
 }  // namespace
+
+int EffectiveParseThreads(const ParseOptions& options, std::size_t input_bytes) {
+  int threads = util::ThreadPool::ResolveThreads(options.threads);
+  if (threads > 1 && options.min_chunk_bytes > 0) {
+    const std::size_t max_useful = input_bytes / options.min_chunk_bytes;
+    if (static_cast<std::size_t>(threads) > max_useful) {
+      threads = static_cast<int>(std::max<std::size_t>(max_useful, 1));
+    }
+  }
+  return threads;
+}
 
 Status ParseNTriplesInto(std::string_view text, Graph* graph) {
   return ParseNTriplesInto(text, graph, ParseOptions{});
@@ -391,16 +422,19 @@ Status ParseNTriplesInto(std::string_view text, Graph* graph) {
 Status ParseNTriplesInto(std::string_view text, Graph* graph,
                          const ParseOptions& options) {
   RDFSR_CHECK(graph != nullptr);
-  int threads = options.threads < 1 ? 1 : options.threads;
-  if (threads > 1 && options.min_chunk_bytes > 0) {
-    const std::size_t max_useful = text.size() / options.min_chunk_bytes;
-    if (static_cast<std::size_t>(threads) > max_useful) {
-      threads = static_cast<int>(max_useful);
+  const int threads = EffectiveParseThreads(options, text.size());
+  if (threads > 1) {
+    // One pool drives the whole sharded path: chunk line counts, the shard
+    // parses, and every merge phase. `threads - 1` workers plus the calling
+    // thread gives exactly `threads` lanes.
+    util::ThreadPool* pool = options.pool;
+    std::unique_ptr<util::ThreadPool> owned;
+    if (pool == nullptr) {
+      owned = std::make_unique<util::ThreadPool>(threads - 1);
+      pool = owned.get();
     }
+    return ParseShardedInto(text, graph, threads, pool);
   }
-  // The sharded path pre-sizes the graph itself (it counts chunk newlines
-  // anyway for global error line numbers).
-  if (threads > 1) return ParseShardedInto(text, graph, threads);
   // Pre-size the graph from a newline count (memchr-speed pass): line count
   // upper-bounds the triple count, and distinct terms rarely exceed lines
   // (subjects and predicates repeat; objects are the unique tail).

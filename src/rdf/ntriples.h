@@ -8,8 +8,10 @@
 // pointing into the input buffer (escaped forms decode into reused scratch
 // buffers), and files are read once into a single allocation. Parsing can be
 // sharded across threads (ParseOptions::threads); chunks split at line
-// boundaries and shard dictionaries merge by id-remap in chunk order, so the
-// resulting graph is bit-identical to a sequential parse for any thread count.
+// boundaries and shard dictionaries merge by id-remap in chunk order — itself
+// parallel when the destination graph starts empty (Graph::MergeShards) — so
+// the resulting graph is bit-identical to a sequential parse for any thread
+// count.
 
 #ifndef RDFSR_RDF_NTRIPLES_H_
 #define RDFSR_RDF_NTRIPLES_H_
@@ -23,19 +25,34 @@
 #include "rdf/graph.h"
 #include "util/status.h"
 
+namespace rdfsr::util {
+class ThreadPool;
+}  // namespace rdfsr::util
+
 namespace rdfsr::rdf {
 
 /// Knobs for the N-Triples reader.
 struct ParseOptions {
-  /// Number of parser threads. <= 1 parses sequentially. Sharded parsing
-  /// produces the same graph (same term ids, same triple order) as
-  /// sequential, so this is a pure throughput knob.
+  /// Number of parser threads. 1 parses sequentially; values < 1 mean one
+  /// thread per hardware thread. Sharded parsing produces the same graph
+  /// (same term ids, same triple order) as sequential, so this is a pure
+  /// throughput knob. The count actually used is EffectiveParseThreads().
   int threads = 1;
-  /// Inputs smaller than threads * min_chunk_bytes parse sequentially —
-  /// thread startup would dominate. Tests lower this to force sharding on
-  /// tiny inputs.
+  /// Inputs shorter than threads * min_chunk_bytes parse on fewer threads
+  /// (each chunk keeps at least this many bytes) — thread startup would
+  /// dominate. Tests lower this to force sharding on tiny inputs.
   std::size_t min_chunk_bytes = 1 << 20;
+  /// Optional borrowed worker pool for the sharded path (parse + merge).
+  /// When null, the parser spins up a temporary pool of the effective
+  /// thread count. Callers that also parallelize downstream stages (the
+  /// api::Dataset load chain) pass one pool through the whole pipeline.
+  util::ThreadPool* pool = nullptr;
 };
+
+/// The thread count the reader will actually use for `input_bytes` of text:
+/// `options.threads` with < 1 resolved to the hardware concurrency, then
+/// capped so every chunk keeps at least `options.min_chunk_bytes` bytes.
+int EffectiveParseThreads(const ParseOptions& options, std::size_t input_bytes);
 
 /// Parses N-Triples text into a fresh graph.
 Result<Graph> ParseNTriples(std::string_view text);

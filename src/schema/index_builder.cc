@@ -1,20 +1,87 @@
 #include "schema/index_builder.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "rdf/vocab.h"
 #include "schema/property_set.h"
+#include "util/thread_pool.h"
 
 namespace rdfsr::schema {
 
+namespace {
+
+// Below this many pairs the serial paths win outright; the parallel sort and
+// grouping stages both use it as their cutoff. Low enough that the
+// determinism tests (random graphs of a few thousand triples) exercise the
+// parallel branches.
+constexpr std::size_t kParallelPairCutoff = 4096;
+
+// Sorts `pairs` on `pool`: power-of-two chunk count over fixed offsets, each
+// chunk sorted in parallel, then log2(k) parallel pairwise merge rounds into
+// a double buffer. The chunk bounds are pure functions of (n, lane count) and
+// std::merge over integers is order-deterministic, so the result is the exact
+// byte sequence std::sort produces.
+void ParallelSortPairs(std::vector<std::uint64_t>* pairs,
+                       util::ThreadPool* pool) {
+  const std::size_t n = pairs->size();
+  const std::size_t lanes =
+      pool == nullptr ? 1 : static_cast<std::size_t>(pool->workers()) + 1;
+  if (lanes <= 1 || n < kParallelPairCutoff) {
+    std::sort(pairs->begin(), pairs->end());
+    return;
+  }
+  std::size_t k = 1;
+  while (k < lanes) k <<= 1;
+  std::vector<std::size_t> bounds(k + 1);
+  for (std::size_t i = 0; i <= k; ++i) bounds[i] = i * n / k;
+  pool->ParallelFor(k, [&](std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e; ++j) {
+      std::sort(pairs->begin() + bounds[j], pairs->begin() + bounds[j + 1]);
+    }
+  });
+  std::vector<std::uint64_t> tmp(n);
+  std::vector<std::uint64_t>* src = pairs;
+  std::vector<std::uint64_t>* dst = &tmp;
+  while (k > 1) {
+    pool->ParallelFor(k / 2, [&](std::size_t b, std::size_t e) {
+      for (std::size_t j = b; j < e; ++j) {
+        std::merge(src->begin() + bounds[2 * j],
+                   src->begin() + bounds[2 * j + 1],
+                   src->begin() + bounds[2 * j + 1],
+                   src->begin() + bounds[2 * j + 2],
+                   dst->begin() + bounds[2 * j]);
+      }
+    });
+    for (std::size_t j = 0; j <= k / 2; ++j) bounds[j] = bounds[2 * j];
+    k /= 2;
+    std::swap(src, dst);
+  }
+  if (src != pairs) pairs->swap(*src);
+}
+
+// Per-range grouping output: distinct signature rows in local first-subject
+// order, each with its multiplicity and the dense subject ids (ascending)
+// that carry it.
+struct RangeGroups {
+  std::unordered_map<PropertySet, std::size_t, PropertySetHash> map;
+  std::vector<std::int64_t> counts;
+  std::vector<std::vector<std::uint32_t>> row_subjects;
+  std::vector<const PropertySet*> rows;
+};
+
+}  // namespace
+
 SignatureIndex IndexBuilder::Build(const rdf::Dictionary& dict,
-                                   bool keep_subject_names) {
+                                   bool keep_subject_names,
+                                   util::ThreadPool* pool) {
   // Sorting ascending groups each subject's columns contiguously; dense ids
   // are first-appearance ordinals, so subject runs come out in the same row
   // order as the legacy matrix.
-  std::sort(pairs_.begin(), pairs_.end());
+  ParallelSortPairs(&pairs_, pool);
   pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
 
   SignatureIndex index;
@@ -23,6 +90,81 @@ SignatureIndex IndexBuilder::Build(const rdf::Dictionary& dict,
     index.property_names_.push_back(dict.term(p).lexical);
   }
   const std::size_t num_props = properties_.size();
+
+  const std::size_t lanes =
+      pool == nullptr ? 1 : static_cast<std::size_t>(pool->workers()) + 1;
+  if (lanes > 1 && pairs_.size() >= kParallelPairCutoff) {
+    // Split the sorted pair array at subject boundaries into ~2 ranges per
+    // lane, group each range independently, then fold the ranges into the
+    // global signature map in range order. Because ranges never split a
+    // subject and are folded ascending, the global discovery order of each
+    // signature (its first subject) and the subject order inside each name
+    // list both match the serial loop exactly.
+    const std::size_t target = std::min(pairs_.size(), lanes * 2);
+    std::vector<std::size_t> starts;
+    starts.reserve(target + 1);
+    starts.push_back(0);
+    for (std::size_t t = 1; t < target; ++t) {
+      std::size_t pos = t * pairs_.size() / target;
+      // Advance to the next subject-run start so no range splits a subject.
+      while (pos > 0 && pos < pairs_.size() &&
+             static_cast<std::uint32_t>(pairs_[pos - 1] >> 32) ==
+                 static_cast<std::uint32_t>(pairs_[pos] >> 32)) {
+        ++pos;
+      }
+      if (pos > starts.back() && pos < pairs_.size()) starts.push_back(pos);
+    }
+    starts.push_back(pairs_.size());
+
+    const std::size_t num_ranges = starts.size() - 1;
+    std::vector<RangeGroups> ranges(num_ranges);
+    pool->ParallelFor(num_ranges, [&](std::size_t b, std::size_t e) {
+      for (std::size_t r = b; r < e; ++r) {
+        RangeGroups& rg = ranges[r];
+        std::size_t i = starts[r];
+        const std::size_t end = starts[r + 1];
+        while (i < end) {
+          const std::uint32_t subj =
+              static_cast<std::uint32_t>(pairs_[i] >> 32);
+          PropertySet row(num_props);
+          for (; i < end &&
+                 static_cast<std::uint32_t>(pairs_[i] >> 32) == subj;
+               ++i) {
+            row.Insert(static_cast<std::size_t>(pairs_[i] & 0xffffffffu));
+          }
+          auto [it, inserted] = rg.map.emplace(std::move(row), rg.rows.size());
+          if (inserted) {
+            rg.rows.push_back(&it->first);
+            rg.counts.push_back(0);
+            rg.row_subjects.emplace_back();
+          }
+          ++rg.counts[it->second];
+          if (keep_subject_names) rg.row_subjects[it->second].push_back(subj);
+        }
+      }
+    });
+
+    std::unordered_map<PropertySet, std::size_t, PropertySetHash> groups;
+    for (const RangeGroups& rg : ranges) {
+      for (std::size_t k = 0; k < rg.rows.size(); ++k) {
+        auto [it, inserted] = groups.emplace(*rg.rows[k],
+                                             index.signatures_.size());
+        if (inserted) {
+          index.signatures_.emplace_back(it->first, std::int64_t{0});
+          index.subject_names_.emplace_back();
+        }
+        index.signatures_[it->second].count += rg.counts[k];
+        if (keep_subject_names) {
+          std::vector<std::string>& names = index.subject_names_[it->second];
+          for (std::uint32_t subj : rg.row_subjects[k]) {
+            names.push_back(dict.term(subjects_[subj]).lexical);
+          }
+        }
+      }
+    }
+    index.Canonicalize();
+    return index;
+  }
 
   // signature row -> position in index.signatures_
   std::unordered_map<PropertySet, std::size_t, PropertySetHash> groups;
@@ -52,19 +194,21 @@ SignatureIndex IndexBuilder::Build(const rdf::Dictionary& dict,
 }
 
 SignatureIndex IndexBuilder::FromGraph(const rdf::Graph& graph,
-                                       bool keep_subject_names) {
+                                       bool keep_subject_names,
+                                       util::ThreadPool* pool) {
   IndexBuilder builder;
   builder.ReservePairs(graph.size());
   for (const rdf::Triple& t : graph.triples()) {
     builder.Add(t.subject, t.predicate);
   }
-  return builder.Build(graph.dict(), keep_subject_names);
+  return builder.Build(graph.dict(), keep_subject_names, pool);
 }
 
 SignatureIndex IndexBuilder::FromSortSlice(const rdf::Graph& graph,
                                            std::string_view type_iri,
                                            bool keep_subject_names,
-                                           std::size_t* slice_triples) {
+                                           std::size_t* slice_triples,
+                                           util::ThreadPool* pool) {
   if (slice_triples != nullptr) *slice_triples = 0;
   IndexBuilder builder;
   const rdf::Dictionary& dict = graph.dict();
@@ -86,7 +230,7 @@ SignatureIndex IndexBuilder::FromSortSlice(const rdf::Graph& graph,
       if (slice_triples != nullptr) *slice_triples = n;
     }
   }
-  return builder.Build(dict, keep_subject_names);
+  return builder.Build(dict, keep_subject_names, pool);
 }
 
 }  // namespace rdfsr::schema

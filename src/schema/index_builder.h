@@ -28,6 +28,10 @@
 #include "rdf/graph.h"
 #include "schema/signature_index.h"
 
+namespace rdfsr::util {
+class ThreadPool;
+}  // namespace rdfsr::util
+
 namespace rdfsr::schema {
 
 /// Accumulates per-subject property supports and emits the canonical
@@ -70,12 +74,22 @@ class IndexBuilder {
   /// Sorts, dedups, and groups the accumulated pairs into the canonical
   /// SignatureIndex. Names resolve through `dict` (the dictionary the ids
   /// were interned in). Consumes the builder's state.
-  SignatureIndex Build(const rdf::Dictionary& dict, bool keep_subject_names);
+  ///
+  /// `pool`, when non-null, parallelizes the pair sort (chunk sort + merge
+  /// rounds over fixed offsets) and the grouping stage (ranges split at
+  /// subject boundaries, merged serially in range order). Both are
+  /// bit-identical to the serial path: the sort is a multiset sort of
+  /// integers over deterministic chunk bounds, and range-order merging
+  /// reproduces the serial first-appearance discovery order of signatures
+  /// and the global subject order within each signature's name list.
+  SignatureIndex Build(const rdf::Dictionary& dict, bool keep_subject_names,
+                       util::ThreadPool* pool = nullptr);
 
   /// One-shot: the index of a whole graph, no dense intermediate. Canonically
   /// identical to FromMatrix(PropertyMatrix::FromGraph(graph), ...).
   static SignatureIndex FromGraph(const rdf::Graph& graph,
-                                  bool keep_subject_names = true);
+                                  bool keep_subject_names = true,
+                                  util::ThreadPool* pool = nullptr);
 
   /// One-shot: the index of the sort slice D_t, computed from the graph's
   /// rdf:type posting list without materializing the slice as a second graph.
@@ -85,7 +99,8 @@ class IndexBuilder {
   static SignatureIndex FromSortSlice(const rdf::Graph& graph,
                                       std::string_view type_iri,
                                       bool keep_subject_names = true,
-                                      std::size_t* slice_triples = nullptr);
+                                      std::size_t* slice_triples = nullptr,
+                                      util::ThreadPool* pool = nullptr);
 
  private:
   /// First-appearance dense id of a term id, grown on demand. The dense

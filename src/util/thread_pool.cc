@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace rdfsr::util {
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (threads_.empty()) {
+    task();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t lanes = static_cast<std::size_t>(workers()) + 1;
+  if (lanes == 1) {
+    fn(0, n);
+    return;
+  }
+  // More chunks than lanes so uneven per-index costs rebalance; the atomic
+  // dispenser hands chunks to whichever lane frees up first.
+  const std::size_t chunks = std::min(n, lanes * 4);
+  const std::size_t step = (n + chunks - 1) / chunks;
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto run = [&] {
+    while (true) {
+      const std::size_t begin = next.fetch_add(step);
+      if (begin >= n) return;
+      try {
+        fn(begin, std::min(n, begin + step));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::future<void>> helpers;
+  const std::size_t helper_count =
+      std::min(static_cast<std::size_t>(workers()), chunks - 1);
+  helpers.reserve(helper_count);
+  for (std::size_t i = 0; i < helper_count; ++i) {
+    helpers.push_back(Submit(run));
+  }
+  run();
+  for (std::future<void>& h : helpers) h.get();  // run() never throws
+  if (error) std::rethrow_exception(error);
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace rdfsr::util

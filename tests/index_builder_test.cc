@@ -17,6 +17,7 @@
 #include "schema/index_builder.h"
 #include "schema/property_matrix.h"
 #include "schema/signature_index.h"
+#include "util/thread_pool.h"
 
 namespace rdfsr::schema {
 namespace {
@@ -187,6 +188,26 @@ TEST(IndexBuilderTest, IntermediateStateIsPairsNotDenseMatrix) {
   EXPECT_LT(builder.intermediate_bytes(), dense_cells);
   ExpectIndexesIdentical(builder.Build(g.dict(), false),
                          LegacyFromGraph(g, false), {});
+}
+
+TEST(IndexBuilderTest, PooledBuildMatchesSerialAboveCutoff) {
+  // Enough (subject, property) pairs to cross the parallel sort/grouping
+  // cutoff in Build (kParallelPairCutoff = 4096); the pooled build must be
+  // canonically identical to the serial one for any lane count.
+  gen::RandomGraphSpec spec;
+  spec.num_subjects = 900;
+  spec.num_properties = 12;
+  spec.density = 0.6;
+  spec.seed = 17;
+  const rdf::Graph g = gen::GenerateRandomGraph(spec);
+  const SignatureIndex serial = IndexBuilder::FromGraph(g, true);
+  ASSERT_GE(serial.total_subjects(), 800);
+  for (const int workers : {1, 3, 7}) {
+    util::ThreadPool pool(workers);
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    ExpectIndexesIdentical(IndexBuilder::FromGraph(g, true, &pool), serial,
+                           SubjectNames(g));
+  }
 }
 
 }  // namespace

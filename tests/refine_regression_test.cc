@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -132,6 +133,44 @@ TEST(RefineRegressionTest, RandomIndexRefinementsUnchanged) {
         << context;
     EXPECT_EQ(Render(GreedyMaxMinSigma(*evaluator, 3)), c.greedy_k3)
         << context;
+  }
+}
+
+TEST(RefineRegressionTest, ParallelAgglomerativeMatchesSerial) {
+  // Instances above kParallelAgglomerateCutoff (256 signatures) engage the
+  // pooled row-recompute branch in greedy.cc. The merge sequence is picked
+  // by a strict total order on pairs, so every thread count — including
+  // counts above the hardware concurrency — must render identically to the
+  // serial path.
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 300;
+  spec.num_properties = 24;
+  spec.density = 0.3;
+  for (const std::uint64_t seed : {3u, 11u}) {
+    spec.seed = seed;
+    const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+    for (const char* rule : {"cov", "sim"}) {
+      auto evaluator = eval::MakeEvaluator(std::string(rule) == "cov"
+                                               ? rules::CovRule()
+                                               : rules::SimRule(),
+                                           &index);
+      const std::string lowestk_serial =
+          Render(AgglomerativeLowestK(*evaluator, Rational(9, 10), 1));
+      const std::string fixedk_serial =
+          Render(AgglomerativeFixedK(*evaluator, 280, 1));
+      for (const int threads : {2, 8}) {
+        const std::string context = "seed " + std::to_string(seed) + " " +
+                                    rule + " threads " +
+                                    std::to_string(threads);
+        EXPECT_EQ(
+            Render(AgglomerativeLowestK(*evaluator, Rational(9, 10), threads)),
+            lowestk_serial)
+            << context;
+        EXPECT_EQ(Render(AgglomerativeFixedK(*evaluator, 280, threads)),
+                  fixedk_serial)
+            << context;
+      }
+    }
   }
 }
 

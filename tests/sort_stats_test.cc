@@ -263,6 +263,79 @@ TEST(SortStatsTest, GenericEvaluatorFallsBackToMemberCounts) {
                     "generic fallback");
 }
 
+TEST(SortStatsTest, SparseDenseTransitionsMatchScratchOracle) {
+  // The memory-diet representations flip with occupancy: the member set
+  // starts as a sorted id vector and densifies to a word-packed bitset at
+  // ~1/32 occupancy (back below ~1/64), and per-property counts start as
+  // sorted parallel arrays and densify once used properties reach |P|/2
+  // (back below |P|/8). This drives a ramp-up/drain sequence sized so all
+  // four representation states occur, checking every aggregate against the
+  // scratch SubsetStats oracle at each step — the flips must be invisible.
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = 200;
+  spec.num_properties = 64;
+  spec.density = 0.1;
+  spec.max_count = 30;
+  spec.seed = 21;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto cov = ClosedFormEvaluator::Cov(&index);
+  SortStats stats = cov->MakeStats();
+  std::vector<int> members;
+  bool saw_member_rep[2] = {false, false};
+  bool saw_count_rep[2] = {false, false};
+
+  Rng rng(99);
+  const int n = static_cast<int>(index.num_signatures());
+  for (int step = 0; step < 700; ++step) {
+    // Ramp up (mostly adds), then drain (mostly removes) so both densify
+    // and re-sparsify thresholds are crossed, with jitter around them.
+    const bool add =
+        members.empty() ||
+        (step < 350 ? !rng.Chance(0.25) : rng.Chance(0.25));
+    if (add) {
+      if (members.size() == static_cast<std::size_t>(n)) continue;
+      int sig;
+      do {
+        sig = static_cast<int>(rng.Below(n));
+      } while (std::find(members.begin(), members.end(), sig) !=
+               members.end());
+      stats.Add(sig);
+      members.push_back(sig);
+    } else {
+      const std::size_t at = rng.Below(members.size());
+      stats.Remove(members[at]);
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    saw_member_rep[stats.members().dense() ? 1 : 0] = true;
+    saw_count_rep[stats.counts_dense() ? 1 : 0] = true;
+
+    const SubsetStats scratch = SubsetStats::Compute(index, members);
+    ASSERT_TRUE(stats.subjects() == scratch.subjects) << "step " << step;
+    ASSERT_TRUE(stats.support_sum() == scratch.support_sum)
+        << "step " << step;
+    ASSERT_EQ(stats.used_properties(), scratch.used_properties)
+        << "step " << step;
+    for (std::size_t p = 0; p < index.num_properties(); ++p) {
+      ASSERT_TRUE(BigCount{stats.property_count(p)} ==
+                  scratch.property_count[p])
+          << "step " << step << " property " << p;
+    }
+    std::vector<int> sorted = members;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(stats.members().ToVector(), sorted) << "step " << step;
+    ExpectCountsEqual(cov->CountsFromStats(stats), cov->Counts(members),
+                      "transition step " + std::to_string(step));
+  }
+  // The sequence must actually have exercised every representation, or the
+  // oracle comparison above proves nothing about the flips.
+  EXPECT_TRUE(saw_member_rep[0] && saw_member_rep[1])
+      << "member set never flipped (sparse=" << saw_member_rep[0]
+      << ", dense=" << saw_member_rep[1] << ")";
+  EXPECT_TRUE(saw_count_rep[0] && saw_count_rep[1])
+      << "count storage never flipped (sparse=" << saw_count_rep[0]
+      << ", dense=" << saw_count_rep[1] << ")";
+}
+
 TEST(SortStatsTest, CompareSigmaIsExact) {
   SigmaCounts a{9, 10};
   SigmaCounts b{90, 100};

@@ -35,6 +35,9 @@ commands:
 
 common options:
   --sort <iri>      analyze only the subjects declared of this rdf:type
+  --threads <n>     parser/index worker threads (0 = one per hardware
+                    thread; capped at the input's chunk count; the result
+                    is identical for any value)
   --rule <spec>     cov (default) | sim | cov-ignoring:p1,... | dep:p1,p2 |
                     symdep:p1,p2 | depdisj:p1,p2 | free text in the rule
                     language; measure accepts --rule multiple times
@@ -97,6 +100,7 @@ struct Args {
   bool view = false;
   bool report = false;
   int k = 2;
+  int threads = 1;      // 0 = auto (one per hardware thread)
   double theta = -1.0;  // < 0: highest-theta mode
   int max_k = -1;
   double time_limit = -1.0;
@@ -130,6 +134,11 @@ bool ParseArgs(int argc, char** argv, Args* args, int* exit_code) {
     } else if (flag == "--rule") {
       if (!need_value(i, "--rule")) return false;
       args->rules.push_back(argv[++i]);
+    } else if (flag == "--threads") {
+      if (!need_value(i, "--threads")) return false;
+      if (!ParseInt(argv[++i], &args->threads)) {
+        return bad_number("--threads", argv[i]);
+      }
     } else if (flag == "--view") {
       args->view = true;
     } else if (flag == "--report") {
@@ -185,13 +194,21 @@ bool ParseArgs(int argc, char** argv, Args* args, int* exit_code) {
 rdfsr::Result<Dataset> Load(const Args& args) {
   DatasetOptions options;
   options.sort = args.sort;
+  // 0 (and any value < 1) means auto; the api clamps to the chunk count and
+  // reports the resolved value via effective_parse_threads().
+  options.parse_threads = args.threads;
   return Dataset::FromNTriplesFile(args.path, options);
 }
 
 int Measure(const Args& args) {
   auto dataset = Load(args);
   if (!dataset.ok()) return Fail(dataset.status());
-  std::cout << "dataset: " << dataset->Describe() << "\n";
+  std::cout << "dataset: " << dataset->Describe() << "\n"
+            << "parse threads: " << dataset->effective_parse_threads()
+            << (args.threads == dataset->effective_parse_threads()
+                    ? ""
+                    : " (clamped)")
+            << "\n";
   if (args.view) std::cout << "\n" << dataset->RenderView() << "\n";
   std::vector<std::string> rules = args.rules;
   if (rules.empty()) rules = {"cov", "sim"};
@@ -217,6 +234,7 @@ int Refine(const Args& args, bool report_only) {
       dataset->Analyze(args.rules.empty() ? "cov" : args.rules.front());
   if (!analysis.ok()) return Fail(analysis.status());
   if (args.time_limit > 0) analysis->TimeLimit(args.time_limit);
+  analysis->HeuristicThreads(args.threads);
   std::cout << "rule: " << analysis->RuleText() << "\n"
             << "sigma over the whole dataset: "
             << FormatSigma(analysis->Sigma()) << "\n\n";
