@@ -127,6 +127,8 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
       slots[best_slot].push_back(sig);
       slot_stats[best_slot].Add(sig);
       slot_sigma[best_slot] = best_slot_sigma;
+      // Audit committed placements only — trial Add/Remove pairs cancel out.
+      RDFSR_AUDIT_CHECK_INVARIANTS(slot_stats[best_slot]);
     }
 
     // Local search: move a single signature to a different slot when that
@@ -159,6 +161,8 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
               slots[d].push_back(sig);
               slot_sigma[s] = sigma_s;
               slot_sigma[d] = sigma_d;
+              RDFSR_AUDIT_CHECK_INVARIANTS(slot_stats[s]);
+              RDFSR_AUDIT_CHECK_INVARIANTS(slot_stats[d]);
               current = trial;
               improved = true;
               // Keep the move; restart scanning this slot.
@@ -393,6 +397,9 @@ SortRefinement Agglomerate(
     parts[a].members.insert(parts[a].members.end(), parts[b].members.begin(),
                             parts[b].members.end());
     parts[a].stats.MergeWith(parts[b].stats);
+    // The merge is the one operation that can cross the sparse/dense
+    // representation boundary with bulk state; audit every committed one.
+    RDFSR_AUDIT_CHECK_INVARIANTS(parts[a].stats);
     ++parts[a].version;
     parts[b].alive = false;
     --live;

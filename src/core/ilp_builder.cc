@@ -118,6 +118,7 @@ SortRefinement IlpEncoding::Decode(const std::vector<double>& x) const {
   for (int i = 0; i < k; ++i) {
     std::vector<int> members;
     for (int mu = 0; mu < num_signatures; ++mu) {
+      // lint:allow(float-compare: rounding an integral 0/1 LP variable)
       if (x[x_var[i][mu]] > 0.5) members.push_back(mu);
     }
     if (!members.empty()) refinement.sorts.push_back(std::move(members));
@@ -326,6 +327,85 @@ void RefinementIlpInstance::Reweight(Rational theta) {
     }
     model.SetConstraintTerms(threshold_row_[i], std::move(threshold), 0,
                              ilp::kInfinity);
+  }
+
+  RDFSR_AUDIT_CHECK_INVARIANTS(*this);
+}
+
+void RefinementIlpInstance::CheckInvariants() const {
+  const ilp::Model& model = enc_.model;
+  model.CheckInvariants();
+
+  const std::size_t k = static_cast<std::size_t>(enc_.k);
+  const std::size_t num_vars = model.num_variables();
+  const std::size_t num_rows = model.num_constraints();
+  RDFSR_CHECK_EQ(enc_.x_var.size(), k);
+  RDFSR_CHECK_EQ(t_var_.size(), k);
+  RDFSR_CHECK_EQ(link_row_.size(), k);
+  RDFSR_CHECK_EQ(threshold_row_.size(), k);
+
+  std::vector<char> own_var(num_vars, 0);  // sort i's X and T variables
+  for (std::size_t i = 0; i < k; ++i) {
+    RDFSR_CHECK_EQ(enc_.x_var[i].size(),
+                   static_cast<std::size_t>(enc_.num_signatures));
+    RDFSR_CHECK_EQ(t_var_[i].size(), shapes_.size());
+    RDFSR_CHECK_EQ(link_row_[i].size(), shapes_.size());
+
+    std::fill(own_var.begin(), own_var.end(), 0);
+    for (int v : enc_.x_var[i]) {
+      RDFSR_CHECK_GE(v, 0);
+      RDFSR_CHECK_LT(static_cast<std::size_t>(v), num_vars);
+      own_var[v] = 1;
+    }
+
+    for (std::size_t t = 0; t < shapes_.size(); ++t) {
+      const TauShape& shape = shapes_[t];
+      const int t_var = t_var_[i][t];
+      RDFSR_CHECK_EQ(t_var < 0, Substituted(shape))
+          << "substitution decision out of sync with the T map";
+      if (t_var < 0) {
+        RDFSR_CHECK_EQ(link_row_[i][t], -1);
+        RDFSR_CHECK_EQ(shape.sigs.size(), 1u)
+            << "substituted tau must touch a single signature";
+        continue;
+      }
+      RDFSR_CHECK_LT(static_cast<std::size_t>(t_var), num_vars);
+      own_var[t_var] = 1;
+
+      // Rows [first, first + n_linked] exist and carry exactly the bound
+      // shapes Reweight toggles between (upper: -inf <= . <= {0, inf};
+      // lower: {1 - n, -inf} <= . <= inf).
+      const int first = link_row_[i][t];
+      const int n_linked =
+          static_cast<int>(shape.sigs.size() + shape.linked_props.size());
+      RDFSR_CHECK_GE(first, 0);
+      RDFSR_CHECK_LT(static_cast<std::size_t>(first + n_linked), num_rows);
+      for (int r = 0; r < n_linked; ++r) {
+        const ilp::Constraint& row = model.constraint(first + r);
+        RDFSR_CHECK_EQ(row.lower, -ilp::kInfinity);
+        RDFSR_CHECK(row.upper == 0.0 || row.upper == ilp::kInfinity)
+            << "upper link row bound is neither active nor vacuous";
+      }
+      const ilp::Constraint& lower_row = model.constraint(first + n_linked);
+      RDFSR_CHECK_EQ(lower_row.upper, ilp::kInfinity);
+      // lint:allow(float-compare: audit check of an exactly-stored sentinel)
+      RDFSR_CHECK(lower_row.lower == 1.0 - n_linked ||
+                  lower_row.lower == -ilp::kInfinity)
+          << "lower link row bound is neither active nor vacuous";
+    }
+
+    // The threshold row sum w(tau) T >= 0 may only mention sort i's own
+    // X/T variables — a cross-sort term would couple the blocks.
+    const int theta_row = threshold_row_[i];
+    RDFSR_CHECK_GE(theta_row, 0);
+    RDFSR_CHECK_LT(static_cast<std::size_t>(theta_row), num_rows);
+    const ilp::Constraint& theta = model.constraint(theta_row);
+    RDFSR_CHECK_EQ(theta.lower, 0.0);
+    RDFSR_CHECK_EQ(theta.upper, ilp::kInfinity);
+    for (const ilp::LinTerm& term : theta.terms) {
+      RDFSR_CHECK(own_var[term.var])
+          << "threshold row " << i << " mentions another sort's variable";
+    }
   }
 }
 

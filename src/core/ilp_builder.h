@@ -153,6 +153,14 @@ class RefinementIlpInstance {
   /// Moves the encoding out (the one-shot BuildRefinementIlp path).
   IlpEncoding ReleaseEncoding() && { return std::move(enc_); }
 
+  /// Full skeleton/Reweight consistency validation (fatal on violation): the
+  /// model's own invariants hold, the decode maps are k x n / k x |taus| and
+  /// reference live variables and rows, substitution is consistent across
+  /// sorts, every link row carries exactly the bounds Reweight may set, and
+  /// threshold rows mention only this instance's X/T variables. O(model);
+  /// audit builds run it after every Reweight.
+  void CheckInvariants() const;
+
  private:
   bool Substituted(const TauShape& shape) const;
 

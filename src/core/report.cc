@@ -44,6 +44,7 @@ std::vector<SortProfile> ProfileRefinement(const schema::SignatureIndex& index,
         profile.absent_properties.push_back(name);
       } else if (stats.property_count[p] == stats.subjects) {
         profile.universal_properties.push_back(name);
+      // lint:allow(float-compare: display bucketing, not a solver decision)
       } else if (coverage >= 0.5) {
         profile.common_properties.push_back(name);
       }

@@ -169,4 +169,64 @@ void SortStats::MergeWith(const SortStats& other) {
   num_members_ += other.num_members_;
 }
 
+void SortStats::CheckInvariants() const {
+  RDFSR_CHECK(index_ != nullptr) << "placeholder SortStats";
+  members_.CheckInvariants();
+  RDFSR_CHECK_EQ(members_.size(), num_members_) << "member count out of sync";
+
+  // Scratch recompute of every aggregate over the member signatures.
+  const std::size_t num_props = index_->num_properties();
+  std::vector<std::int64_t> counts(num_props, 0);
+  BigCount subjects = 0, support_sum = 0, pair_both = 0;
+  members_.ForEach([&](int sig_id) {
+    const schema::Signature& sig = index_->signature(sig_id);
+    const std::int64_t n = sig.count;
+    subjects += n;
+    support_sum += static_cast<BigCount>(n) *
+                   static_cast<BigCount>(sig.props().Popcount());
+    sig.props().ForEach([&](int p) { counts[static_cast<std::size_t>(p)] += n; });
+    if (pair_mask_.capacity() != 0 && pair_mask_.IsSubsetOf(sig.props())) {
+      pair_both += n;
+    }
+  });
+  RDFSR_CHECK(subjects == subjects_) << "subjects aggregate out of sync";
+  RDFSR_CHECK(support_sum == support_sum_) << "support_sum out of sync";
+  RDFSR_CHECK(pair_both == pair_both_) << "pair_both out of sync";
+
+  BigCount count_sq_sum = 0;
+  int used_count = 0;
+  RDFSR_CHECK_EQ(used_.capacity(), num_props) << "used set capacity mismatch";
+  for (std::size_t p = 0; p < num_props; ++p) {
+    count_sq_sum +=
+        static_cast<BigCount>(counts[p]) * static_cast<BigCount>(counts[p]);
+    RDFSR_CHECK_EQ(property_count(p), counts[p])
+        << "cnt_" << p << " out of sync";
+    RDFSR_CHECK_EQ(used_.Contains(p), counts[p] > 0)
+        << "used bit " << p << " disagrees with cnt_" << p;
+    if (counts[p] > 0) ++used_count;
+  }
+  RDFSR_CHECK(count_sq_sum == count_sq_sum_) << "count_sq_sum out of sync";
+  RDFSR_CHECK_EQ(used_count, used_properties_) << "|P*| out of sync";
+
+  // Representation invariants: exactly one count storage is active.
+  if (counts_dense_) {
+    RDFSR_CHECK_EQ(property_count_.size(), num_props);
+    RDFSR_CHECK(sparse_props_.empty() && sparse_counts_.empty())
+        << "dense stats still hold sparse arrays";
+  } else {
+    RDFSR_CHECK(property_count_.empty())
+        << "sparse stats still hold the dense vector";
+    RDFSR_CHECK_EQ(sparse_props_.size(), sparse_counts_.size());
+    RDFSR_CHECK_EQ(sparse_props_.size(),
+                   static_cast<std::size_t>(used_properties_));
+    for (std::size_t i = 0; i < sparse_props_.size(); ++i) {
+      RDFSR_CHECK_NE(sparse_counts_[i], 0) << "sparse entry with zero count";
+      if (i > 0) {
+        RDFSR_CHECK_LT(sparse_props_[i - 1], sparse_props_[i])
+            << "sparse property ids not strictly ascending";
+      }
+    }
+  }
+}
+
 }  // namespace rdfsr::eval

@@ -132,7 +132,16 @@ class SortStats {
   int pair_p2() const { return pair_p2_; }
   BigCount pair_both() const { return pair_both_; }
 
+  /// Full oracle validation (fatal on violation): recomputes every aggregate
+  /// from scratch over the member signatures and compares, then checks the
+  /// representation invariants (exactly one count storage active, sparse
+  /// arrays strictly ascending and zero-free, `used` == nonzero-count set).
+  /// O(|members| * |P|) — the scratch cost the incremental path avoids —
+  /// always compiled; audit builds run it at heuristic commit points.
+  void CheckInvariants() const;
+
  private:
+  friend struct AuditTestPeer;  // invariant-oracle tests corrupt state
   /// Sets cnt_p, keeping the sparse arrays sorted and zero-free; a zero
   /// `value` erases the sparse entry. Representation flips happen only in
   /// MaybeDensify/MaybeSparsify (called once per mutation, not per column).

@@ -138,6 +138,7 @@ class BranchAndBound {
     const double saved_ub = ub_[branch_var];
 
     // Nearest side first (diving): below if frac < 0.5.
+    // lint:allow(float-compare: branching-order heuristic, both sides explored)
     const bool down_first = (v - floor_v) < 0.5;
     for (int side = 0; side < 2; ++side) {
       const bool down = (side == 0) == down_first;
@@ -170,6 +171,9 @@ class BranchAndBound {
 }  // namespace
 
 MipResult SolveMip(const Model& model, const MipOptions& options) {
+  // Solve entry is the core -> ilp layer boundary: audit builds re-validate
+  // the (possibly Reweight-rewritten) model before branching on it.
+  RDFSR_AUDIT_CHECK_INVARIANTS(model);
   if (!options.use_presolve) {
     BranchAndBound solver(model, options);
     return solver.Run();

@@ -103,6 +103,38 @@ bool Model::IsFeasible(const std::vector<double>& x, double tol) const {
   return true;
 }
 
+void Model::CheckInvariants() const {
+  for (std::size_t j = 0; j < variables_.size(); ++j) {
+    const Variable& v = variables_[j];
+    RDFSR_CHECK_LE(v.lower, v.upper)
+        << "variable '" << v.name << "' has an empty domain";
+    RDFSR_CHECK(v.lower == v.lower && v.upper == v.upper)
+        << "variable '" << v.name << "' has a NaN bound";
+  }
+  auto check_terms = [&](const std::vector<LinTerm>& terms,
+                         const char* where) {
+    int prev_var = -1;
+    for (const LinTerm& t : terms) {
+      RDFSR_CHECK_GE(t.var, 0) << where;
+      RDFSR_CHECK_LT(static_cast<std::size_t>(t.var), variables_.size())
+          << where << " references a variable past the model";
+      RDFSR_CHECK_LT(prev_var, t.var)
+          << where << " mentions a variable twice (terms must stay merged)";
+      RDFSR_CHECK(t.coef != 0.0 && t.coef == t.coef)
+          << where << " holds a zero or NaN coefficient";
+      prev_var = t.var;
+    }
+  };
+  for (const Constraint& c : constraints_) {
+    RDFSR_CHECK_LE(c.lower, c.upper)
+        << "constraint '" << c.name << "' has an empty range";
+    RDFSR_CHECK(c.lower == c.lower && c.upper == c.upper)
+        << "constraint '" << c.name << "' has a NaN bound";
+    check_terms(c.terms, c.name.c_str());
+  }
+  check_terms(objective_, "objective");
+}
+
 std::string Model::ToString() const {
   std::ostringstream out;
   out << "model: " << variables_.size() << " vars, " << constraints_.size()

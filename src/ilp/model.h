@@ -99,6 +99,14 @@ class Model {
   /// Human-readable LP-format-ish dump (debugging aid).
   std::string ToString() const;
 
+  /// Full row/bound validation (fatal on violation): every term references a
+  /// live variable with a nonzero coefficient, no constraint mentions a
+  /// variable twice (the MergeTerms postcondition the in-place
+  /// coefficient-update API must preserve), and every variable/constraint/
+  /// objective bound pair is a non-empty, finite-or-sentinel range. O(model);
+  /// audit builds run it before each solve.
+  void CheckInvariants() const;
+
  private:
   std::vector<Variable> variables_;
   std::vector<Constraint> constraints_;

@@ -95,4 +95,21 @@ void Dictionary::BulkIndex(TermId begin, TermId end) {
   }
 }
 
+void Dictionary::CheckInvariants() const {
+  RDFSR_CHECK_GE(slots_.size(), terms_.empty() ? 0 : 2 * terms_.size())
+      << "slot index under-sized for the interned terms";
+  std::size_t filled = 0;
+  for (std::uint32_t slot : slots_) {
+    if (slot == kEmptySlot) continue;
+    ++filled;
+    RDFSR_CHECK_LT(slot, terms_.size()) << "slot points past the term store";
+  }
+  RDFSR_CHECK_EQ(filled, terms_.size())
+      << "slot index does not cover every term exactly once";
+  for (std::size_t id = 0; id < terms_.size(); ++id) {
+    RDFSR_CHECK_EQ(Find(TermView(terms_[id])), static_cast<TermId>(id))
+        << "round-trip failed for term id " << id;
+  }
+}
+
 }  // namespace rdfsr::rdf

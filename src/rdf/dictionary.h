@@ -111,6 +111,13 @@ class Dictionary {
     return std::move(terms_[id]);
   }
 
+  /// Full round-trip validation (fatal on violation): Find(term(id)) == id
+  /// for every interned id — the property the bulk-build protocol must
+  /// re-establish before normal use resumes. O(size); audit builds run it
+  /// after every parallel shard merge. Not valid on a dictionary whose terms
+  /// were stolen.
+  void CheckInvariants() const;
+
  private:
   /// Grows the slot index to `slots` entries (power of two) and reindexes
   /// every stored term. Serial.

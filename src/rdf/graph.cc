@@ -308,6 +308,58 @@ void Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
       properties_.push_back(t.predicate);
     }
   }
+
+  // Audit builds re-validate the CAS-built structures before the merged graph
+  // crosses back into single-threaded use.
+  RDFSR_AUDIT_CHECK_INVARIANTS(*dict_);
+  RDFSR_AUDIT_CHECK_INVARIANTS(*this);
+}
+
+void Graph::CheckInvariants() const {
+  const std::size_t num_terms = dict_->size();
+  std::unordered_set<Triple, TripleHash> seen;
+  seen.reserve(triples_.size() * 2);
+  for (const Triple& t : triples_) {
+    RDFSR_CHECK_LT(t.subject, num_terms) << "subject id not interned";
+    RDFSR_CHECK_LT(t.predicate, num_terms) << "predicate id not interned";
+    RDFSR_CHECK_LT(t.object, num_terms) << "object id not interned";
+    RDFSR_CHECK(seen.insert(t).second)
+        << "duplicate triple in the deduplicated store";
+  }
+
+  RDFSR_CHECK_GE(dedup_slots_.size(),
+                 triples_.empty() ? 0 : 2 * triples_.size())
+      << "dedup slot index under-sized";
+  std::size_t filled = 0;
+  for (std::uint32_t slot : dedup_slots_) {
+    if (slot == kEmptySlot) continue;
+    ++filled;
+    RDFSR_CHECK_LT(slot, triples_.size()) << "dedup slot out of range";
+  }
+  RDFSR_CHECK_EQ(filled, triples_.size())
+      << "dedup index does not cover every triple exactly once";
+
+  // subjects()/properties() must be the first-appearance orders of triples().
+  std::unordered_set<TermId> seen_subjects, seen_properties;
+  std::size_t next_subject = 0, next_property = 0;
+  for (const Triple& t : triples_) {
+    if (seen_subjects.insert(t.subject).second) {
+      RDFSR_CHECK_LT(next_subject, subjects_.size());
+      RDFSR_CHECK_EQ(subjects_[next_subject], t.subject)
+          << "subjects() out of first-appearance order";
+      ++next_subject;
+    }
+    if (seen_properties.insert(t.predicate).second) {
+      RDFSR_CHECK_LT(next_property, properties_.size());
+      RDFSR_CHECK_EQ(properties_[next_property], t.predicate)
+          << "properties() out of first-appearance order";
+      ++next_property;
+    }
+  }
+  RDFSR_CHECK_EQ(next_subject, subjects_.size())
+      << "subjects() lists terms no triple mentions";
+  RDFSR_CHECK_EQ(next_property, properties_.size())
+      << "properties() lists terms no triple mentions";
 }
 
 bool Graph::HasProperty(TermId s, TermId p) const {

@@ -150,6 +150,14 @@ class Graph {
   /// are read-only.
   const std::vector<std::uint32_t>& TypePostings() const;
 
+  /// Full structural validation (fatal on violation): every triple's ids are
+  /// interned, the triple set is duplicate-free, the dedup slot index covers
+  /// exactly the stored triples, and subjects()/properties() are the
+  /// first-appearance orders of triples(). O(|D|); audit builds run it after
+  /// the parallel shard merge (the one code path where thread interleaving
+  /// could corrupt the flat structures without failing a lookup).
+  void CheckInvariants() const;
+
  private:
   /// Flat open-addressing dedup index over triples_ (set semantics without a
   /// node allocation per insert). Returns true and records the slot when the

@@ -181,6 +181,28 @@ class MemberSet {
   }
   bool operator!=(const MemberSet& o) const { return !(*this == o); }
 
+  /// Structural validation (fatal on violation): size_ matches the active
+  /// representation, sparse ids are strictly ascending and in range, and the
+  /// inactive representation is empty.
+  void CheckInvariants() const {
+    if (dense_rep_) {
+      RDFSR_CHECK_EQ(bits_.capacity(), capacity_);
+      RDFSR_CHECK_EQ(bits_.Popcount(), size_) << "dense size out of sync";
+      RDFSR_CHECK(ids_.empty()) << "dense member set still holds ids";
+    } else {
+      RDFSR_CHECK_EQ(bits_.capacity(), 0u)
+          << "sparse member set still holds the bitset";
+      RDFSR_CHECK_EQ(ids_.size(), size_) << "sparse size out of sync";
+      for (std::size_t i = 0; i < ids_.size(); ++i) {
+        RDFSR_CHECK_LT(ids_[i], capacity_);
+        if (i > 0) {
+          RDFSR_CHECK_LT(ids_[i - 1], ids_[i])
+              << "member ids not strictly ascending";
+        }
+      }
+    }
+  }
+
  private:
   void Densify() {
     bits_ = PropertySet(capacity_);

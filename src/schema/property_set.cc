@@ -29,7 +29,7 @@ int PropertySet::CompareLex(const PropertySet& a, const PropertySet& b) {
     if (diff == 0) continue;
     const int bit = std::countr_zero(diff);
     const bool in_a = (a.words_[w] >> bit) & 1u;
-    const PropertySet& holder = in_a ? a : b;
+    // The holder of d precedes `other` unless `other` is a strict prefix.
     const PropertySet& other = in_a ? b : a;
     // Does `other` have any element above d?
     const std::uint64_t above_mask =

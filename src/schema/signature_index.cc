@@ -117,6 +117,63 @@ void SignatureIndex::Canonicalize() {
   for (std::size_t p = 0; p < property_names_.size(); ++p) {
     property_index_.emplace(property_names_[p], static_cast<int>(p));
   }
+  // Every construction path (FromMatrix, FromSignatures, Restrict, and the
+  // streaming IndexBuilder) funnels through here, so this one audit hook
+  // covers the whole schema-layer boundary.
+  RDFSR_AUDIT_CHECK_INVARIANTS(*this);
+}
+
+void SignatureIndex::CheckInvariants() const {
+  const std::size_t num_props = property_names_.size();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    const Signature& sig = signatures_[i];
+    RDFSR_CHECK(sig.packed_) << "signature " << i << " not packed";
+    RDFSR_CHECK_EQ(sig.props().capacity(), num_props)
+        << "signature " << i << " packed at wrong capacity";
+    RDFSR_CHECK_GT(sig.count, 0) << "signature " << i << " has empty set";
+    RDFSR_CHECK(!sig.props().Empty())
+        << "signature " << i << " has empty support";
+    total += sig.count;
+    if (i > 0) {
+      const Signature& prev = signatures_[i - 1];
+      const bool canonical =
+          prev.count > sig.count ||
+          (prev.count == sig.count &&
+           PropertySet::CompareLex(prev.props(), sig.props()) < 0);
+      RDFSR_CHECK(canonical) << "signatures " << i - 1 << ", " << i
+                             << " violate (count desc, lex asc) order";
+    }
+  }
+  RDFSR_CHECK_EQ(total, total_subjects_) << "total_subjects out of sync";
+
+  RDFSR_CHECK_EQ(property_index_.size(), num_props)
+      << "property map size mismatch";
+  for (std::size_t p = 0; p < num_props; ++p) {
+    const auto it = property_index_.find(property_names_[p]);
+    RDFSR_CHECK(it != property_index_.end() &&
+                it->second == static_cast<int>(p))
+        << "property map inconsistent at column " << p;
+  }
+
+  RDFSR_CHECK_EQ(subject_names_.size(), signatures_.size())
+      << "subject-name rows out of sync with signatures";
+  std::size_t named = 0;
+  for (std::size_t i = 0; i < subject_names_.size(); ++i) {
+    if (subject_names_[i].empty()) continue;
+    RDFSR_CHECK_EQ(static_cast<std::int64_t>(subject_names_[i].size()),
+                   signatures_[i].count)
+        << "signature " << i << " name count != subject count";
+    named += subject_names_[i].size();
+    for (const std::string& name : subject_names_[i]) {
+      const auto it = subject_signature_.find(name);
+      RDFSR_CHECK(it != subject_signature_.end() &&
+                  it->second == static_cast<int>(i))
+          << "subject map inconsistent for '" << name << "'";
+    }
+  }
+  RDFSR_CHECK_EQ(subject_signature_.size(), named)
+      << "subject map holds entries for unnamed signatures";
 }
 
 int SignatureIndex::FindProperty(const std::string& name) const {

@@ -164,7 +164,16 @@ class SignatureIndex {
   /// names ("sig<i>_<j>") when names were not kept. For tests and rendering.
   PropertyMatrix ToMatrix() const;
 
+  /// Full structural validation (fatal on violation): every signature packed
+  /// at |P| capacity with positive count and non-empty support, canonical
+  /// (count desc, support lex asc) order, total_subjects consistency, and
+  /// both lookup maps consistent with the vectors they index. Always
+  /// compiled — tests call it directly; the library re-validates at layer
+  /// boundaries in audit builds (RDFSR_AUDIT_CHECK_INVARIANTS).
+  void CheckInvariants() const;
+
  private:
+  friend struct AuditTestPeer;  // invariant-oracle tests corrupt state
   friend class IndexBuilder;  // streaming construction (schema/index_builder.h)
 
   void Canonicalize();

@@ -2,6 +2,25 @@
 //
 // RDFSR_CHECK(cond) << "context";   aborts with file/line + streamed message when
 // cond is false. Used for programmer errors; recoverable errors use Status.
+//
+// Check tiers:
+//   RDFSR_CHECK*   always on, every build. Cheap argument/bounds guards on
+//                  paths where a violation would corrupt results silently.
+//   RDFSR_DCHECK*  on in debug (!NDEBUG) and audit (RDFSR_AUDIT) builds,
+//                  compiled out (condition unevaluated, but still
+//                  type-checked) in plain release builds. For guards too hot
+//                  for the release inner loops.
+//   RDFSR_AUDIT_CHECK_INVARIANTS(obj)
+//                  calls (obj).CheckInvariants() in audit builds only. The
+//                  stateful core types (SignatureIndex, SortStats, Graph,
+//                  Dictionary, ilp::Model, RefinementIlpInstance) expose
+//                  CheckInvariants() as an always-compiled method — tests
+//                  call it directly — and the library invokes it at layer
+//                  boundaries when built with -DRDFSR_AUDIT=ON.
+//
+// Audit builds (cmake -DRDFSR_AUDIT=ON) define the RDFSR_AUDIT macro for the
+// whole library: DCHECKs fire even in optimized builds and every boundary
+// crossing re-validates the full invariants of the objects it hands over.
 
 #ifndef RDFSR_UTIL_CHECK_H_
 #define RDFSR_UTIL_CHECK_H_
@@ -10,7 +29,28 @@
 #include <iostream>
 #include <sstream>
 
+#if defined(RDFSR_AUDIT) || !defined(NDEBUG)
+#define RDFSR_DCHECK_IS_ON 1
+#else
+#define RDFSR_DCHECK_IS_ON 0
+#endif
+
 namespace rdfsr {
+
+/// Whether this translation unit was compiled with debug checks (DCHECK)
+/// active. constexpr so audit-only slow paths can be `if constexpr`-gated.
+inline constexpr bool kDChecksEnabled = RDFSR_DCHECK_IS_ON != 0;
+
+/// Whether this translation unit was compiled at the audit build level
+/// (-DRDFSR_AUDIT=ON): boundary-crossing CheckInvariants() calls are active.
+inline constexpr bool audit_enabled() {
+#ifdef RDFSR_AUDIT
+  return true;
+#else
+  return false;
+#endif
+}
+
 namespace internal {
 
 /// Accumulates the streamed message and aborts the process on destruction.
@@ -33,6 +73,15 @@ class CheckFailStream {
   std::ostringstream stream_;
 };
 
+/// Swallows a disabled check's streamed message without evaluating it.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
 }  // namespace internal
 }  // namespace rdfsr
 
@@ -50,5 +99,41 @@ class CheckFailStream {
 #define RDFSR_CHECK_LE(a, b) RDFSR_CHECK((a) <= (b))
 #define RDFSR_CHECK_GT(a, b) RDFSR_CHECK((a) > (b))
 #define RDFSR_CHECK_GE(a, b) RDFSR_CHECK((a) >= (b))
+
+#if RDFSR_DCHECK_IS_ON
+
+#define RDFSR_DCHECK(cond) RDFSR_CHECK(cond)
+
+#else  // !RDFSR_DCHECK_IS_ON
+
+// Disabled: the condition is parsed (so it cannot bit-rot) but never
+// evaluated, and the streamed message is swallowed.
+#define RDFSR_DCHECK(cond)                     \
+  switch (0)                                   \
+  case 0:                                      \
+  default:                                     \
+    if (true || (cond)) {                      \
+    } else /* NOLINT */                        \
+      ::rdfsr::internal::NullStream()
+
+#endif  // RDFSR_DCHECK_IS_ON
+
+#define RDFSR_DCHECK_EQ(a, b) RDFSR_DCHECK((a) == (b))
+#define RDFSR_DCHECK_NE(a, b) RDFSR_DCHECK((a) != (b))
+#define RDFSR_DCHECK_LT(a, b) RDFSR_DCHECK((a) < (b))
+#define RDFSR_DCHECK_LE(a, b) RDFSR_DCHECK((a) <= (b))
+#define RDFSR_DCHECK_GT(a, b) RDFSR_DCHECK((a) > (b))
+#define RDFSR_DCHECK_GE(a, b) RDFSR_DCHECK((a) >= (b))
+
+/// Invokes `(obj).CheckInvariants()` at the audit build level; a no-op (the
+/// expression is not evaluated) otherwise. Place at layer boundaries where an
+/// object is handed across subsystems.
+#ifdef RDFSR_AUDIT
+#define RDFSR_AUDIT_CHECK_INVARIANTS(obj) (obj).CheckInvariants()
+#else
+#define RDFSR_AUDIT_CHECK_INVARIANTS(obj) \
+  do {                                    \
+  } while (false)
+#endif
 
 #endif  // RDFSR_UTIL_CHECK_H_

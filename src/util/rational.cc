@@ -1,50 +1,95 @@
 #include "util/rational.h"
 
 #include <cmath>
-#include <numeric>
 
 #include "util/check.h"
 
 namespace rdfsr {
 
-Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
-  RDFSR_CHECK_NE(den, 0) << "Rational with zero denominator";
-  Normalize();
+namespace {
+
+// Magnitude as unsigned: defined for every input, including INT64_MIN /
+// INT128_MIN (whose negation as a signed value is UB — the signed-narrowing
+// trap this file is hardened against).
+unsigned __int128 Mag128(__int128 v) {
+  return v < 0 ? -static_cast<unsigned __int128>(v)
+               : static_cast<unsigned __int128>(v);
 }
 
-void Rational::Normalize() {
-  if (den_ < 0) {
-    num_ = -num_;
-    den_ = -den_;
+unsigned __int128 Gcd128(unsigned __int128 a, unsigned __int128 b) {
+  while (b != 0) {
+    const unsigned __int128 t = a % b;
+    a = b;
+    b = t;
   }
-  std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
-  if (g > 1) {
-    num_ /= g;
-    den_ /= g;
+  return a;
+}
+
+constexpr unsigned __int128 kInt64Max =
+    static_cast<unsigned __int128>(INT64_MAX);
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  RDFSR_CHECK_NE(den, 0) << "Rational with zero denominator";
+  *this = FromInt128(num, den);
+}
+
+Rational Rational::FromInt128(__int128 num, __int128 den) {
+  RDFSR_CHECK(den != 0) << "Rational with zero denominator";
+  const bool negative = (num < 0) != (den < 0) && num != 0;
+  unsigned __int128 n = Mag128(num);
+  unsigned __int128 d = Mag128(den);
+  if (n == 0) {
+    d = 1;
+  } else {
+    const unsigned __int128 g = Gcd128(n, d);
+    n /= g;
+    d /= g;
   }
-  if (num_ == 0) den_ = 1;
+  // The reduced magnitudes must narrow to int64: |num| may be INT64_MAX + 1
+  // only when negative (INT64_MIN is representable), den is positive.
+  RDFSR_CHECK(d <= kInt64Max && n <= kInt64Max + (negative ? 1 : 0))
+      << "Rational overflow: reduced result exceeds int64";
+  Rational out;
+  out.num_ = negative ? static_cast<std::int64_t>(-static_cast<__int128>(n))
+                      : static_cast<std::int64_t>(n);
+  out.den_ = static_cast<std::int64_t>(d);
+  return out;
+}
+
+Rational Rational::operator-() const {
+  // Via the 128-bit path: -INT64_MIN does not fit an int64 and must be a
+  // checked fatal error, not a signed-negation UB.
+  return FromInt128(-static_cast<__int128>(num_), den_);
 }
 
 Rational Rational::FromDouble(double value, std::int64_t max_den) {
   RDFSR_CHECK_GT(max_den, 0);
   if (std::isnan(value)) return Rational(0);
-  // Continued-fraction expansion with convergent denominators capped at max_den.
+  // Continued-fraction expansion with convergent denominators capped at
+  // max_den. The recurrence runs in 128-bit: the candidate convergent is
+  // computed wide and range-checked BEFORE committing, so an oversized
+  // element a (possible when floating-point noise inflates 1/rem near the
+  // termination threshold) can never sign-overflow the int64 state.
   bool negative = value < 0;
   double x = negative ? -value : value;
   std::int64_t p0 = 0, q0 = 1, p1 = 1, q1 = 0;
   double frac = x;
   for (int iter = 0; iter < 64; ++iter) {
     double fa = std::floor(frac);
+    // lint:allow(float-compare: overflow guard before the int64 cast)
     if (fa > 9.0e18) break;
     std::int64_t a = static_cast<std::int64_t>(fa);
-    std::int64_t p2 = a * p1 + p0;
-    std::int64_t q2 = a * q1 + q0;
-    if (q2 > max_den || q2 <= 0) break;
+    const __int128 p2 = static_cast<__int128>(a) * p1 + p0;
+    const __int128 q2 = static_cast<__int128>(a) * q1 + q0;
+    if (q2 > max_den || q2 <= 0 || p2 > static_cast<__int128>(INT64_MAX)) break;
     p0 = p1;
     q0 = q1;
-    p1 = p2;
-    q1 = q2;
+    p1 = static_cast<std::int64_t>(p2);
+    q1 = static_cast<std::int64_t>(q2);
     double rem = frac - fa;
+    // lint:allow(float-compare: termination threshold of the double expansion)
     if (rem < 1e-12) break;
     frac = 1.0 / rem;
   }
@@ -55,45 +100,6 @@ Rational Rational::FromDouble(double value, std::int64_t max_den) {
 std::string Rational::ToString() const {
   if (den_ == 1) return std::to_string(num_);
   return std::to_string(num_) + "/" + std::to_string(den_);
-}
-
-namespace {
-
-__int128 Abs128(__int128 v) { return v < 0 ? -v : v; }
-
-__int128 Gcd128(__int128 a, __int128 b) {
-  a = Abs128(a);
-  b = Abs128(b);
-  while (b != 0) {
-    const __int128 t = a % b;
-    a = b;
-    b = t;
-  }
-  return a;
-}
-
-}  // namespace
-
-Rational Rational::FromInt128(__int128 num, __int128 den) {
-  RDFSR_CHECK(den != 0) << "Rational with zero denominator";
-  if (den < 0) {
-    num = -num;
-    den = -den;
-  }
-  const __int128 g = Gcd128(num, den);
-  if (g > 1) {
-    num /= g;
-    den /= g;
-  }
-  if (num == 0) den = 1;
-  constexpr __int128 kMin = INT64_MIN;
-  constexpr __int128 kMax = INT64_MAX;
-  RDFSR_CHECK(num >= kMin && num <= kMax && den <= kMax)
-      << "Rational overflow: reduced result exceeds int64";
-  Rational out;
-  out.num_ = static_cast<std::int64_t>(num);
-  out.den_ = static_cast<std::int64_t>(den);
-  return out;
 }
 
 Rational Rational::operator+(const Rational& o) const {

@@ -41,7 +41,7 @@ class Rational {
   Rational operator-(const Rational& o) const;
   Rational operator*(const Rational& o) const;
   Rational operator/(const Rational& o) const;
-  Rational operator-() const { return Rational(-num_, den_); }
+  Rational operator-() const;
 
   bool operator==(const Rational& o) const {
     return num_ == o.num_ && den_ == o.den_;
@@ -53,8 +53,6 @@ class Rational {
   bool operator>=(const Rational& o) const { return o <= *this; }
 
  private:
-  void Normalize();
-
   /// Builds num/den from 128-bit intermediates: normalizes in 128 bits, then
   /// checked-narrows to int64 (fatal on a result that truly cannot fit).
   static Rational FromInt128(__int128 num, __int128 den);

@@ -30,7 +30,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation: a code plus a human-readable message.
-class Status {
+///
+/// [[nodiscard]] at class level: any call discarding a returned Status (or
+/// Result<T>) is a compiler warning, promoted to an error in CI. Silently
+/// dropped errors are exactly the failure mode the exact-arithmetic pipeline
+/// cannot tolerate.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -72,7 +77,7 @@ class Status {
 /// Either a value of type T or an error Status. Accessing the value of a failed
 /// Result is a checked fatal error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

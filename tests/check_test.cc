@@ -1,0 +1,94 @@
+// Death tests for the check macro tiers (util/check.h).
+//
+// RDFSR_AUDIT is force-defined before the include so the DCHECK tier is
+// active in this translation unit even when the suite is built Release
+// (NDEBUG): these tests lock the ENABLED semantics. The disabled variant
+// still parses (but never evaluates) its condition; the library's plain
+// release build compiling is what verifies that side.
+#define RDFSR_AUDIT 1
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfsr {
+namespace {
+
+static_assert(kDChecksEnabled,
+              "RDFSR_AUDIT must force the DCHECK tier on in this TU");
+static_assert(audit_enabled(),
+              "audit_enabled() must reflect the RDFSR_AUDIT define");
+
+TEST(CheckTest, PassingCheckIsSilentAndEvaluatesOnce) {
+  int evaluations = 0;
+  RDFSR_CHECK(++evaluations == 1) << "never shown";
+  EXPECT_EQ(evaluations, 1);
+  RDFSR_CHECK_EQ(2 + 2, 4);
+  RDFSR_CHECK_NE(1, 2);
+  RDFSR_CHECK_LT(1, 2);
+  RDFSR_CHECK_LE(2, 2);
+  RDFSR_CHECK_GT(3, 2);
+  RDFSR_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailureReportsExpressionAndStreamedMessage) {
+  EXPECT_DEATH(RDFSR_CHECK(1 == 2) << "context " << 42,
+               "CHECK failed at .*check_test.cc:.*1 == 2.*context 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosDie) {
+  EXPECT_DEATH(RDFSR_CHECK_EQ(1, 2), "CHECK failed");
+  EXPECT_DEATH(RDFSR_CHECK_LT(2, 1), "CHECK failed");
+  EXPECT_DEATH(RDFSR_CHECK_GE(1, 2), "CHECK failed");
+}
+
+TEST(CheckDeathTest, DCheckDiesWhenEnabled) {
+  EXPECT_DEATH(RDFSR_DCHECK(false) << "audit caught it", "audit caught it");
+  EXPECT_DEATH(RDFSR_DCHECK_EQ(1, 2), "CHECK failed");
+  EXPECT_DEATH(RDFSR_DCHECK_LE(3, 2) << "ordering", "ordering");
+}
+
+TEST(CheckTest, DCheckEvaluatesConditionWhenEnabled) {
+  int evaluations = 0;
+  RDFSR_DCHECK(++evaluations == 1) << "never shown";
+  EXPECT_EQ(evaluations, 1);
+}
+
+// The macro must bind as a single statement in unbraced if/else.
+TEST(CheckTest, MacrosAreSingleStatements) {
+  bool reached_else = false;
+  if (false)
+    RDFSR_CHECK(false) << "dead branch";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+  if (false)
+    RDFSR_DCHECK(false) << "dead branch";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+struct InvariantProbe {
+  mutable int calls = 0;
+  void CheckInvariants() const { ++calls; }
+};
+
+TEST(CheckTest, AuditMacroInvokesCheckInvariants) {
+  // This TU is compiled at the audit level (see the #define above), so the
+  // boundary macro must forward to the method.
+  InvariantProbe probe;
+  RDFSR_AUDIT_CHECK_INVARIANTS(probe);
+  EXPECT_EQ(probe.calls, 1);
+}
+
+TEST(CheckDeathTest, AuditMacroPropagatesFatalInvariantFailure) {
+  struct Broken {
+    void CheckInvariants() const {
+      RDFSR_CHECK(false) << "invariant torn";
+    }
+  } broken;
+  EXPECT_DEATH(RDFSR_AUDIT_CHECK_INVARIANTS(broken), "invariant torn");
+}
+
+}  // namespace
+}  // namespace rdfsr

@@ -161,6 +161,60 @@ TEST(PropertySetTest, NextSetBit) {
   EXPECT_EQ(PropertySet(64).NextSetBit(0), -1);
 }
 
+TEST(PropertySetTest, WordBoundaryEdges) {
+  // Bit 63 in a one-word set: every mask is built with `1 << (i & 63)`, so
+  // the top bit is the shift-by-width-of-type edge (UB if the masking ever
+  // regresses; the asan-ubsan CI job runs this under -fsanitize=undefined).
+  PropertySet one_word(64);
+  one_word.Insert(63);
+  EXPECT_TRUE(one_word.Contains(63));
+  EXPECT_EQ(one_word.Popcount(), 1u);
+  EXPECT_EQ(one_word.NextSetBit(0), 63);
+  EXPECT_EQ(one_word.NextSetBit(63), 63);
+  EXPECT_EQ(one_word.NextSetBit(64), -1);
+  EXPECT_EQ(one_word.ToVector(), std::vector<int>{63});
+  one_word.Erase(63);
+  EXPECT_TRUE(one_word.Empty());
+
+  // First bit of the second word, reached across the word boundary.
+  PropertySet spill(65);
+  spill.Insert(64);
+  EXPECT_TRUE(spill.Contains(64));
+  EXPECT_EQ(spill.NextSetBit(63), 64);
+  EXPECT_EQ(spill.NextSetBit(64), 64);
+  EXPECT_EQ(*spill.begin(), 64);
+
+  // Capacity 0: every query is well-defined and empty.
+  PropertySet empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.Popcount(), 0u);
+  EXPECT_EQ(empty.NextSetBit(0), -1);
+  EXPECT_TRUE(empty.begin() == empty.end());
+  EXPECT_EQ(empty, PropertySet());
+}
+
+TEST(PropertySetTest, CompareLexBit63Edge) {
+  // The first differing index d == 63 makes CompareLex's "elements above d"
+  // mask `~0 << (d + 1)` a shift by 64 unless specifically guarded; these
+  // pin the guard's behavior on both outcomes.
+  const PropertySet a = PropertySet::FromIndices(128, {63});
+  const PropertySet b = PropertySet::FromIndices(128, {70});
+  // Sequences [63] vs [70]: a precedes b.
+  EXPECT_LT(PropertySet::CompareLex(a, b), 0);
+  EXPECT_GT(PropertySet::CompareLex(b, a), 0);
+
+  // Strict-prefix case with the difference exactly at bit 63: [ ] vs [63].
+  const PropertySet none(128);
+  EXPECT_LT(PropertySet::CompareLex(none, a), 0);
+  EXPECT_GT(PropertySet::CompareLex(a, none), 0);
+
+  // Prefix vs extension across the word boundary: [63] vs [63, 64].
+  const PropertySet ext = PropertySet::FromIndices(128, {63, 64});
+  EXPECT_LT(PropertySet::CompareLex(a, ext), 0);
+  EXPECT_GT(PropertySet::CompareLex(ext, a), 0);
+  EXPECT_EQ(PropertySet::CompareLex(a, a), 0);
+}
+
 // --- SignatureIndex on words vs the scalar reference ------------------------
 
 SignatureIndex RandomIndex(Rng* rng, int num_sigs, int num_props) {

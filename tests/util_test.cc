@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "util/fit.h"
@@ -121,6 +123,48 @@ TEST(RationalTest, FromDoubleNegativeAndRounding) {
 TEST(RationalTest, ToStringForms) {
   EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
   EXPECT_EQ(Rational(7).ToString(), "7");
+}
+
+TEST(RationalTest, Int64MinEdges) {
+  // INT64_MIN exercises the one asymmetry of two's complement: its magnitude
+  // does not fit a signed 64-bit value, so every path below used to be a
+  // signed-negation UB before the unsigned-magnitude rewrite.
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const Rational min(kMin, 1);
+  EXPECT_EQ(min.num(), kMin);
+  EXPECT_EQ(min.den(), 1);
+  // Normalization may shrink the magnitude back into range...
+  EXPECT_EQ(Rational(kMin, 2), Rational(kMin / 2, 1));
+  EXPECT_EQ(Rational(kMin, -2), Rational(-(kMin / 2), 1));
+  EXPECT_EQ(Rational(kMin, kMin), Rational(1));
+  // ...but a positive result of magnitude 2^63 cannot narrow and must be a
+  // checked fatal error, not a silent wrap.
+  EXPECT_DEATH(-min, "Rational overflow");
+  EXPECT_DEATH(Rational(kMin, -1), "Rational overflow");
+  EXPECT_DEATH(min * Rational(-1), "Rational overflow");
+  // Every operator reduces into int64 storage, so 2^63 * 2^63 = 2^126 is a
+  // checked overflow even if a later division would cancel it back down.
+  EXPECT_DEATH(min * min, "Rational overflow");
+  // Arithmetic that cancels within one operation's 128-bit intermediates
+  // stays exact.
+  EXPECT_EQ(min / min, Rational(1));
+  EXPECT_EQ(min * Rational(1, 2), Rational(kMin / 2));
+  EXPECT_EQ(min + Rational(0), min);
+}
+
+TEST(RationalTest, FromDoubleExtremeMagnitudes) {
+  // Above the int64 guard the expansion stops before the cast instead of
+  // overflowing; the fallback convergent is 0/1.
+  EXPECT_EQ(Rational::FromDouble(1e19), Rational(0));
+  EXPECT_EQ(Rational::FromDouble(-1e19), Rational(0));
+  // 9e18 is below the guard, exactly representable as a double, and fits
+  // int64: it must come back exact.
+  EXPECT_EQ(Rational::FromDouble(9.0e18), Rational(9'000'000'000'000'000'000LL));
+  EXPECT_EQ(Rational::FromDouble(-9.0e18),
+            Rational(-9'000'000'000'000'000'000LL));
+  // A fractional value near the guard keeps its integer part.
+  const Rational near = Rational::FromDouble(8.9e18 + 0.5);
+  EXPECT_NEAR(near.ToDouble(), 8.9e18, 1e4);
 }
 
 TEST(RngTest, DeterministicBySeed) {

@@ -1,0 +1,6 @@
+// Known-bad fixture: an example bypassing the facade. Examples may include
+// api/rdfsr.h, gen/*, and util/* only; core/solver.h must be rejected.
+#include "api/rdfsr.h"
+#include "core/solver.h"
+
+int main() { return 0; }

@@ -1,0 +1,12 @@
+// Known-good counterpart of discard_result.cc: both return values consumed,
+// must compile clean under -Werror=unused-result.
+#include "util/status.h"
+
+rdfsr::Status DoWork() { return rdfsr::Status::OK(); }
+rdfsr::Result<int> Compute() { return 42; }
+
+int main() {
+  if (!DoWork().ok()) return 1;
+  auto r = Compute();
+  return r.ok() ? 0 : 1;
+}

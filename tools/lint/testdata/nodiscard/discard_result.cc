@@ -1,0 +1,13 @@
+// Known-bad fixture: discards a Status and a Result<T>. Both types are
+// [[nodiscard]], so -Werror=unused-result must reject this translation unit
+// (the lint self-test asserts the compile fails).
+#include "util/status.h"
+
+rdfsr::Status DoWork() { return rdfsr::Status::OK(); }
+rdfsr::Result<int> Compute() { return 42; }
+
+int main() {
+  DoWork();    // error: discarded Status
+  Compute();   // error: discarded Result<int>
+  return 0;
+}

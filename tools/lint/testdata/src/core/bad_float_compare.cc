@@ -1,0 +1,10 @@
+// Known-bad fixture: floating-point threshold decisions on the solver path.
+// Exact-zero tests are allowed; everything else must be flagged.
+double sigma();
+
+bool fixture() {
+  double s = sigma();
+  if (s == 0.0) return false;       // allowed: exact-zero sparsity test
+  if (s >= 0.75) return true;       // flagged: non-zero literal comparison
+  return (1.0 - s) < 1e-9;          // flagged: epsilon tolerance comparison
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture: bare std::thread and rand() outside util/.
+#include <cstdlib>
+#include <thread>
+
+int fixture() {
+  std::thread t([] {});  // flagged: use util::ThreadPool
+  t.join();
+  return rand();  // flagged: use util/rng.h
+}

@@ -1,0 +1,15 @@
+// Known-good fixture: everything here must pass every rule.
+//   - includes respect the DAG (core may use eval/schema/util),
+//   - exact-zero float tests are fine,
+//   - a suppressed comparison with a reason is fine,
+//   - "std::thread" in a comment or string is not a violation.
+#include "eval/sort_stats.h"
+#include "schema/property_set.h"
+#include "util/rational.h"
+
+const char* kDoc = "never uses std::thread or rand() at runtime";
+
+bool fixture(double coef) {
+  if (coef != 0.0) return true;  // exact-zero test: allowed
+  return coef > 0.5;  // lint:allow(float-compare: display bucketing fixture)
+}

@@ -1,0 +1,6 @@
+// Known-bad fixture: a file in the eval layer reaching UP the DAG into core/.
+// The layer-dag rule must reject this include.
+#include "core/solver.h"
+#include "schema/signature_index.h"  // fine: schema is below eval
+
+int eval_fixture() { return 0; }
