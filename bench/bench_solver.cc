@@ -108,6 +108,7 @@ struct Measurement {
   int instances = 0;
   std::string result;  // "theta=..." or "k=..."
   bool match = true;
+  bool timed_out = false;  // deadline/limit cut: result is an incumbent
 };
 
 void Report(TextTable* table, bool* ok, const std::string& config,
@@ -136,7 +137,8 @@ void Report(TextTable* table, bool* ok, const std::string& config,
        {"instances", static_cast<double>(m.instances)},
        {"rebuild_seconds", m.rebuild_seconds},
        {"speedup_vs_rebuild", ratio},
-       {"match", m.match ? 1.0 : 0.0}});
+       {"match", m.match ? 1.0 : 0.0}},
+      m.timed_out);
 }
 
 Measurement MeasureHighestTheta(const eval::Evaluator& evaluator, int k,
@@ -156,6 +158,7 @@ Measurement MeasureHighestTheta(const eval::Evaluator& evaluator, int k,
   m.rebuild_seconds = rebuild_timer.Seconds();
   m.instances = a.instances;
   m.result = "theta=" + a.theta.ToString();
+  m.timed_out = a.timed_out || b.timed_out;
   m.match = a.theta == b.theta && a.instances == b.instances &&
             a.ceiling_proven == b.ceiling_proven &&
             RenderSorts(a.refinement) == RenderSorts(b.refinement);
@@ -227,6 +230,7 @@ Measurement MeasureLowestK(const eval::Evaluator& evaluator, Rational theta) {
   }
   m.instances = a->instances;
   m.result = "k=" + std::to_string(a->k);
+  m.timed_out = a->timed_out || b->timed_out;
   m.match = a->k == b->k && a->instances == b->instances &&
             a->proven_minimal == b->proven_minimal &&
             RenderSorts(a->refinement) == RenderSorts(b->refinement);

@@ -54,12 +54,16 @@ class JsonRecorder {
 
   /// Appends one record. `params` describe the configuration measured (string
   /// values), `seconds` the wall time of the section, `metrics` its numeric
-  /// results.
+  /// results. Pass `timed_out = true` for a deadline-cut section: the record
+  /// then carries `"timed_out": true` next to whatever partial metrics the
+  /// run produced, so trajectory tooling can separate cut runs from complete
+  /// ones instead of averaging them together (complete runs omit the key).
   void Record(
       const std::string& name,
       const std::vector<std::pair<std::string, std::string>>& params,
       double seconds,
-      const std::vector<std::pair<std::string, double>>& metrics = {}) {
+      const std::vector<std::pair<std::string, double>>& metrics = {},
+      bool timed_out = false) {
     if (!enabled()) return;
     std::ostringstream row;
     row << "{\"bench\": " << Quote(bench_) << ", \"name\": " << Quote(name)
@@ -68,7 +72,9 @@ class JsonRecorder {
       if (i > 0) row << ", ";
       row << Quote(params[i].first) << ": " << Quote(params[i].second);
     }
-    row << "}, \"seconds\": " << Number(seconds) << ", \"metrics\": {";
+    row << "}, \"seconds\": " << Number(seconds);
+    if (timed_out) row << ", \"timed_out\": true";
+    row << ", \"metrics\": {";
     for (std::size_t i = 0; i < metrics.size(); ++i) {
       if (i > 0) row << ", ";
       row << Quote(metrics[i].first) << ": " << Number(metrics[i].second);

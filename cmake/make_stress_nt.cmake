@@ -1,0 +1,36 @@
+# Fixture generator for the CLI exit-code tests:
+#   OUT     — a ~300k-line (~13 MB) well-formed N-Triples file, big enough
+#             that (a) --timeout 0.001 always cuts the run and (b) a
+#             2-thread parse really shards (the sharded-merge fault tests
+#             need the merge path).
+#   BAD_OUT — a small file with two malformed lines for the tolerant-parse
+#             exit-code tests.
+#
+#   cmake -DOUT=<path> -DBAD_OUT=<path> -P make_stress_nt.cmake
+#
+# Deterministic output; regenerating is cheap enough to run as a
+# FIXTURES_SETUP test on every ctest invocation.
+
+if(NOT DEFINED OUT OR NOT DEFINED BAD_OUT)
+  message(FATAL_ERROR "make_stress_nt.cmake needs -DOUT=... and -DBAD_OUT=...")
+endif()
+
+# 1000 distinct lines, repeated 300x. Repeated triples are fine: the parser
+# still has to tokenize every line, which is the work the timeout must cut.
+set(block "")
+foreach(i RANGE 999)
+  math(EXPR s "${i} % 37")
+  math(EXPR p "${i} % 7")
+  string(APPEND block
+         "<http://stress/s${s}> <http://stress/p${p}> \"v${i}\" .\n")
+endforeach()
+string(REPEAT "${block}" 300 text)
+file(WRITE "${OUT}" "${text}")
+
+file(WRITE "${BAD_OUT}"
+"<http://x/s1> <http://x/p> \"a\" .
+this line is not a triple
+<http://x/s2> <http://x/p> \"b\" .
+neither is this one
+<http://x/s3> <http://x/p> \"c\" .
+")

@@ -1,0 +1,33 @@
+# Test runner: executes CMD (a shell-style command string) and fails unless
+# the process exits with code EXPECTED. Needed because plain add_test() can
+# only assert exit code 0, and the CLI's exit-code taxonomy (0 ok, 2 usage,
+# 3 data error, 4 deadline/limit, 5 internal) is part of its contract.
+#
+#   cmake -DCMD="<binary> <args...>" -DEXPECTED=<code> \
+#         [-DENVVAR=NAME=VALUE] -P run_expect_exit.cmake
+#
+# ENVVAR optionally injects one environment variable (used by the fault
+# tests to arm $RDFSR_FAILPOINTS for the child only).
+
+if(NOT DEFINED CMD OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "run_expect_exit.cmake needs -DCMD=... and -DEXPECTED=...")
+endif()
+
+separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
+if(DEFINED ENVVAR AND NOT ENVVAR STREQUAL "")
+  set(cmd_list ${CMAKE_COMMAND} -E env "${ENVVAR}" ${cmd_list})
+endif()
+
+execute_process(
+  COMMAND ${cmd_list}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+# String compare, not numeric: a crashed child reports "Segmentation fault"
+# or similar here, which must fail the test rather than coerce to a number.
+if(NOT rc STREQUAL "${EXPECTED}")
+  message(FATAL_ERROR
+          "expected exit code ${EXPECTED}, got '${rc}'\n"
+          "command: ${CMD}\n--- stdout ---\n${out}\n--- stderr ---\n${err}")
+endif()

@@ -6,6 +6,7 @@
 
 #include "core/report.h"
 #include "eval/evaluator.h"
+#include "util/deadline.h"
 #include "rules/printer.h"
 #include "schema/ascii_view.h"
 
@@ -32,6 +33,13 @@ Analysis& Analysis::With(core::SolverOptions options) {
 Analysis& Analysis::TimeLimit(double seconds) {
   options_.mip.time_limit_seconds = seconds;
   solver_.reset();
+  return *this;
+}
+
+Analysis& Analysis::Timeout(double seconds) {
+  // Deliberately no solver_.reset(): the deadline is re-armed per query via
+  // RefinementSolver::set_deadline, so the incremental caches survive.
+  timeout_seconds_ = seconds;
   return *this;
 }
 
@@ -78,15 +86,26 @@ double Analysis::Sigma(const std::vector<int>& sort) const {
   return evaluator_->Sigma(sort);
 }
 
+core::RefinementSolver& Analysis::ArmedSolver() {
+  core::RefinementSolver& solver = Solver();
+  // Re-arm the whole-query budget every call: a Deadline is an absolute time
+  // point, so reusing the previous query's would charge it for elapsed time.
+  solver.set_deadline(timeout_seconds_ > 0
+                          ? util::Deadline::After(timeout_seconds_)
+                          : util::Deadline());
+  return solver;
+}
+
 Result<Refinement> Analysis::HighestTheta(int k) {
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
   }
-  const core::HighestThetaResult result = Solver().FindHighestTheta(k);
+  const core::HighestThetaResult result = ArmedSolver().FindHighestTheta(k);
   Refinement refinement;
   refinement.sorts = result.refinement.sorts;
   refinement.theta = result.theta;
   refinement.optimal = result.ceiling_proven;
+  refinement.timed_out = result.timed_out;
   refinement.instances = result.instances;
   refinement.seconds = result.seconds;
   return refinement;
@@ -105,12 +124,13 @@ Result<Refinement> Analysis::LowestK(Rational theta, int max_k) {
     return Status::InvalidArgument("theta must be in [0, 1], got " +
                                    theta.ToString());
   }
-  auto result = Solver().FindLowestK(theta, max_k);
+  auto result = ArmedSolver().FindLowestK(theta, max_k);
   if (!result.ok()) return result.status();
   Refinement refinement;
   refinement.sorts = result->refinement.sorts;
   refinement.theta = theta;
   refinement.optimal = result->proven_minimal;
+  refinement.timed_out = result->timed_out;
   refinement.instances = result->instances;
   refinement.seconds = result->seconds;
   return refinement;

@@ -6,6 +6,8 @@
 #include "rdf/ntriples.h"
 #include "schema/ascii_view.h"
 #include "schema/index_builder.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -14,7 +16,9 @@ namespace rdfsr::api {
 Result<Dataset> Dataset::Build(std::shared_ptr<const rdf::Graph> graph,
                                const std::string& sort,
                                const DatasetOptions& options,
-                               util::ThreadPool* pool, int parse_threads) {
+                               util::ThreadPool* pool, int parse_threads,
+                               const util::CancellationToken& cancel) {
+  RDFSR_FAILPOINT("schema.index-build");
   auto rep = std::make_shared<Rep>();
   rep->parse_threads = parse_threads;
   // Both paths stream (subject, property) pairs straight into the signature
@@ -23,7 +27,10 @@ Result<Dataset> Dataset::Build(std::shared_ptr<const rdf::Graph> graph,
   if (!sort.empty()) {
     std::size_t slice_triples = 0;
     rep->index = schema::IndexBuilder::FromSortSlice(
-        *graph, sort, options.keep_subject_names, &slice_triples, pool);
+        *graph, sort, options.keep_subject_names, &slice_triples, pool, cancel);
+    // A tripped token leaves a structurally valid but incomplete index:
+    // discard it rather than hand out a silently truncated dataset.
+    if (cancel.stop_requested()) return cancel.status();
     if (slice_triples == 0) {
       return Status::NotFound("no subjects of sort <" + sort + ">");
     }
@@ -31,7 +38,8 @@ Result<Dataset> Dataset::Build(std::shared_ptr<const rdf::Graph> graph,
     rep->triples = slice_triples;
   } else {
     rep->index = schema::IndexBuilder::FromGraph(
-        *graph, options.keep_subject_names, pool);
+        *graph, options.keep_subject_names, pool, cancel);
+    if (cancel.stop_requested()) return cancel.status();
     rep->triples = graph->size();
   }
   if (options.keep_graph) rep->graph = std::move(graph);
@@ -47,8 +55,13 @@ Result<Dataset> Dataset::FromNTriplesFile(const std::string& path,
 
 Result<Dataset> Dataset::FromNTriplesText(std::string_view text,
                                           const DatasetOptions& options) {
+  // The deadline covers the whole chain: parse, shard merge, index build.
+  const util::Deadline deadline = util::Deadline::AfterMillis(options.deadline_ms);
   rdf::ParseOptions parse_options;
   parse_options.threads = options.parse_threads;
+  parse_options.max_errors = options.max_errors;
+  parse_options.diagnostics = options.diagnostics;
+  parse_options.cancel = deadline.token();
   const int effective = rdf::EffectiveParseThreads(parse_options, text.size());
   parse_options.threads = effective;
   // One pool carries the whole load: sharded parse, shard merge, and the
@@ -63,7 +76,7 @@ Result<Dataset> Dataset::FromNTriplesText(std::string_view text,
   if (!st.ok()) return st;
   parsed.TypePostings();  // warm while exclusively owned, as in FromGraph
   return Build(std::make_shared<const rdf::Graph>(std::move(parsed)),
-               options.sort, options, pool.get(), effective);
+               options.sort, options, pool.get(), effective, deadline.token());
 }
 
 Result<Dataset> Dataset::FromGraph(rdf::Graph graph,

@@ -41,6 +41,7 @@
 
 #include "core/solver.h"
 #include "rdf/graph.h"
+#include "rdf/ntriples.h"
 #include "rules/ast.h"
 #include "schema/signature_index.h"
 #include "util/rational.h"
@@ -73,6 +74,17 @@ struct DatasetOptions {
   /// Dataset::effective_parse_threads(); the same worker pool is reused for
   /// the signature-index build stages.
   int parse_threads = 1;
+  /// Wall-clock budget for the load chain (parse, shard merge, index build)
+  /// in milliseconds; <= 0 (the default) means unlimited. Overrun fails the
+  /// load with kDeadlineExceeded — no partially built Dataset ever escapes.
+  std::int64_t deadline_ms = 0;
+  /// Tolerate up to this many malformed lines (0, the default, fails on the
+  /// first): bad lines are skipped and the graph is bit-identical to parsing
+  /// the pre-cleaned input. Exceeding the budget fails with kParseError.
+  std::size_t max_errors = 0;
+  /// When non-null and max_errors > 0, receives one line-numbered diagnostic
+  /// per skipped line (at most max_errors entries, in input order).
+  std::vector<rdf::ParseDiagnostic>* diagnostics = nullptr;
 };
 
 /// A sort refinement found by Analysis::HighestTheta or Analysis::LowestK:
@@ -87,6 +99,10 @@ struct Refinement {
   /// was proven infeasible; lowest-k: all smaller k proven infeasible) rather
   /// than stopping at solver limits.
   bool optimal = false;
+  /// The search was cut by Analysis::Timeout: the refinement is the best
+  /// incumbent found before the cut (implies !optimal — thresholds/sizes
+  /// beyond it were never decided).
+  bool timed_out = false;
   int instances = 0;  ///< decision instances solved by the search
   double seconds = 0.0;
 
@@ -183,7 +199,8 @@ class Dataset {
                                const std::string& sort,
                                const DatasetOptions& options,
                                util::ThreadPool* pool = nullptr,
-                               int parse_threads = 1);
+                               int parse_threads = 1,
+                               const util::CancellationToken& cancel = {});
 
   std::shared_ptr<const Rep> rep_;
 };
@@ -204,6 +221,13 @@ class Analysis {
   Analysis& With(core::SolverOptions options);
   /// Exact-solver wall-clock budget per decision instance, in seconds.
   Analysis& TimeLimit(double seconds);
+  /// Whole-query wall-clock budget in seconds (<= 0 disables). Anytime
+  /// semantics: HighestTheta still succeeds with the best incumbent found
+  /// before the cut (Refinement::timed_out set, never optimal); LowestK
+  /// fails with kDeadlineExceeded. Unlike the other setters this does NOT
+  /// rebuild the solver — the deadline is re-armed per query, so the
+  /// incremental caches survive.
+  Analysis& Timeout(double seconds);
   /// Exact-solver node budget per decision instance.
   Analysis& MaxNodes(long long nodes);
   /// Worker threads for the agglomerative heuristics (< 1 = one per
@@ -262,10 +286,13 @@ class Analysis {
 
   /// The solver, (re)built on demand after configuration changes.
   core::RefinementSolver& Solver();
+  /// Solver() with the Timeout() deadline freshly armed for one query.
+  core::RefinementSolver& ArmedSolver();
 
   std::shared_ptr<const Dataset::Rep> rep_;
   std::unique_ptr<const eval::Evaluator> evaluator_;
   core::SolverOptions options_;
+  double timeout_seconds_ = 0.0;  // whole-query deadline; re-armed per query
   std::unique_ptr<core::RefinementSolver> solver_;  // lazy; reset by setters
 };
 

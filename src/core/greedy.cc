@@ -81,7 +81,9 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
     std::sort(trial.begin(), trial.end());
   };
 
-  for (int restart = 0; restart < options.restarts; ++restart) {
+  util::PeriodicCheck check(options.cancel, 64);
+  bool cancelled = false;
+  for (int restart = 0; restart < options.restarts && !cancelled; ++restart) {
     std::vector<int> shuffled = order;
     if (restart > 0) {
       // Keep the first restart deterministic-greedy; later ones perturb.
@@ -97,7 +99,19 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
     // union), so score ties resolve toward the structurally closest sort.
     std::vector<std::vector<int>> slots(k);
     slot_stats.assign(static_cast<std::size_t>(k), evaluator.MakeStats());
-    for (int sig : shuffled) {
+    for (std::size_t next = 0; next < shuffled.size(); ++next) {
+      const int sig = shuffled[next];
+      if (check.ShouldStop()) {
+        // Keep the partition valid on cancellation: every unplaced signature
+        // lands in the first slot (scored below like any other restart).
+        for (std::size_t rest = next; rest < shuffled.size(); ++rest) {
+          slots[0].push_back(shuffled[rest]);
+          slot_stats[0].Add(shuffled[rest]);
+        }
+        slot_sigma[0] = evaluator.SigmaFromStats(slot_stats[0]);
+        cancelled = true;
+        break;
+      }
       const schema::PropertySet& sig_props = index.signature(sig).props();
       std::iota(slot_order.begin(), slot_order.end(), 0);
       for (int s = 0; s < k; ++s) {
@@ -134,7 +148,11 @@ SortRefinement GreedyMaxMinSigma(const eval::Evaluator& evaluator, int k,
     // Local search: move a single signature to a different slot when that
     // improves the score vector. Only the source and destination slots are
     // re-evaluated per candidate move.
-    for (int pass = 0; pass < options.max_passes; ++pass) {
+    for (int pass = 0; pass < options.max_passes && !cancelled; ++pass) {
+      if (options.cancel.stop_requested()) {
+        cancelled = true;
+        break;
+      }
       bool improved = false;
       trial_score(slots, /*s=*/-1, 1.0, false);
       std::vector<double> current = trial;
@@ -220,7 +238,7 @@ constexpr int kParallelAgglomerateCutoff = 256;
 SortRefinement Agglomerate(
     const eval::Evaluator& evaluator, std::size_t min_sorts,
     const std::function<bool(const eval::SigmaCounts&)>& may_merge,
-    int threads) {
+    int threads, const util::CancellationToken& cancel) {
   const int n = static_cast<int>(evaluator.index().num_signatures());
 
   // Worker pool for row recomputation. Only engaged when sigma extraction is
@@ -356,7 +374,8 @@ SortRefinement Agglomerate(
 
   std::size_t live = static_cast<std::size_t>(n);
   const std::size_t stop = std::max<std::size_t>(min_sorts, 1);
-  if (live > stop) {
+  bool cancelled = cancel.stop_requested();
+  if (live > stop && !cancelled) {
     if (pool != nullptr) {
       pool->ParallelFor(static_cast<std::size_t>(n),
                         [&](std::size_t lo, std::size_t hi) {
@@ -367,11 +386,24 @@ SortRefinement Agglomerate(
       for (int a = 0; a < n; ++a) {
         if (has_row[a]) heap.push(row_best[a]);
       }
+      cancelled = cancel.stop_requested();
     } else {
-      for (int a = 0; a < n; ++a) recompute_row(a);
+      for (int a = 0; a < n; ++a) {
+        // Per-row granularity: each row is O(n) closed-form evaluations, so
+        // this is the natural safe point of the initial build. A cancelled
+        // build skips the merge loop — all-singletons is a valid partition.
+        if (cancel.stop_requested()) {
+          cancelled = true;
+          break;
+        }
+        recompute_row(a);
+      }
     }
   }
-  while (live > stop) {
+  while (live > stop && !cancelled) {
+    // One merge round per checkpoint: unwinding here leaves a coarser but
+    // fully valid partition (parts always cover every signature).
+    if (cancel.stop_requested()) break;
     // Pop to the best still-valid snapshot; entries for dead or since-merged
     // parts are discarded here rather than eagerly removed.
     PairEntry best;
@@ -493,20 +525,23 @@ SortRefinement Agglomerate(
 }  // namespace
 
 SortRefinement AgglomerativeLowestK(const eval::Evaluator& evaluator,
-                                    Rational theta, int threads) {
+                                    Rational theta, int threads,
+                                    const util::CancellationToken& cancel) {
   return Agglomerate(
       evaluator, 1,
       [&](const eval::SigmaCounts& counts) {
         return SigmaAtLeast(counts, theta);
       },
-      threads);
+      threads, cancel);
 }
 
 SortRefinement AgglomerativeFixedK(const eval::Evaluator& evaluator, int k,
-                                   int threads) {
+                                   int threads,
+                                   const util::CancellationToken& cancel) {
   RDFSR_CHECK_GT(k, 0);
   return Agglomerate(evaluator, static_cast<std::size_t>(k),
-                     [](const eval::SigmaCounts&) { return true; }, threads);
+                     [](const eval::SigmaCounts&) { return true; }, threads,
+                     cancel);
 }
 
 }  // namespace rdfsr::core

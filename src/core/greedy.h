@@ -27,6 +27,7 @@
 
 #include "core/refinement.h"
 #include "eval/evaluator.h"
+#include "util/deadline.h"
 #include "util/rational.h"
 
 namespace rdfsr::core {
@@ -36,6 +37,11 @@ struct GreedyOptions {
   int restarts = 6;
   int max_passes = 40;      ///< Local-search sweeps per restart.
   std::uint64_t seed = 17;  ///< Deterministic PRNG stream.
+  /// Cooperative cancellation: polled between restarts / passes and
+  /// periodically inside the construction loop. A tripped token still yields
+  /// a valid partition (remaining signatures fall into the first slot) — the
+  /// result is just a worse heuristic, never an invalid one.
+  util::CancellationToken cancel;
 };
 
 /// Best-effort partition into at most k sorts maximizing min-sigma. Always
@@ -65,15 +71,22 @@ std::optional<SortRefinement> GreedyFindRefinement(
 /// worker threads discover them. Parallelism engages only when the evaluator
 /// reports cheap_stats() (pure closed-form extraction, no shared memo) and
 /// the instance is large enough to pay for the fan-out.
+///
+/// `cancel` is polled once per merge round (and per row during the initial
+/// build): a tripped token stops merging early, returning the valid partial
+/// partition reached so far — more sorts than the uncancelled run, never an
+/// invalid partition.
 SortRefinement AgglomerativeLowestK(const eval::Evaluator& evaluator,
-                                    Rational theta, int threads = 1);
+                                    Rational theta, int threads = 1,
+                                    const util::CancellationToken& cancel = {});
 
 /// Merge variant for fixed k: merge best pairs unconditionally until at most
 /// `k` sorts remain (a hierarchical-clustering seed for Exists/highest-theta;
-/// callers validate against their threshold). `threads` as in
-/// AgglomerativeLowestK.
+/// callers validate against their threshold). `threads` and `cancel` as in
+/// AgglomerativeLowestK (a cancelled run may stop above k sorts).
 SortRefinement AgglomerativeFixedK(const eval::Evaluator& evaluator, int k,
-                                   int threads = 1);
+                                   int threads = 1,
+                                   const util::CancellationToken& cancel = {});
 
 }  // namespace rdfsr::core
 

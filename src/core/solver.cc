@@ -6,6 +6,7 @@
 
 #include "eval/closed_form.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace rdfsr::core {
@@ -112,47 +113,101 @@ RefinementSolver::AgglomerativeForTheta(Rational theta) {
   // already memoized these across the k ladder).
   const std::pair<std::int64_t, std::int64_t> key{theta.num(), theta.den()};
   auto it = agglomerative_cache_.find(key);
-  if (it == agglomerative_cache_.end()) {
-    it = agglomerative_cache_
-             .emplace(key, Score(AgglomerativeLowestK(Eval(), theta, options_.heuristic_threads)))
-             .first;
+  if (it != agglomerative_cache_.end()) return it->second;
+  const util::CancellationToken token = options_.deadline.token();
+  ScoredRefinement scored = Score(
+      AgglomerativeLowestK(Eval(), theta, options_.heuristic_threads, token));
+  if (token.stop_requested()) {
+    // A result computed under a tripped token may be truncated; keep it out
+    // of the cache so a later, un-deadlined query recomputes it in full.
+    scratch_scored_ = std::move(scored);
+    return scratch_scored_;
   }
-  return it->second;
+  return agglomerative_cache_.emplace(key, std::move(scored)).first->second;
 }
 
 const RefinementSolver::ScoredRefinement&
 RefinementSolver::AgglomerativeFixedKFor(int k) {
+  const util::CancellationToken token = options_.deadline.token();
   if (!options_.reuse_instances) {
-    scratch_scored_ = Score(AgglomerativeFixedK(Eval(), k, options_.heuristic_threads));
+    scratch_scored_ = Score(
+        AgglomerativeFixedK(Eval(), k, options_.heuristic_threads, token));
     return scratch_scored_;
   }
   auto it = fixed_k_cache_.find(k);
-  if (it == fixed_k_cache_.end()) {
-    it = fixed_k_cache_.emplace(k, Score(AgglomerativeFixedK(Eval(), k, options_.heuristic_threads)))
-             .first;
+  if (it != fixed_k_cache_.end()) return it->second;
+  ScoredRefinement scored = Score(
+      AgglomerativeFixedK(Eval(), k, options_.heuristic_threads, token));
+  if (token.stop_requested()) {
+    scratch_scored_ = std::move(scored);
+    return scratch_scored_;
   }
-  return it->second;
+  return fixed_k_cache_.emplace(k, std::move(scored)).first->second;
 }
 
 const RefinementSolver::ScoredRefinement& RefinementSolver::GreedyFor(int k) {
+  GreedyOptions greedy = options_.greedy;
+  greedy.cancel = options_.deadline.token();
   if (!options_.reuse_instances) {
-    scratch_scored_ = Score(GreedyMaxMinSigma(Eval(), k, options_.greedy));
+    scratch_scored_ = Score(GreedyMaxMinSigma(Eval(), k, greedy));
     return scratch_scored_;
   }
   auto it = greedy_cache_.find(k);
-  if (it == greedy_cache_.end()) {
-    it = greedy_cache_
-             .emplace(k, Score(GreedyMaxMinSigma(Eval(), k, options_.greedy)))
-             .first;
+  if (it != greedy_cache_.end()) return it->second;
+  ScoredRefinement scored = Score(GreedyMaxMinSigma(Eval(), k, greedy));
+  if (greedy.cancel.stop_requested()) {
+    scratch_scored_ = std::move(scored);
+    return scratch_scored_;
   }
-  return it->second;
+  return greedy_cache_.emplace(k, std::move(scored)).first->second;
 }
+
+namespace {
+
+/// Translates the reason a MIP search stopped undecided into the Status
+/// surfaced on DecisionResult::limit. Limits name themselves and their counts
+/// so operators can tell a tree-size problem from a numerical-budget one.
+Status MipLimitStatus(const ilp::MipResult& mip, const ilp::MipOptions& mip_options) {
+  std::ostringstream msg;
+  switch (mip.stop_reason) {
+    case ilp::MipStopReason::kCancelled:
+      msg << "MIP search cancelled after " << mip.nodes << " nodes";
+      return Status::Cancelled(msg.str());
+    case ilp::MipStopReason::kDeadline:
+      msg << "MIP search cut by deadline after " << mip.nodes << " nodes";
+      return Status::DeadlineExceeded(msg.str());
+    case ilp::MipStopReason::kNodeLimit:
+      msg << "MIP node limit reached (max_nodes = " << mip_options.max_nodes
+          << ")";
+      return Status::ResourceExhausted(msg.str());
+    case ilp::MipStopReason::kTimeLimit:
+      msg << "MIP time limit reached (time_limit_seconds = "
+          << mip_options.time_limit_seconds << ", explored " << mip.nodes
+          << " nodes)";
+      return Status::ResourceExhausted(msg.str());
+    case ilp::MipStopReason::kLpIterationLimit:
+      msg << "LP iteration limit (max_iterations = "
+          << mip_options.lp.max_iterations << ") hit in "
+          << mip.lp_iteration_limit_hits << " node relaxation(s)";
+      return Status::ResourceExhausted(msg.str());
+    case ilp::MipStopReason::kNone:
+    case ilp::MipStopReason::kFirstIncumbent:
+      break;
+  }
+  // Undecided without a recorded limit (e.g. an unbounded or numerically
+  // distrusted subtree): still explain why the answer is missing.
+  msg << "MIP search undecided after " << mip.nodes << " nodes";
+  return Status::ResourceExhausted(msg.str());
+}
+
+}  // namespace
 
 DecisionResult RefinementSolver::Exists(int k, Rational theta) {
   WallTimer timer;
   DecisionResult result;
   const schema::SignatureIndex& index = Eval().index();
   RDFSR_CHECK_GT(k, 0);
+  const util::CancellationToken token = options_.deadline.token();
 
   if (index.num_signatures() == 0) {
     // Empty dataset: the empty partition vacuously satisfies any threshold.
@@ -176,6 +231,15 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
   }
   // k >= |Lambda|: each signature alone is a (sub-)sort... but singleton
   // sorts are not automatically above theta, so no shortcut there.
+
+  // Deadline checkpoint before any real work (the shortcuts above are O(1)
+  // and still allowed to answer).
+  if (token.stop_requested()) {
+    result.decision = Decision::kUnknown;
+    result.limit = token.status();
+    result.seconds = timer.Seconds();
+    return result;
+  }
 
   if (options_.greedy_first && k > 1) {
     // Heuristic ladder (cheapest first): agglomerative threshold merging,
@@ -219,6 +283,15 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
     }
   }
 
+  // The heuristic ladder may have burned the whole budget; do not start the
+  // exact solve on a tripped token.
+  if (token.stop_requested()) {
+    result.decision = Decision::kUnknown;
+    result.limit = token.status();
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
   // Exact decision via the Section 6 ILP. The row count the dense simplex
   // will actually see is known exactly from the theta-independent tau
   // analysis, so oversized instances resolve to kUnknown before any model
@@ -231,12 +304,33 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
           : RefinementIlpRows(index, Shapes(), k, options_.build);
   if (simplex_rows > options_.max_mip_rows) {
     result.decision = Decision::kUnknown;
+    std::ostringstream msg;
+    msg << "exact MIP skipped: encoding has " << simplex_rows
+        << " simplex rows > max_mip_rows = " << options_.max_mip_rows;
+    result.limit = Status::ResourceExhausted(msg.str());
     result.seconds = timer.Seconds();
     return result;
   }
+#ifdef RDFSR_FAILPOINTS_ENABLED
+  {
+    // Fault-injection site at the solve boundary: a planted failure must
+    // surface as a clean kUnknown, never a wrong decision.
+    Status fp = util::FailpointHit("ilp.solve");
+    if (!fp.ok()) {
+      result.decision = Decision::kUnknown;
+      result.limit = std::move(fp);
+      result.seconds = timer.Seconds();
+      return result;
+    }
+  }
+#endif
   RefinementIlpInstance& instance = InstanceFor(k);
   instance.Reweight(theta);
-  const ilp::MipResult mip = ilp::SolveMip(instance.model(), options_.mip);
+  ilp::MipOptions mip_options = options_.mip;
+  if (token.can_trip() && !mip_options.cancel.can_trip()) {
+    mip_options.cancel = token;
+  }
+  const ilp::MipResult mip = ilp::SolveMip(instance.model(), mip_options);
   result.mip_nodes = mip.nodes;
   switch (mip.status) {
     case ilp::MipStatus::kOptimal:
@@ -250,6 +344,8 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
         // A numerically accepted but exactly-invalid point: do not report a
         // wrong refinement; the instance stays undecided.
         result.decision = Decision::kUnknown;
+        result.limit = Status::Internal(
+            "MIP incumbent failed exact validation: " + valid.message());
       }
       break;
     }
@@ -258,6 +354,7 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
       break;
     case ilp::MipStatus::kUnknown:
       result.decision = Decision::kUnknown;
+      result.limit = MipLimitStatus(mip, mip_options);
       break;
   }
   result.seconds = timer.Seconds();
@@ -289,11 +386,25 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
     return best;
   }
 
+  const util::CancellationToken token = options_.deadline.token();
+  // An instance left undecided because the token tripped mid-solve.
+  const auto deadline_cut = [](const DecisionResult& r) {
+    return r.decision == Decision::kUnknown &&
+           (r.limit.code() == StatusCode::kDeadlineExceeded ||
+            r.limit.code() == StatusCode::kCancelled);
+  };
+
   if (!options_.binary_theta_search) {
     // Sequential search upward on the grid (paper Section 7: preferred over
     // bisection because infeasible instances are far slower than feasible
     // ones, and the sequential scan meets exactly one infeasible instance).
     for (std::int64_t g = grid.first; g <= grid.last; ++g) {
+      // Anytime early-out: keep the incumbent (at worst the sigma_all
+      // baseline) and mark the scan as cut, never as a proven ceiling.
+      if (token.stop_requested()) {
+        best.timed_out = true;
+        break;
+      }
       const Rational theta = grid.Theta(g);
       DecisionResult r = Exists(k, theta);
       ++best.instances;
@@ -306,6 +417,7 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
         continue;
       }
       best.ceiling_proven = (r.decision == Decision::kNotExists);
+      if (deadline_cut(r)) best.timed_out = true;
       break;
     }
     best.seconds = timer.Seconds();
@@ -319,6 +431,11 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
   std::int64_t hi = grid.last;
   best.ceiling_proven = true;
   while (lo < hi) {
+    if (token.stop_requested()) {
+      best.timed_out = true;
+      best.ceiling_proven = false;
+      break;
+    }
     const std::int64_t mid = lo + (hi - lo + 1) / 2;
     const Rational theta = grid.Theta(mid);
     DecisionResult r = Exists(k, theta);
@@ -329,6 +446,12 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
       lo = mid;
     } else {
       if (r.decision != Decision::kNotExists) best.ceiling_proven = false;
+      if (deadline_cut(r)) {
+        // Every remaining probe would return the same tripped-token kUnknown;
+        // stop narrowing and report the incumbent.
+        best.timed_out = true;
+        break;
+      }
       hi = mid - 1;
     }
   }
@@ -344,30 +467,55 @@ Result<LowestKResult> RefinementSolver::FindLowestK(Rational theta, int max_k) {
   LowestKResult out;
   out.proven_minimal = true;
   bool undecided = false;
+  bool deadline_hit = false;
+  Status last_limit = Status::OK();
+  const util::CancellationToken token = options_.deadline.token();
   for (int k = 1; k <= max_k; ++k) {
+    // Once the token trips every further instance is an instant kUnknown, so
+    // sweeping on would only inflate the statistics.
+    if (token.stop_requested()) {
+      deadline_hit = true;
+      break;
+    }
     DecisionResult r = Exists(k, theta);
     ++out.instances;
     if (r.decision == Decision::kExists) {
       out.k = k;
       out.refinement = std::move(*r.refinement);
+      out.timed_out = deadline_hit;
       out.seconds = timer.Seconds();
       return out;
     }
     if (r.decision == Decision::kUnknown) {
       undecided = true;
       out.proven_minimal = false;
+      if (!r.limit.ok()) last_limit = r.limit;
+      if (r.limit.code() == StatusCode::kDeadlineExceeded ||
+          r.limit.code() == StatusCode::kCancelled) {
+        deadline_hit = true;
+      }
     }
   }
-  // Exhausted. Distinguish a proof (every k <= max_k infeasible) from an
-  // undecided sweep (some instances hit solver limits), and keep the search
-  // statistics in the message — callers see how much work the failure cost.
+  // Exhausted (or cut). Distinguish a proof (every k <= max_k infeasible)
+  // from an undecided sweep (some instances hit solver limits), and keep the
+  // search statistics in the message — callers see how much work the failure
+  // cost.
   std::ostringstream detail;
   detail << "theta = " << theta.ToString() << " and k <= " << max_k << " ("
          << out.instances << " instances, " << timer.Seconds() << " s)";
+  if (deadline_hit) {
+    const std::string msg =
+        "lowest-k search cut before an answer: no sort refinement found with " +
+        detail.str();
+    return token.cancelled() ? Status::Cancelled(msg)
+                             : Status::DeadlineExceeded(msg);
+  }
   if (undecided) {
-    return Status::ResourceExhausted(
+    std::string msg =
         "undecided: found no sort refinement with " + detail.str() +
-        ", but some instances exceeded solver limits; one may still exist");
+        ", but some instances exceeded solver limits; one may still exist";
+    if (!last_limit.ok()) msg += " (last limit: " + last_limit.message() + ")";
+    return Status::ResourceExhausted(std::move(msg));
   }
   return Status::NotFound("proven: no sort refinement with " + detail.str());
 }

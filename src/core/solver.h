@@ -62,6 +62,10 @@ struct DecisionResult {
   bool via_greedy = false;   ///< heuristic answered without the MIP
   long long mip_nodes = 0;
   double seconds = 0.0;
+  /// Why the instance is kUnknown (OK otherwise): kResourceExhausted for
+  /// node/LP-iteration/size limits (the message names the limit and its
+  /// count), kDeadlineExceeded / kCancelled when the deadline token tripped.
+  Status limit = Status::OK();
 };
 
 /// Solver configuration.
@@ -104,6 +108,14 @@ struct SolverOptions {
   /// throughput knob: the merge sequence is bit-identical for every value
   /// (see AgglomerativeLowestK), and small instances stay serial regardless.
   int heuristic_threads = 1;
+  /// Wall-clock budget / cancellation for every search this solver runs.
+  /// Anytime semantics: a tripped deadline makes Exists return kUnknown (with
+  /// DecisionResult::limit explaining why), FindHighestTheta return its best
+  /// incumbent so far with timed_out set and ceiling_proven false, and
+  /// FindLowestK fail with kDeadlineExceeded / kCancelled. The default is
+  /// infinite. Re-arm per query with RefinementSolver::set_deadline (which
+  /// preserves the incremental caches, unlike rebuilding the solver).
+  util::Deadline deadline;
 };
 
 /// The exact theta grid of FindHighestTheta: indices first..last over
@@ -132,6 +144,10 @@ struct HighestThetaResult {
   int instances = 0;       ///< decision instances solved
   bool ceiling_proven = false;  ///< next step was proven infeasible (vs unknown)
   double seconds = 0.0;
+  /// The deadline cut the grid scan: `theta`/`refinement` still carry the
+  /// best incumbent found before the cut (at worst the sigma_all baseline),
+  /// but thresholds above it were never decided (ceiling_proven is false).
+  bool timed_out = false;
 };
 
 /// Result of the lowest-k search.
@@ -141,6 +157,10 @@ struct LowestKResult {
   bool proven_minimal = false;  ///< all smaller k proven infeasible
   int instances = 0;
   double seconds = 0.0;
+  /// Some smaller k went undecided because the deadline tripped (implies
+  /// !proven_minimal): the found k is an upper bound reached under time
+  /// pressure, not a minimality proof.
+  bool timed_out = false;
 };
 
 /// Drives refinement searches for one (dataset, rule) pair.
@@ -163,8 +183,16 @@ class RefinementSolver {
   /// the failure distinguishes decidedness: NotFound means every k <= max_k
   /// was PROVEN infeasible; ResourceExhausted means at least one instance hit
   /// solver limits (kUnknown), so a refinement may still exist. Both carry
-  /// the instance count and elapsed seconds in the message.
+  /// the instance count and elapsed seconds in the message. A deadline trip
+  /// mid-sweep fails with kDeadlineExceeded / kCancelled instead.
   Result<LowestKResult> FindLowestK(Rational theta, int max_k = -1);
+
+  /// Re-arms the wall-clock budget for subsequent queries without touching
+  /// the incremental caches (instances, heuristic refinements). api::Analysis
+  /// calls this per query to implement its Timeout knob.
+  void set_deadline(util::Deadline deadline) {
+    options_.deadline = std::move(deadline);
+  }
 
  private:
   /// A heuristic refinement scored once: structure checked and per-sort

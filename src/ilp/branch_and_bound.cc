@@ -23,6 +23,26 @@ const char* MipStatusName(MipStatus status) {
   return "Unknown";
 }
 
+const char* MipStopReasonName(MipStopReason reason) {
+  switch (reason) {
+    case MipStopReason::kNone:
+      return "None";
+    case MipStopReason::kFirstIncumbent:
+      return "FirstIncumbent";
+    case MipStopReason::kNodeLimit:
+      return "NodeLimit";
+    case MipStopReason::kTimeLimit:
+      return "TimeLimit";
+    case MipStopReason::kLpIterationLimit:
+      return "LpIterationLimit";
+    case MipStopReason::kCancelled:
+      return "Cancelled";
+    case MipStopReason::kDeadline:
+      return "Deadline";
+  }
+  return "None";
+}
+
 namespace {
 
 class BranchAndBound {
@@ -42,6 +62,14 @@ class BranchAndBound {
     MipResult result;
     result.nodes = nodes_;
     result.seconds = timer_.Seconds();
+    result.lp_iteration_limit_hits = lp_iteration_limit_hits_;
+    result.stop_reason = stop_reason_;
+    // An LP iteration limit never unwinds the search by itself; report it
+    // only when nothing stronger stopped us but the tree is still undecided.
+    if (result.stop_reason == MipStopReason::kNone && !exhausted_ &&
+        lp_iteration_limit_hits_ > 0) {
+      result.stop_reason = MipStopReason::kLpIterationLimit;
+    }
     if (have_incumbent_) {
       result.x = incumbent_;
       result.objective = incumbent_obj_;
@@ -61,10 +89,23 @@ class BranchAndBound {
   /// Returns true when the search should unwind completely.
   bool ShouldStop() {
     if (stopped_early_) return true;
-    if (nodes_ >= options_.max_nodes ||
-        timer_.Seconds() >= options_.time_limit_seconds) {
+    if (options_.cancel.stop_requested()) {
       exhausted_ = false;
       stopped_early_ = true;
+      stop_reason_ = options_.cancel.cancelled() ? MipStopReason::kCancelled
+                                                 : MipStopReason::kDeadline;
+      return true;
+    }
+    if (nodes_ >= options_.max_nodes) {
+      exhausted_ = false;
+      stopped_early_ = true;
+      stop_reason_ = MipStopReason::kNodeLimit;
+      return true;
+    }
+    if (timer_.Seconds() >= options_.time_limit_seconds) {
+      exhausted_ = false;
+      stopped_early_ = true;
+      stop_reason_ = MipStopReason::kTimeLimit;
       return true;
     }
     return false;
@@ -78,6 +119,13 @@ class BranchAndBound {
     if (lp.status == LpStatus::kInfeasible) return;  // prune
     if (lp.status == LpStatus::kIterationLimit) {
       // Cannot trust this subtree either way.
+      exhausted_ = false;
+      ++lp_iteration_limit_hits_;
+      return;
+    }
+    if (lp.status == LpStatus::kCancelled) {
+      // The token tripped mid-LP; the next ShouldStop records the reason and
+      // unwinds the whole search.
       exhausted_ = false;
       return;
     }
@@ -126,7 +174,10 @@ class BranchAndBound {
         have_incumbent_ = true;
         incumbent_ = std::move(x);
         incumbent_obj_ = obj;
-        if (options_.stop_at_first_incumbent) stopped_early_ = true;
+        if (options_.stop_at_first_incumbent) {
+          stopped_early_ = true;
+          stop_reason_ = MipStopReason::kFirstIncumbent;
+        }
       }
       return;
     }
@@ -161,6 +212,8 @@ class BranchAndBound {
   WallTimer timer_;
 
   long long nodes_ = 0;
+  long long lp_iteration_limit_hits_ = 0;
+  MipStopReason stop_reason_ = MipStopReason::kNone;
   bool exhausted_ = true;
   bool stopped_early_ = false;
   bool have_incumbent_ = false;
@@ -174,8 +227,14 @@ MipResult SolveMip(const Model& model, const MipOptions& options) {
   // Solve entry is the core -> ilp layer boundary: audit builds re-validate
   // the (possibly Reweight-rewritten) model before branching on it.
   RDFSR_AUDIT_CHECK_INVARIANTS(model);
-  if (!options.use_presolve) {
-    BranchAndBound solver(model, options);
+  // Forward the node-level token into the simplex loops so a trip cuts a
+  // long LP solve, not just the next node boundary.
+  MipOptions opts = options;
+  if (opts.cancel.can_trip() && !opts.lp.cancel.can_trip()) {
+    opts.lp.cancel = opts.cancel;
+  }
+  if (!opts.use_presolve) {
+    BranchAndBound solver(model, opts);
     return solver.Run();
   }
   const PresolveResult pre = Presolve(model);
@@ -184,7 +243,7 @@ MipResult SolveMip(const Model& model, const MipOptions& options) {
     result.status = MipStatus::kInfeasible;
     return result;
   }
-  BranchAndBound solver(pre.reduced, options);
+  BranchAndBound solver(pre.reduced, opts);
   MipResult result = solver.Run();
   if (!result.x.empty() || pre.reduced.num_variables() == 0) {
     if (result.status == MipStatus::kOptimal ||

@@ -27,6 +27,22 @@ enum class MipStatus {
 
 const char* MipStatusName(MipStatus status);
 
+/// Which resource limit (if any) cut the search short. Distinguishes the
+/// kFeasible/kUnknown outcomes: a node-limit kUnknown and a deadline kUnknown
+/// call for different operator responses, and the LP iteration limit is a
+/// numerical-budget problem rather than a tree-size one.
+enum class MipStopReason {
+  kNone,              ///< Search ran to its natural end.
+  kFirstIncumbent,    ///< stop_at_first_incumbent fired (by design).
+  kNodeLimit,         ///< max_nodes reached.
+  kTimeLimit,         ///< time_limit_seconds reached.
+  kLpIterationLimit,  ///< Some LP relaxation hit SimplexOptions::max_iterations.
+  kCancelled,         ///< Cancellation token tripped.
+  kDeadline,          ///< Deadline token expired.
+};
+
+const char* MipStopReasonName(MipStopReason reason);
+
 /// MIP solution.
 struct MipResult {
   MipStatus status = MipStatus::kUnknown;
@@ -34,6 +50,13 @@ struct MipResult {
   double objective = 0.0;
   long long nodes = 0;
   double seconds = 0.0;
+  /// Why the search stopped early (kNone when it completed). When several
+  /// limits fire, the one that actually unwound the search wins; an LP
+  /// iteration limit is only reported when nothing stronger stopped it.
+  MipStopReason stop_reason = MipStopReason::kNone;
+  /// Number of node LPs that hit the simplex iteration limit (those subtrees
+  /// are undecided, so optimality/infeasibility can no longer be proven).
+  long long lp_iteration_limit_hits = 0;
 };
 
 /// Search limits and behavior.
@@ -48,6 +71,10 @@ struct MipOptions {
   /// Run the root presolve (ilp/presolve.h) before branch-and-bound.
   bool use_presolve = true;
   SimplexOptions lp;
+  /// Polled at every node (and, via `lp`, inside each simplex solve): a trip
+  /// unwinds the search with the incumbent found so far (anytime semantics).
+  /// The token is forwarded into lp.cancel automatically by SolveMip.
+  util::CancellationToken cancel;
 };
 
 /// Solves the model. With a zero objective this decides feasibility.

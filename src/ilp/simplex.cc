@@ -16,6 +16,8 @@ const char* LpStatusName(LpStatus status) {
       return "Unbounded";
     case LpStatus::kIterationLimit:
       return "IterationLimit";
+    case LpStatus::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -88,8 +90,15 @@ class Simplex {
 
   LpResult Run() {
     LpResult result;
+    util::PeriodicCheck check(options_.cancel, 128);
     const int bland_after = 2000 + 20 * (m_ + n_);
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      if (check.ShouldStop()) {
+        result.status = LpStatus::kCancelled;
+        result.iterations = iter;
+        Extract(&result);
+        return result;
+      }
       if (iter > 0 && iter % options_.refresh_interval == 0) RecomputeBasics();
       const bool phase1 = ComputePhase1Costs();
       const std::vector<double>& cost = phase1 ? phase1_cost_ : cost_;

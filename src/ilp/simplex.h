@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ilp/model.h"
+#include "util/deadline.h"
 
 namespace rdfsr::ilp {
 
@@ -27,7 +28,8 @@ enum class LpStatus {
   kOptimal,
   kInfeasible,
   kUnbounded,
-  kIterationLimit,
+  kIterationLimit,  ///< max_iterations pivots without convergence.
+  kCancelled,       ///< Cooperative cancellation / deadline tripped mid-solve.
 };
 
 const char* LpStatusName(LpStatus status);
@@ -45,6 +47,8 @@ struct SimplexOptions {
   int max_iterations = 200000;
   double tol = 1e-7;           ///< Feasibility / reduced-cost tolerance.
   int refresh_interval = 128;  ///< Recompute basic values every N pivots.
+  /// Polled every ~128 pivots; a trip ends the solve with kCancelled.
+  util::CancellationToken cancel;
 };
 
 /// Solves the LP relaxation of `model`. When `lower`/`upper` are non-null they

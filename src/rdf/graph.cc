@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "rdf/vocab.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace rdfsr::rdf {
@@ -109,16 +110,19 @@ bool Graph::AddLiteral(const std::string& s, const std::string& p,
 // stays bit-identical to the serial merge. The two hash tables built by
 // atomic CAS (dictionary slots, triple dedup slots) insert keys that are
 // pairwise distinct by construction, so claims need no equality probes.
-void Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
-                        util::ThreadPool* pool) {
+Status Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
+                          util::ThreadPool* pool,
+                          const util::CancellationToken& cancel) {
   RDFSR_CHECK(pool != nullptr);
   RDFSR_CHECK(shards_in != nullptr);
   RDFSR_CHECK_LE(count, shards_in->size());
   RDFSR_CHECK(triples_.empty());
   RDFSR_CHECK_EQ(dict_->size(), 0u);
+  RDFSR_FAILPOINT("graph.merge-shards");
+  if (cancel.stop_requested()) return cancel.status();
   std::vector<Graph>& shards = *shards_in;
   const std::size_t m = count;
-  if (m == 0) return;
+  if (m == 0) return Status::OK();
 
   const std::size_t lanes = static_cast<std::size_t>(pool->workers()) + 1;
   std::size_t buckets = 64;
@@ -141,6 +145,10 @@ void Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
     }
   });
 
+  // The destination is untouched through phase 3, so these inter-phase
+  // checkpoints can unwind with the graph still empty.
+  if (cancel.stop_requested()) return cancel.status();
+
   // Phase 2: per-bucket cross-shard dedup. canon[s][t] is the packed
   // (shard << 32 | local id) of the term's first occurrence; visiting shards
   // ascending and ids ascending makes "first" mean first in the byte stream.
@@ -160,6 +168,8 @@ void Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
       }
     }
   });
+
+  if (cancel.stop_requested()) return cancel.status();
 
   // Phase 3: rank new terms within each shard, then prefix the per-shard
   // counts into id bases — merged id = base[canon shard] + rank there.
@@ -197,22 +207,35 @@ void Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
     }
   });
 
+  // Last checkpoint before the destination is mutated: from here the merge
+  // runs to completion (a half-built bulk dictionary is not a valid state to
+  // stop in).
+  if (cancel.stop_requested()) return cancel.status();
+
   // Phase 4: move canonical terms into the merged dictionary (no string
-  // copies) and publish disjoint id ranges into its index.
-  dict_->BulkAppend(total_terms);
-  pool->ParallelFor(m, [&](std::size_t sb, std::size_t se) {
-    for (std::size_t s = sb; s < se; ++s) {
-      Dictionary& dict = shards[s].dict();
-      for (std::size_t t = 0; t < term_count[s]; ++t) {
-        if (canon[s][t] == ((static_cast<std::uint64_t>(s) << 32) | t)) {
-          dict_->BulkSet(remap[s][t], dict.StealTerm(static_cast<TermId>(t)));
+  // copies) and publish disjoint id ranges into its index. The bulk-append
+  // failpoint throws from inside a worker: ParallelFor rethrows on the
+  // calling thread (proving the pool unwinds rather than deadlocks) and the
+  // catch below converts it back into a Status.
+  try {
+    dict_->BulkAppend(total_terms);
+    pool->ParallelFor(m, [&](std::size_t sb, std::size_t se) {
+      for (std::size_t s = sb; s < se; ++s) {
+        RDFSR_FAILPOINT_THROW("dict.bulk-append");
+        Dictionary& dict = shards[s].dict();
+        for (std::size_t t = 0; t < term_count[s]; ++t) {
+          if (canon[s][t] == ((static_cast<std::uint64_t>(s) << 32) | t)) {
+            dict_->BulkSet(remap[s][t], dict.StealTerm(static_cast<TermId>(t)));
+          }
         }
       }
-    }
-  });
-  pool->ParallelFor(total_terms, [&](std::size_t b, std::size_t e) {
-    dict_->BulkIndex(static_cast<TermId>(b), static_cast<TermId>(e));
-  });
+    });
+    pool->ParallelFor(total_terms, [&](std::size_t b, std::size_t e) {
+      dict_->BulkIndex(static_cast<TermId>(b), static_cast<TermId>(e));
+    });
+  } catch (const util::FailpointError& e) {
+    return e.status();
+  }
 
   // Phase 5: remap the shard triples to merged ids, then bin them by hash
   // bucket like the terms.
@@ -313,6 +336,7 @@ void Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
   // crosses back into single-threaded use.
   RDFSR_AUDIT_CHECK_INVARIANTS(*dict_);
   RDFSR_AUDIT_CHECK_INVARIANTS(*this);
+  return Status::OK();
 }
 
 void Graph::CheckInvariants() const {

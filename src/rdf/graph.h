@@ -14,6 +14,8 @@
 
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
+#include "util/deadline.h"
+#include "util/status.h"
 
 namespace rdfsr::util {
 class ThreadPool;
@@ -135,8 +137,15 @@ class Graph {
   /// than by any scheduling order (hash-table slot layouts are the only
   /// thing the thread interleaving can vary, and those are unobservable).
   /// Consumes the shards (terms are moved out of their dictionaries).
-  void MergeShards(std::vector<Graph>* shards, std::size_t count,
-                   util::ThreadPool* pool);
+  ///
+  /// Cancellation is polled between the early phases, before this graph is
+  /// mutated: a cancelled merge returns kCancelled / kDeadlineExceeded with
+  /// the destination graph still empty. On an injected fault (failpoint
+  /// build) the destination's contents are unspecified but safe to destroy;
+  /// callers discard the graph on any non-OK return.
+  Status MergeShards(std::vector<Graph>* shards, std::size_t count,
+                     util::ThreadPool* pool,
+                     const util::CancellationToken& cancel = {});
 
   /// Positions (indices into triples()) of all (s, rdf:type, t) triples, in
   /// insertion order. Built lazily on first use and extended incrementally as

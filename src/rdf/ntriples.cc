@@ -1,7 +1,11 @@
 #include "rdf/ntriples.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -9,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace rdfsr::rdf {
@@ -280,13 +285,24 @@ class LineParser {
 /// numbers are 1-based and offset by `first_line_no` (sharded chunks pass the
 /// global number of their first line). Static dispatch on the sink keeps the
 /// per-triple cost free of std::function indirection on the graph hot path.
+///
+/// With max_errors > 0 the loop runs in skip-and-collect mode: malformed
+/// lines are skipped and recorded in `diags` (when non-null; at most
+/// max_errors entries) until the budget is exceeded, at which point the loop
+/// aborts with kParseError. The cancel token is polled every few thousand
+/// lines; a trip unwinds with the sink's output so far intact.
 template <typename Sink>
 Status ParseLinesInto(std::string_view text, std::size_t first_line_no,
-                      Sink&& sink) {
+                      Sink&& sink, std::size_t max_errors = 0,
+                      std::vector<ParseDiagnostic>* diags = nullptr,
+                      const util::CancellationToken& cancel = {}) {
   LineParser parser;
+  util::PeriodicCheck check(cancel, 4096);
+  std::size_t errors = 0;
   std::size_t line_no = first_line_no;
   std::size_t start = 0;
   while (start < text.size()) {
+    if (check.ShouldStop()) return check.token().status();
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(start, end - start);
@@ -300,7 +316,19 @@ Status ParseLinesInto(std::string_view text, std::size_t first_line_no,
     TermView s, p, o;
     parser.Reset(line, current_line);
     Status st = parser.ParseTriple(&s, &p, &o);
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      if (max_errors == 0) return st;
+      ++errors;
+      if (errors > max_errors) {
+        return Status::ParseError(
+            "too many parse errors (more than max_errors=" +
+            std::to_string(max_errors) + "); last: " + st.message());
+      }
+      if (diags != nullptr && diags->size() < max_errors) {
+        diags->push_back(ParseDiagnostic{current_line, st.message()});
+      }
+      continue;
+    }
     sink(s, p, o);
   }
   return Status::OK();
@@ -333,7 +361,7 @@ std::vector<std::pair<std::size_t, std::size_t>> SplitAtLines(
 /// itself runs on the pool (Graph::MergeShards) when `graph` starts empty;
 /// appends to a non-empty graph fall back to the serial id-remap loop.
 Status ParseShardedInto(std::string_view text, Graph* graph, int threads,
-                        util::ThreadPool* pool) {
+                        util::ThreadPool* pool, const ParseOptions& options) {
   const auto chunks = SplitAtLines(text, threads);
 
   // Global line number of each chunk's first line: parallel per-chunk
@@ -358,6 +386,11 @@ Status ParseShardedInto(std::string_view text, Graph* graph, int threads,
 
   std::vector<Graph> shards(chunks.size());
   std::vector<Status> shard_status(chunks.size(), Status::OK());
+  // Per-shard diagnostic lists carry global line numbers (first_line[i]
+  // offsets) and double as the per-shard error counters; each shard gets the
+  // full budget locally and the global total is re-checked in chunk order
+  // below.
+  std::vector<std::vector<ParseDiagnostic>> shard_diags(chunks.size());
   pool->ParallelFor(chunks.size(), [&](std::size_t cb, std::size_t ce) {
     for (std::size_t i = cb; i < ce; ++i) {
       const auto [begin, end] = chunks[i];
@@ -366,25 +399,51 @@ Status ParseShardedInto(std::string_view text, Graph* graph, int threads,
           text.substr(begin, end - begin), first_line[i],
           [&local](const TermView& s, const TermView& p, const TermView& o) {
             local.Add(s, p, o);
-          });
+          },
+          options.max_errors,
+          options.max_errors > 0 ? &shard_diags[i] : nullptr, options.cancel);
     }
   });
 
   // Merge in chunk order up to and including the first failing shard (lowest
   // line number), keeping the triples parsed before the error — same
-  // partial-append semantics as the sequential parser.
+  // partial-append semantics as the sequential parser. In tolerant mode a
+  // shard that stayed under budget locally can still tip the global total
+  // over max_errors; that counts as failing at that shard.
   std::size_t merge_count = shards.size();
   Status result = Status::OK();
+  std::size_t total_errors = 0;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     if (!shard_status[i].ok()) {
       merge_count = i + 1;
       result = shard_status[i];
       break;
     }
+    if (options.max_errors > 0) {
+      total_errors += shard_diags[i].size();
+      if (total_errors > options.max_errors) {
+        merge_count = i + 1;
+        result = Status::ParseError(
+            "too many parse errors (more than max_errors=" +
+            std::to_string(options.max_errors) + ")");
+        break;
+      }
+    }
+  }
+  if (options.max_errors > 0 && options.diagnostics != nullptr) {
+    // Chunk order == line order; bounded by max_errors even on failure.
+    for (std::size_t i = 0; i < merge_count; ++i) {
+      for (ParseDiagnostic& d : shard_diags[i]) {
+        if (options.diagnostics->size() >= options.max_errors) break;
+        options.diagnostics->push_back(std::move(d));
+      }
+    }
   }
 
   if (graph->empty() && graph->dict().size() == 0) {
-    graph->MergeShards(&shards, merge_count, pool);
+    Status merge_st =
+        graph->MergeShards(&shards, merge_count, pool, options.cancel);
+    if (!merge_st.ok()) return merge_st;
     return result;
   }
   if (text.size() >= (1u << 20)) graph->Reserve(line, line);
@@ -433,7 +492,7 @@ Status ParseNTriplesInto(std::string_view text, Graph* graph,
       owned = std::make_unique<util::ThreadPool>(threads - 1);
       pool = owned.get();
     }
-    return ParseShardedInto(text, graph, threads, pool);
+    return ParseShardedInto(text, graph, threads, pool, options);
   }
   // Pre-size the graph from a newline count (memchr-speed pass): line count
   // upper-bounds the triple count, and distinct terms rarely exceed lines
@@ -444,9 +503,11 @@ Status ParseNTriplesInto(std::string_view text, Graph* graph,
     graph->Reserve(lines, lines);
   }
   return ParseLinesInto(
-      text, 1, [graph](const TermView& s, const TermView& p, const TermView& o) {
+      text, 1,
+      [graph](const TermView& s, const TermView& p, const TermView& o) {
         graph->Add(s, p, o);
-      });
+      },
+      options.max_errors, options.diagnostics, options.cancel);
 }
 
 Status ParseNTriplesStream(std::string_view text, const TripleSink& sink) {
@@ -462,15 +523,33 @@ Result<Graph> ParseNTriples(std::string_view text) {
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  RDFSR_FAILPOINT("ntriples.read-file");
+  struct stat sb;
+  if (::stat(path.c_str(), &sb) != 0) {
+    const int err = errno;
+    return Status::NotFound("cannot open file: " + path + ": " +
+                            std::strerror(err));
+  }
+  if (S_ISDIR(sb.st_mode)) {
+    return Status::InvalidArgument("not a regular file (is a directory): " +
+                                   path);
+  }
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open file: " + path);
-  in.seekg(0, std::ios::end);
-  const std::streamoff size = in.tellg();
-  if (size < 0) return Status::Internal("cannot stat file: " + path);
-  in.seekg(0, std::ios::beg);
+  if (!in) {
+    const int err = errno;
+    return Status::NotFound("cannot open file: " + path + ": " +
+                            (err != 0 ? std::strerror(err) : "open failed"));
+  }
+  const auto size = static_cast<std::streamoff>(sb.st_size);
   std::string buf(static_cast<std::size_t>(size), '\0');
   if (size > 0 && !in.read(buf.data(), size)) {
-    return Status::Internal("short read on file: " + path);
+    // gcount() says how far the read got before the stream failed — a
+    // truncated device file or concurrent truncation must surface as an
+    // error, never as a silently shorter graph.
+    return Status::Internal(
+        "short read on file: " + path + ": got " +
+        std::to_string(in.gcount()) + " of " + std::to_string(size) +
+        " bytes");
   }
   return buf;
 }

@@ -22,7 +22,10 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "rdf/graph.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace rdfsr::util {
@@ -30,6 +33,13 @@ class ThreadPool;
 }  // namespace rdfsr::util
 
 namespace rdfsr::rdf {
+
+/// One skipped input line from an error-tolerant parse: the 1-based global
+/// line number (correct in sharded mode too) and the parser's message.
+struct ParseDiagnostic {
+  std::size_t line = 0;
+  std::string message;
+};
 
 /// Knobs for the N-Triples reader.
 struct ParseOptions {
@@ -47,6 +57,22 @@ struct ParseOptions {
   /// thread count. Callers that also parallelize downstream stages (the
   /// api::Dataset load chain) pass one pool through the whole pipeline.
   util::ThreadPool* pool = nullptr;
+  /// Error tolerance: 0 (default) fails fast on the first malformed line.
+  /// A positive value switches to skip-and-collect mode — up to this many
+  /// malformed lines are skipped (recorded in `diagnostics` when set) and
+  /// parsing succeeds with the graph bit-identical to parsing a pre-cleaned
+  /// input; exceeding the budget aborts with kParseError. In sharded mode
+  /// diagnostics carry global line numbers and arrive in line order.
+  std::size_t max_errors = 0;
+  /// When non-null and max_errors > 0, receives one entry per skipped line
+  /// (appended; bounded by max_errors even on over-budget failure).
+  std::vector<ParseDiagnostic>* diagnostics = nullptr;
+  /// Cooperative cancellation: the parser polls this token every few
+  /// thousand lines and unwinds with kCancelled / kDeadlineExceeded. The
+  /// graph is always left in a valid state: the sequential path keeps the
+  /// prefix parsed so far, the sharded path may leave it empty (the merge
+  /// refuses to start once the token has tripped).
+  util::CancellationToken cancel;
 };
 
 /// The thread count the reader will actually use for `input_bytes` of text:

@@ -77,14 +77,16 @@ struct RangeGroups {
 
 SignatureIndex IndexBuilder::Build(const rdf::Dictionary& dict,
                                    bool keep_subject_names,
-                                   util::ThreadPool* pool) {
+                                   util::ThreadPool* pool,
+                                   const util::CancellationToken& cancel) {
+  SignatureIndex index;
+  if (cancel.stop_requested()) return index;
   // Sorting ascending groups each subject's columns contiguously; dense ids
   // are first-appearance ordinals, so subject runs come out in the same row
   // order as the legacy matrix.
   ParallelSortPairs(&pairs_, pool);
   pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
-
-  SignatureIndex index;
+  if (cancel.stop_requested()) return index;
   index.property_names_.reserve(properties_.size());
   for (rdf::TermId p : properties_) {
     index.property_names_.push_back(dict.term(p).lexical);
@@ -168,8 +170,12 @@ SignatureIndex IndexBuilder::Build(const rdf::Dictionary& dict,
 
   // signature row -> position in index.signatures_
   std::unordered_map<PropertySet, std::size_t, PropertySetHash> groups;
+  util::PeriodicCheck check(cancel, 1024);
   std::size_t i = 0;
   while (i < pairs_.size()) {
+    // A trip mid-grouping stops at a subject boundary: the truncated index
+    // is structurally valid, just missing the remaining subjects.
+    if (check.ShouldStop()) break;
     const std::uint32_t subj = static_cast<std::uint32_t>(pairs_[i] >> 32);
     PropertySet row(num_props);
     for (; i < pairs_.size() &&
@@ -195,20 +201,22 @@ SignatureIndex IndexBuilder::Build(const rdf::Dictionary& dict,
 
 SignatureIndex IndexBuilder::FromGraph(const rdf::Graph& graph,
                                        bool keep_subject_names,
-                                       util::ThreadPool* pool) {
+                                       util::ThreadPool* pool,
+                                       const util::CancellationToken& cancel) {
   IndexBuilder builder;
   builder.ReservePairs(graph.size());
   for (const rdf::Triple& t : graph.triples()) {
     builder.Add(t.subject, t.predicate);
   }
-  return builder.Build(graph.dict(), keep_subject_names, pool);
+  return builder.Build(graph.dict(), keep_subject_names, pool, cancel);
 }
 
 SignatureIndex IndexBuilder::FromSortSlice(const rdf::Graph& graph,
                                            std::string_view type_iri,
                                            bool keep_subject_names,
                                            std::size_t* slice_triples,
-                                           util::ThreadPool* pool) {
+                                           util::ThreadPool* pool,
+                                           const util::CancellationToken& cancel) {
   if (slice_triples != nullptr) *slice_triples = 0;
   IndexBuilder builder;
   const rdf::Dictionary& dict = graph.dict();
@@ -230,7 +238,7 @@ SignatureIndex IndexBuilder::FromSortSlice(const rdf::Graph& graph,
       if (slice_triples != nullptr) *slice_triples = n;
     }
   }
-  return builder.Build(dict, keep_subject_names, pool);
+  return builder.Build(dict, keep_subject_names, pool, cancel);
 }
 
 }  // namespace rdfsr::schema

@@ -27,6 +27,7 @@
 
 #include "rdf/graph.h"
 #include "schema/signature_index.h"
+#include "util/deadline.h"
 
 namespace rdfsr::util {
 class ThreadPool;
@@ -82,14 +83,22 @@ class IndexBuilder {
   /// integers over deterministic chunk bounds, and range-order merging
   /// reproduces the serial first-appearance discovery order of signatures
   /// and the global subject order within each signature's name list.
+  ///
+  /// `cancel` is polled between the sort/grouping stages and periodically
+  /// inside the serial grouping loop. A tripped token makes Build return
+  /// early with a structurally valid but incomplete index — the caller must
+  /// consult the token and discard the result (api::Dataset does; it maps
+  /// the trip to kCancelled / kDeadlineExceeded).
   SignatureIndex Build(const rdf::Dictionary& dict, bool keep_subject_names,
-                       util::ThreadPool* pool = nullptr);
+                       util::ThreadPool* pool = nullptr,
+                       const util::CancellationToken& cancel = {});
 
   /// One-shot: the index of a whole graph, no dense intermediate. Canonically
   /// identical to FromMatrix(PropertyMatrix::FromGraph(graph), ...).
   static SignatureIndex FromGraph(const rdf::Graph& graph,
                                   bool keep_subject_names = true,
-                                  util::ThreadPool* pool = nullptr);
+                                  util::ThreadPool* pool = nullptr,
+                                  const util::CancellationToken& cancel = {});
 
   /// One-shot: the index of the sort slice D_t, computed from the graph's
   /// rdf:type posting list without materializing the slice as a second graph.
@@ -100,7 +109,8 @@ class IndexBuilder {
                                       std::string_view type_iri,
                                       bool keep_subject_names = true,
                                       std::size_t* slice_triples = nullptr,
-                                      util::ThreadPool* pool = nullptr);
+                                      util::ThreadPool* pool = nullptr,
+                                      const util::CancellationToken& cancel = {});
 
  private:
   /// First-appearance dense id of a term id, grown on demand. The dense

@@ -1,0 +1,117 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace rdfsr::util {
+
+namespace {
+
+struct Site {
+  // Fire on every period-th hit, starting with the first: period == 1 means
+  // "always" (name=error), period == floor(100/n) implements name=n%.
+  std::uint64_t period = 1;
+  std::atomic<std::uint64_t> hits{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  // std::map: stable addresses across insertion, no rehash invalidation.
+  std::map<std::string, Site> sites;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives all users
+  return *r;
+}
+
+bool ParseSpecLocked(Registry& r, const std::string& spec) {
+  r.sites.clear();
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string name = entry.substr(0, eq);
+    const std::string action = entry.substr(eq + 1);
+    std::uint64_t period = 0;
+    if (action == "error") {
+      period = 1;
+    } else if (!action.empty() && action.back() == '%') {
+      char* parse_end = nullptr;
+      const std::string digits = action.substr(0, action.size() - 1);
+      const unsigned long long pct =
+          std::strtoull(digits.c_str(), &parse_end, 10);
+      if (digits.empty() || *parse_end != '\0' || pct == 0 || pct > 100) {
+        return false;
+      }
+      period = 100 / pct;
+      if (period == 0) period = 1;
+    } else {
+      return false;
+    }
+    r.sites[name].period = period;
+  }
+  return true;
+}
+
+void EnsureEnvLoadedLocked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  const char* env = std::getenv("RDFSR_FAILPOINTS");
+  if (env != nullptr && *env != '\0') {
+    // A malformed env spec arms nothing; the process still runs fault-free
+    // rather than aborting, matching the "robustness layer" contract.
+    if (!ParseSpecLocked(r, env)) r.sites.clear();
+  }
+}
+
+}  // namespace
+
+bool FailpointShouldFire(const char* name) {
+  Registry& r = registry();
+  Site* site = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    EnsureEnvLoadedLocked(r);
+    auto it = r.sites.find(name);
+    if (it == r.sites.end()) return false;
+    site = &it->second;
+  }
+  // Hit numbering starts at 1; fire on hits 1, 1+period, 1+2*period, ... so a
+  // sparse (n%) failpoint still fires on short runs and runs are replayable.
+  const std::uint64_t hit =
+      site->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  return (hit - 1) % site->period == 0;
+}
+
+Status FailpointStatus(const char* name) {
+  return Status::Internal(std::string("injected failure at failpoint '") +
+                          name + "'");
+}
+
+bool ArmFailpointsFromSpec(const std::string& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;  // explicit arming overrides the environment
+  const bool ok = ParseSpecLocked(r, spec);
+  if (!ok) r.sites.clear();
+  return ok;
+}
+
+void ClearFailpoints() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;
+  r.sites.clear();
+}
+
+}  // namespace rdfsr::util

@@ -23,6 +23,8 @@ enum class StatusCode {
   kNotFound,
   kOutOfRange,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
   kInternal,
 };
 
@@ -57,6 +59,12 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

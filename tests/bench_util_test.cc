@@ -91,5 +91,25 @@ TEST(JsonRecorderTest, EscapesStringsAndStaysParseable) {
   std::remove(path.c_str());
 }
 
+TEST(JsonRecorderTest, TimedOutRecordsCarryTheMarkerCompleteOnesDoNot) {
+  const std::string path =
+      ::testing::TempDir() + "/bench_util_test_timed_out.json";
+  JsonRecorder recorder;
+  recorder.Open(path, "bench_util_test");
+  recorder.Record("complete", {{"k", "8"}}, 1.0, {{"theta", 0.75}});
+  recorder.Record("cut", {{"k", "8"}}, 15.0, {{"theta", 0.5}},
+                  /*timed_out=*/true);
+  const std::string text = ReadAll(path);
+  EXPECT_TRUE(LooksLikeJson(text)) << text;
+  // Exactly one of the two records carries the marker — complete runs omit
+  // the key entirely rather than writing "timed_out": false.
+  const auto first = text.find("\"timed_out\": true");
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find("\"timed_out\"", first + 1), std::string::npos) << text;
+  // The cut record still carries its partial metrics.
+  EXPECT_NE(text.find("\"theta\": 0.5"), std::string::npos) << text;
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace rdfsr::bench

@@ -153,6 +153,56 @@ TEST(BnbTest, TimeLimitRespected) {
   EXPECT_TRUE(r.status == MipStatus::kInfeasible ||
               r.status == MipStatus::kUnknown);
   EXPECT_LT(r.seconds, 5.0);
+  if (r.status == MipStatus::kUnknown) {
+    EXPECT_EQ(r.stop_reason, MipStopReason::kTimeLimit);
+  }
+}
+
+TEST(BnbTest, NodeLimitRecordsItsStopReason) {
+  // Same parity model as NodeLimitYieldsUnknown: kUnknown alone does not say
+  // WHICH resource ran out — the stop reason must.
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 10; ++i) vars.push_back(m.AddBinary("v"));
+  std::vector<LinTerm> sum;
+  for (int v : vars) sum.push_back({v, 2.0});
+  m.AddConstraint("half", std::move(sum), 11, 11);
+  MipOptions options;
+  options.max_nodes = 1;
+  const MipResult r = SolveMip(m, options);
+  ASSERT_EQ(r.status, MipStatus::kUnknown);
+  EXPECT_EQ(r.stop_reason, MipStopReason::kNodeLimit);
+  EXPECT_STREQ(MipStopReasonName(r.stop_reason), "NodeLimit");
+}
+
+TEST(BnbTest, LpIterationLimitSurfacesAsItsOwnStopReason) {
+  // With a 1-pivot LP budget no node relaxation can converge; every node is
+  // distrusted, the tree ends undecided, and the result must say the LP
+  // iteration limit (with a hit count) was the cause.
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 10; ++i) vars.push_back(m.AddBinary("v"));
+  std::vector<LinTerm> sum;
+  for (int v : vars) sum.push_back({v, 2.0});
+  m.AddConstraint("half", std::move(sum), 11, 11);
+  MipOptions options;
+  options.lp.max_iterations = 1;
+  const MipResult r = SolveMip(m, options);
+  ASSERT_EQ(r.status, MipStatus::kUnknown);
+  EXPECT_EQ(r.stop_reason, MipStopReason::kLpIterationLimit);
+  EXPECT_GE(r.lp_iteration_limit_hits, 1);
+}
+
+TEST(BnbTest, CompletedSolveLeavesStopReasonNone) {
+  Model m;
+  const int x = m.AddBinary("x");
+  m.SetObjective({{x, -1.0}});
+  MipOptions options;
+  options.stop_at_first_incumbent = false;
+  const MipResult r = SolveMip(m, options);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_EQ(r.stop_reason, MipStopReason::kNone);
+  EXPECT_EQ(r.lp_iteration_limit_hits, 0);
 }
 
 }  // namespace

@@ -331,5 +331,150 @@ TEST(NTriplesTest, ParseFileWithThreadsMatchesSequential) {
   std::remove(path.c_str());
 }
 
+/// Interleaves `text`'s lines with `bad` malformed lines at fixed intervals,
+/// returning the dirty text and the 1-based global line numbers of the bad
+/// lines.
+std::string Dirty(const std::string& text, int every,
+                  std::vector<std::size_t>* bad_lines) {
+  std::string out;
+  std::size_t line_no = 0;
+  int countdown = every;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? text.size() : eol + 1;
+    if (--countdown == 0) {
+      out += "not a triple at all\n";
+      bad_lines->push_back(++line_no);
+      countdown = every;
+    }
+    out.append(text, pos, end - pos);
+    ++line_no;
+    pos = end;
+  }
+  return out;
+}
+
+TEST(NTriplesTest, TolerantParseSkipsBadLinesBitIdentical) {
+  const std::string clean = ManyLines(120);
+  std::vector<std::size_t> bad_lines;
+  const std::string dirty = Dirty(clean, 13, &bad_lines);
+  ASSERT_FALSE(bad_lines.empty());
+
+  Graph expected;
+  ASSERT_TRUE(ParseNTriplesInto(clean, &expected).ok());
+
+  ParseOptions options;
+  options.max_errors = bad_lines.size();
+  std::vector<ParseDiagnostic> diags;
+  options.diagnostics = &diags;
+  Graph tolerant;
+  Status st = ParseNTriplesInto(dirty, &tolerant, options);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ExpectGraphsIdentical(tolerant, expected);
+  ASSERT_EQ(diags.size(), bad_lines.size());
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    EXPECT_EQ(diags[i].line, bad_lines[i]) << "diagnostic " << i;
+    EXPECT_FALSE(diags[i].message.empty());
+  }
+}
+
+TEST(NTriplesTest, TolerantParseFailsPastBudget) {
+  const std::string clean = ManyLines(60);
+  std::vector<std::size_t> bad_lines;
+  const std::string dirty = Dirty(clean, 7, &bad_lines);
+  ASSERT_GT(bad_lines.size(), 2u);
+
+  ParseOptions options;
+  options.max_errors = 2;  // fewer than the bad lines present
+  std::vector<ParseDiagnostic> diags;
+  options.diagnostics = &diags;
+  Graph g;
+  Status st = ParseNTriplesInto(dirty, &g, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("max_errors"), std::string::npos)
+      << st.ToString();
+  // Diagnostics stay bounded by the budget even on failure.
+  EXPECT_LE(diags.size(), options.max_errors);
+}
+
+TEST(NTriplesTest, TolerantShardedParseMatchesSequentialWithGlobalLines) {
+  const std::string clean = ManyLines(400);
+  std::vector<std::size_t> bad_lines;
+  const std::string dirty = Dirty(clean, 31, &bad_lines);
+  ASSERT_FALSE(bad_lines.empty());
+
+  Graph expected;
+  ASSERT_TRUE(ParseNTriplesInto(clean, &expected).ok());
+
+  for (const int threads : {2, 4, 8}) {
+    ParseOptions options;
+    options.threads = threads;
+    options.min_chunk_bytes = 1;  // force sharding on this small input
+    options.max_errors = bad_lines.size();
+    std::vector<ParseDiagnostic> diags;
+    options.diagnostics = &diags;
+    Graph tolerant;
+    Status st = ParseNTriplesInto(dirty, &tolerant, options);
+    ASSERT_TRUE(st.ok()) << threads << " threads: " << st.ToString();
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    ExpectGraphsIdentical(tolerant, expected);
+    // Global line numbers in input order, exactly as the sequential parse
+    // reports them.
+    ASSERT_EQ(diags.size(), bad_lines.size());
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      EXPECT_EQ(diags[i].line, bad_lines[i]) << "diagnostic " << i;
+    }
+  }
+}
+
+TEST(NTriplesTest, TolerantShardedParseFailsPastBudget) {
+  const std::string clean = ManyLines(200);
+  std::vector<std::size_t> bad_lines;
+  const std::string dirty = Dirty(clean, 11, &bad_lines);
+  ParseOptions options;
+  options.threads = 4;
+  options.min_chunk_bytes = 1;
+  options.max_errors = 3;
+  Graph g;
+  Status st = ParseNTriplesInto(dirty, &g, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(NTriplesTest, ReadFileDirectoryIsInvalidArgument) {
+  auto text = ReadFileToString(::testing::TempDir());
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(text.status().message().find("directory"), std::string::npos)
+      << text.status().ToString();
+}
+
+TEST(NTriplesTest, MissingFileErrorNamesPath) {
+  auto g = ParseNTriplesFile("/no/such/dir/missing.nt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(g.status().message().find("/no/such/dir/missing.nt"),
+            std::string::npos)
+      << g.status().ToString();
+}
+
+TEST(NTriplesTest, CancelledParseKeepsValidPrefix) {
+  // Large enough that the parser's stride-4096 checkpoint actually samples
+  // the token.
+  const std::string text = ManyLines(10000);
+  util::Deadline deadline = util::Deadline::Cancellable();
+  deadline.RequestCancel();
+  ParseOptions options;
+  options.cancel = deadline.token();
+  Graph g;
+  Status st = ParseNTriplesInto(text, &g, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // Whatever prefix was parsed must be a coherent graph.
+  g.CheckInvariants();
+}
+
 }  // namespace
 }  // namespace rdfsr::rdf

@@ -175,5 +175,36 @@ TEST(SimplexTest, LargerAssignmentLikeProblem) {
   EXPECT_NEAR(r.objective, 13.0, 1e-6);  // r0c1 + r1c0 + r2c2 + r3c3 = 2+6+1+4
 }
 
+TEST(SimplexTest, IterationLimitIsADistinctOutcomeWithTheCount) {
+  // Row/col equality constraints make the initial slack basis infeasible, so
+  // phase-1 alone needs several pivots — 2 cannot finish. The cap must come
+  // back as kIterationLimit with the pivot count, never masquerade as
+  // kInfeasible/kOptimal.
+  Model m;
+  int var[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) var[i][j] = m.AddVariable("x", 0, 1, false);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<LinTerm> row, col;
+    for (int j = 0; j < 3; ++j) {
+      row.push_back({var[i][j], 1.0});
+      col.push_back({var[j][i], 1.0});
+    }
+    m.AddConstraint("row", std::move(row), 1, 1);
+    m.AddConstraint("col", std::move(col), 1, 1);
+  }
+  SimplexOptions options;
+  options.max_iterations = 2;
+  const LpResult r = SolveLp(m, options);
+  EXPECT_EQ(r.status, LpStatus::kIterationLimit);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_STREQ(LpStatusName(r.status), "IterationLimit");
+
+  // The same model converges once the cap is lifted.
+  const LpResult full = SolveLp(m);
+  EXPECT_EQ(full.status, LpStatus::kOptimal);
+}
+
 }  // namespace
 }  // namespace rdfsr::ilp

@@ -7,6 +7,8 @@
 // schema profiles (Section 7.1.1). Everything goes through api/rdfsr.h — this
 // file is the reference consumer of the public API.
 
+#include <algorithm>
+#include <chrono>
 #include <climits>
 #include <cstdlib>
 #include <iomanip>
@@ -41,6 +43,11 @@ common options:
   --rule <spec>     cov (default) | sim | cov-ignoring:p1,... | dep:p1,p2 |
                     symdep:p1,p2 | depdisj:p1,p2 | free text in the rule
                     language; measure accepts --rule multiple times
+  --max-errors <n>  tolerate up to n malformed N-Triples lines (skipped and
+                    reported on stderr); default 0 = fail on the first
+  --timeout <s>     wall-clock budget in seconds for the whole run (load +
+                    search); a cut search still prints its best refinement
+                    but the process exits 4
   --view            print the ASCII signature view of the dataset
 
 refine / report options:
@@ -50,6 +57,13 @@ refine / report options:
   --time-limit <s>  exact-solver budget per decision instance, seconds
   --report          (refine only) also print the schema report
 
+exit codes:
+  0  success
+  2  usage error
+  3  data error (unreadable/malformed input, unknown sort or rule)
+  4  deadline or resource limit (--timeout, solver limits)
+  5  internal error
+
 examples:
   rdfsr measure data.nt --sort http://x/Person --rule cov --rule sim
   rdfsr refine data.nt --sort http://x/Person --k 2 --report
@@ -57,14 +71,40 @@ examples:
   rdfsr report data.nt --sort http://x/Person --k 3
 )";
 
+// Exit-code taxonomy (documented in kUsage): scripts can tell bad input (3)
+// from an expired budget (4) from a genuine bug (5) without parsing stderr.
+constexpr int kExitUsage = 2;
+constexpr int kExitDataError = 3;
+constexpr int kExitLimit = 4;
+constexpr int kExitInternal = 5;
+
 int UsageError(const std::string& message) {
   std::cerr << "error: " << message << "\n\n" << kUsage;
-  return 2;
+  return kExitUsage;
+}
+
+int ExitCodeFor(const rdfsr::Status& status) {
+  switch (status.code()) {
+    case rdfsr::StatusCode::kOk:
+      return 0;
+    case rdfsr::StatusCode::kInvalidArgument:
+    case rdfsr::StatusCode::kParseError:
+    case rdfsr::StatusCode::kNotFound:
+    case rdfsr::StatusCode::kOutOfRange:
+      return kExitDataError;
+    case rdfsr::StatusCode::kResourceExhausted:
+    case rdfsr::StatusCode::kDeadlineExceeded:
+    case rdfsr::StatusCode::kCancelled:
+      return kExitLimit;
+    case rdfsr::StatusCode::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
 }
 
 int Fail(const rdfsr::Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
-  return 1;
+  return ExitCodeFor(status);
 }
 
 std::string FormatSigma(double value) {
@@ -104,6 +144,8 @@ struct Args {
   double theta = -1.0;  // < 0: highest-theta mode
   int max_k = -1;
   double time_limit = -1.0;
+  double timeout = -1.0;  // whole-run wall-clock budget, seconds
+  int max_errors = 0;     // tolerated malformed input lines
   /// Refine/report-only flags seen, for rejection under `measure`.
   std::vector<std::string> refine_flags;
 };
@@ -138,6 +180,22 @@ bool ParseArgs(int argc, char** argv, Args* args, int* exit_code) {
       if (!need_value(i, "--threads")) return false;
       if (!ParseInt(argv[++i], &args->threads)) {
         return bad_number("--threads", argv[i]);
+      }
+    } else if (flag == "--max-errors") {
+      if (!need_value(i, "--max-errors")) return false;
+      if (!ParseInt(argv[++i], &args->max_errors) || args->max_errors < 0) {
+        *exit_code = UsageError(
+            std::string("--max-errors must be a non-negative count, got '") +
+            argv[i] + "'");
+        return false;
+      }
+    } else if (flag == "--timeout") {
+      if (!need_value(i, "--timeout")) return false;
+      if (!ParseDouble(argv[++i], &args->timeout) || args->timeout <= 0) {
+        *exit_code = UsageError(std::string("--timeout must be a positive "
+                                            "number of seconds, got '") +
+                                argv[i] + "'");
+        return false;
       }
     } else if (flag == "--view") {
       args->view = true;
@@ -190,14 +248,27 @@ bool ParseArgs(int argc, char** argv, Args* args, int* exit_code) {
   return true;
 }
 
-/// Loads the dataset named by the common arguments.
+/// Loads the dataset named by the common arguments. Skipped-line diagnostics
+/// (--max-errors) go to stderr so stdout stays machine-readable.
 rdfsr::Result<Dataset> Load(const Args& args) {
   DatasetOptions options;
   options.sort = args.sort;
   // 0 (and any value < 1) means auto; the api clamps to the chunk count and
   // reports the resolved value via effective_parse_threads().
   options.parse_threads = args.threads;
-  return Dataset::FromNTriplesFile(args.path, options);
+  options.max_errors = static_cast<std::size_t>(args.max_errors);
+  std::vector<rdfsr::rdf::ParseDiagnostic> diagnostics;
+  if (args.max_errors > 0) options.diagnostics = &diagnostics;
+  if (args.timeout > 0) {
+    options.deadline_ms =
+        static_cast<std::int64_t>(args.timeout * 1000.0) + 1;
+  }
+  auto dataset = Dataset::FromNTriplesFile(args.path, options);
+  for (const auto& diag : diagnostics) {
+    std::cerr << "warning: " << args.path << ":" << diag.line
+              << ": skipped malformed line: " << diag.message << "\n";
+  }
+  return dataset;
 }
 
 int Measure(const Args& args) {
@@ -225,6 +296,7 @@ int Refine(const Args& args, bool report_only) {
   if (args.rules.size() > 1) {
     return UsageError(args.command + " takes a single --rule");
   }
+  const auto start = std::chrono::steady_clock::now();
   auto dataset = Load(args);
   if (!dataset.ok()) return Fail(dataset.status());
   std::cout << "dataset: " << dataset->Describe() << "\n";
@@ -234,6 +306,15 @@ int Refine(const Args& args, bool report_only) {
       dataset->Analyze(args.rules.empty() ? "cov" : args.rules.front());
   if (!analysis.ok()) return Fail(analysis.status());
   if (args.time_limit > 0) analysis->TimeLimit(args.time_limit);
+  if (args.timeout > 0) {
+    // --timeout budgets the whole run: the search gets what the load left
+    // over (floored above zero so an exhausted budget still cuts the search
+    // through the anytime path instead of tripping mid-configuration).
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    analysis->Timeout(std::max(args.timeout - elapsed, 1e-3));
+  }
   analysis->HeuristicThreads(args.threads);
   std::cout << "rule: " << analysis->RuleText() << "\n"
             << "sigma over the whole dataset: "
@@ -250,13 +331,18 @@ int Refine(const Args& args, bool report_only) {
     std::cout << "highest theta with k = " << args.k << ": "
               << FormatSigma(refinement->theta.ToDouble());
   }
-  std::cout << (refinement->optimal ? " (proven optimal)" : "") << "\n"
+  std::cout << (refinement->optimal ? " (proven optimal)" : "")
+            << (refinement->timed_out ? " (timed out: best found before cut)"
+                                      : "")
+            << "\n"
             << analysis->Summary(*refinement) << "\n";
   if (!report_only) std::cout << "\n" << analysis->Render(*refinement);
   if (report_only || args.report) {
     std::cout << "\n" << analysis->Report(*refinement);
   }
-  return 0;
+  // A cut search still printed its incumbent, but the run did hit its budget:
+  // exit 4 so scripts notice without parsing the banner.
+  return refinement->timed_out ? kExitLimit : 0;
 }
 
 }  // namespace
