@@ -30,10 +30,18 @@
 //   encode_only     no solving at all: one instance reweighted across the
 //                   whole theta grid vs BuildRefinementIlp per grid point —
 //                   isolates the tentpole O(k|P|n) skeleton-rebuild saving
+//   exact_sparse_vs_dense
+//                   pure-exact FindHighestTheta at full size: the
+//                   LU-factorized warm-started engine vs the dense-inverse
+//                   cold-start baseline (wall-clock capped; speedup is a
+//                   lower bound when the cap trips)
+//   exact_frontier  one stock-options Exists(k = 2, theta = 3/4) on a large
+//                   random index — tracks the max_mip_rows default against
+//                   the measured solvable frontier
 //   lowest_k        default solver, k ladder at theta = 9/10
 //
 // Usage: bench_solver [--json <path>] [--signatures N] [--exact-signatures N]
-//                     [--ladder-signatures N]
+//                     [--ladder-signatures N] [--frontier-signatures N]
 
 #include <cstring>
 #include <iostream>
@@ -99,6 +107,12 @@ core::SolverOptions Options(bool reuse, bool greedy_first) {
   // bit-identity assertion flaky.
   options.mip.max_nodes = 50000;
   options.mip.time_limit_seconds = 300.0;
+  // The heuristic-regime and ladder configs were designed against the old
+  // 4000-row MIP gate; the sparse engine's raised default would un-gate the
+  // clustered indexes' k=2/3 encodings and turn those configs into exact-solve
+  // benchmarks. Pin the old ceiling here; the engine-measuring configs below
+  // set their own.
+  options.max_mip_rows = 4000;
   return options;
 }
 
@@ -109,7 +123,21 @@ struct Measurement {
   std::string result;  // "theta=..." or "k=..."
   bool match = true;
   bool timed_out = false;  // deadline/limit cut: result is an incumbent
+  /// Config-specific JSON metrics appended to the record (engine counters,
+  /// speedup lower bounds, ...).
+  std::vector<std::pair<std::string, double>> extra_metrics;
 };
+
+/// Simplex/B&B engine counters of one search, as JSON metrics.
+std::vector<std::pair<std::string, double>> EngineMetrics(
+    long long mip_nodes, const ilp::LpEngineStats& s) {
+  return {{"mip_nodes", static_cast<double>(mip_nodes)},
+          {"lp_pivots", static_cast<double>(s.pivots)},
+          {"lp_refactorizations", static_cast<double>(s.refactorizations)},
+          {"lp_basis_reuses", static_cast<double>(s.basis_reuses)},
+          {"lp_basis_repairs", static_cast<double>(s.basis_repairs)},
+          {"lp_max_eta_length", static_cast<double>(s.max_eta_length)}};
+}
 
 void Report(TextTable* table, bool* ok, const std::string& config,
             const std::string& rule, int n, const Measurement& m) {
@@ -132,12 +160,17 @@ void Report(TextTable* table, bool* ok, const std::string& config,
   Json().Record(
       "solver/" + config + "/" + rule,
       {{"config", config}, {"rule", rule}, {"signatures", std::to_string(n)}},
-      m.reuse_seconds,
-      {{"signatures", static_cast<double>(n)},
-       {"instances", static_cast<double>(m.instances)},
-       {"rebuild_seconds", m.rebuild_seconds},
-       {"speedup_vs_rebuild", ratio},
-       {"match", m.match ? 1.0 : 0.0}},
+      m.reuse_seconds, [&] {
+        std::vector<std::pair<std::string, double>> metrics = {
+            {"signatures", static_cast<double>(n)},
+            {"instances", static_cast<double>(m.instances)},
+            {"rebuild_seconds", m.rebuild_seconds},
+            {"speedup_vs_rebuild", ratio},
+            {"match", m.match ? 1.0 : 0.0}};
+        metrics.insert(metrics.end(), m.extra_metrics.begin(),
+                       m.extra_metrics.end());
+        return metrics;
+      }(),
       m.timed_out);
 }
 
@@ -162,7 +195,102 @@ Measurement MeasureHighestTheta(const eval::Evaluator& evaluator, int k,
   m.match = a.theta == b.theta && a.instances == b.instances &&
             a.ceiling_proven == b.ceiling_proven &&
             RenderSorts(a.refinement) == RenderSorts(b.refinement);
+  m.extra_metrics = EngineMetrics(a.mip_nodes, a.lp_stats);
   return m;
+}
+
+/// Engine head-to-head on a random index in pure-exact mode: the LU-factorized
+/// warm-started default against the dense-inverse cold-start baseline (the
+/// pre-rewrite engine: dense basis inverse, full Dantzig pricing,
+/// most-fractional branching, no probing, no warm starts). Both sides share a
+/// per-instance NODE budget so phase-transition grid points cannot churn
+/// unboundedly; the dense side additionally gets a wall-clock cap because at
+/// this size a full dense sweep is intractable (O(m^2) work per pivot, every
+/// LP cold). When the cap trips, the recorded speedup is a lower bound and
+/// the bit-identity check is skipped (the dense result is an incumbent).
+Measurement MeasureSparseVsDense(const eval::Evaluator& evaluator, int k,
+                                 double dense_cap_seconds) {
+  Measurement m;
+  core::SolverOptions sparse = Options(true, /*greedy_first=*/false);
+  // This config measures the engine, not the row gate: admit the encoding.
+  sparse.max_mip_rows = 1 << 30;
+  sparse.warm_start = true;
+  sparse.mip.max_nodes = 200;
+  sparse.mip.time_limit_seconds = 1e9;
+  core::SolverOptions dense = sparse;
+  dense.warm_start = false;
+  dense.mip.warm_start_lps = false;
+  dense.mip.root_probing = false;
+  dense.mip.branching = ilp::BranchingRule::kMostFractional;
+  dense.mip.lp.basis_kind = ilp::BasisKind::kDenseInverse;
+  dense.mip.lp.pricing = ilp::PricingRule::kDantzig;
+
+  core::RefinementSolver fast(&evaluator, sparse);
+  WallTimer sparse_timer;
+  const core::HighestThetaResult a = fast.FindHighestTheta(k);
+  m.reuse_seconds = sparse_timer.Seconds();
+
+  core::RefinementSolver slow(&evaluator, dense);
+  slow.set_deadline(util::Deadline::After(dense_cap_seconds));
+  WallTimer dense_timer;
+  const core::HighestThetaResult b = slow.FindHighestTheta(k);
+  m.rebuild_seconds = dense_timer.Seconds();
+
+  m.instances = a.instances;
+  m.result = "theta=" + a.theta.ToString();
+  m.timed_out = b.timed_out;
+  // Decisions and the found theta must agree across backends; the witnesses
+  // need not (degenerate optima admit several, and the engines pivot
+  // differently). tests/warm_start_test.cc locks the same contract.
+  m.match = b.timed_out || (a.theta == b.theta && a.instances == b.instances);
+  m.extra_metrics = EngineMetrics(a.mip_nodes, a.lp_stats);
+  m.extra_metrics.emplace_back("dense_capped", b.timed_out ? 1.0 : 0.0);
+  m.extra_metrics.emplace_back(
+      "speedup_vs_dense", m.rebuild_seconds / std::max(m.reuse_seconds, 1e-9));
+  return m;
+}
+
+/// Exact-frontier probe: one Exists(k = 2, theta = 3/4) on a large random
+/// index with STOCK solver options — the config that keeps the
+/// SolverOptions::max_mip_rows default honest. The encoding must pass the
+/// default gate and the decision must land inside the default MIP budget;
+/// the record tracks rows, wall time, and engine counters.
+void ReportFrontier(TextTable* table, int frontier_n) {
+  gen::RandomIndexSpec spec;
+  spec.num_signatures = frontier_n;
+  spec.num_properties = 10;
+  spec.seed = 42;
+  const schema::SignatureIndex index = gen::GenerateRandomIndex(spec);
+  auto evaluator = eval::MakeEvaluator(rules::CovRule(), &index);
+  const auto taus = eval::EnumerateTauCounts(evaluator->rule(), index);
+  const auto shapes = core::AnalyzeTaus(taus, index);
+  const std::size_t rows = core::RefinementIlpActiveRows(index, shapes, 2, {});
+
+  core::SolverOptions options;  // stock defaults on purpose
+  options.greedy_first = false;
+  core::RefinementSolver solver(evaluator.get(), options);
+  WallTimer timer;
+  const core::DecisionResult r = solver.Exists(2, Rational(3, 4));
+  const double seconds = timer.Seconds();
+  const bool decided = r.decision != core::Decision::kUnknown;
+
+  std::ostringstream secs;
+  secs << std::fixed << std::setprecision(3) << seconds;
+  table->AddRow({"exact_frontier", "Cov", std::to_string(frontier_n), "1",
+                 secs.str(), "-", "-",
+                 std::string(core::DecisionName(r.decision)) + " @" +
+                     std::to_string(rows) + " rows",
+                 decided ? "yes" : "undecided"});
+  std::vector<std::pair<std::string, double>> metrics =
+      EngineMetrics(r.mip_nodes, r.lp_stats);
+  metrics.emplace_back("signatures", static_cast<double>(frontier_n));
+  metrics.emplace_back("active_rows", static_cast<double>(rows));
+  metrics.emplace_back("decided", decided ? 1.0 : 0.0);
+  Json().Record("solver/exact_frontier/Cov",
+                {{"config", "exact_frontier"},
+                 {"rule", "Cov"},
+                 {"signatures", std::to_string(frontier_n)}},
+                seconds, metrics, /*timed_out=*/!decided);
 }
 
 Measurement MeasureEncodeOnly(const eval::Evaluator& evaluator, int k) {
@@ -234,10 +362,11 @@ Measurement MeasureLowestK(const eval::Evaluator& evaluator, Rational theta) {
   m.match = a->k == b->k && a->instances == b->instances &&
             a->proven_minimal == b->proven_minimal &&
             RenderSorts(a->refinement) == RenderSorts(b->refinement);
+  m.extra_metrics = EngineMetrics(a->mip_nodes, a->lp_stats);
   return m;
 }
 
-int Run(int n, int exact_n, int ladder_n) {
+int Run(int n, int exact_n, int ladder_n, int frontier_n) {
   Banner("Refinement searches: instance-reuse exact path vs rebuild",
          "Sections 6-7; Figures 4-7 search modes");
 
@@ -280,6 +409,20 @@ int Run(int n, int exact_n, int ladder_n) {
     Report(&table, &ok, "encode_only", "Cov", n,
            MeasureEncodeOnly(*evaluator, 4));
   }
+  {
+    // The sparse engine against the dense pre-rewrite baseline, pure exact
+    // at full size — the ISSUE 9 headline number. ~90 s worst case for the
+    // capped dense side.
+    gen::RandomIndexSpec spec;
+    spec.num_signatures = n;
+    spec.num_properties = 10;
+    spec.seed = 42;
+    const schema::SignatureIndex random = gen::GenerateRandomIndex(spec);
+    auto evaluator = eval::MakeEvaluator(rules::CovRule(), &random);
+    Report(&table, &ok, "exact_sparse_vs_dense", "Cov", n,
+           MeasureSparseVsDense(*evaluator, 2, /*dense_cap_seconds=*/90.0));
+  }
+  if (frontier_n > 0) ReportFrontier(&table, frontier_n);
   // The k ladder visits each k once, so encoding/heuristic reuse cannot
   // amortize across instances — this config is here for the bit-identical
   // contract (and the shared agglomerative-per-theta cache) rather than a
@@ -307,6 +450,7 @@ int main(int argc, char** argv) {
   int n = 128;
   int exact_n = 10;
   int ladder_n = 32;
+  int frontier_n = 512;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       rdfsr::bench::Json().Open(argv[++i], "bench_solver");
@@ -318,12 +462,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--ladder-signatures") == 0 &&
                i + 1 < argc) {
       ladder_n = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--frontier-signatures") == 0 &&
+               i + 1 < argc) {
+      frontier_n = std::stoi(argv[++i]);  // 0 skips the frontier probe
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--json <path>] [--signatures N] [--exact-signatures N]"
-                   " [--ladder-signatures N]\n";
+                   " [--ladder-signatures N] [--frontier-signatures N]\n";
       return 2;
     }
   }
-  return rdfsr::bench::Run(n, exact_n, ladder_n);
+  return rdfsr::bench::Run(n, exact_n, ladder_n, frontier_n);
 }

@@ -330,8 +330,20 @@ DecisionResult RefinementSolver::Exists(int k, Rational theta) {
   if (token.can_trip() && !mip_options.cancel.can_trip()) {
     mip_options.cancel = token;
   }
-  const ilp::MipResult mip = ilp::SolveMip(instance.model(), mip_options);
+  // Seed the root LP with the previous exact solve's basis when it came from
+  // the same k (a Reweight step keeps the variable space). A mismatched shape
+  // — presolve reductions can differ between thetas — is rejected inside the
+  // MIP and simply falls back to a cold start.
+  if (options_.warm_start && warm_basis_k_ == k && !warm_basis_.empty()) {
+    mip_options.warm_basis = &warm_basis_;
+  }
+  ilp::MipResult mip = ilp::SolveMip(instance.model(), mip_options);
   result.mip_nodes = mip.nodes;
+  result.lp_stats = mip.lp_stats;
+  if (options_.warm_start && !mip.root_basis.empty()) {
+    warm_basis_ = std::move(mip.root_basis);
+    warm_basis_k_ = k;
+  }
   switch (mip.status) {
     case ilp::MipStatus::kOptimal:
     case ilp::MipStatus::kFeasible: {
@@ -408,6 +420,8 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
       const Rational theta = grid.Theta(g);
       DecisionResult r = Exists(k, theta);
       ++best.instances;
+      best.mip_nodes += r.mip_nodes;
+      best.lp_stats.MergeWith(r.lp_stats);
       if (r.decision == Decision::kExists) {
         best.theta = theta;
         best.refinement = std::move(*r.refinement);
@@ -440,6 +454,8 @@ HighestThetaResult RefinementSolver::FindHighestTheta(int k) {
     const Rational theta = grid.Theta(mid);
     DecisionResult r = Exists(k, theta);
     ++best.instances;
+    best.mip_nodes += r.mip_nodes;
+    best.lp_stats.MergeWith(r.lp_stats);
     if (r.decision == Decision::kExists) {
       best.theta = theta;
       best.refinement = std::move(*r.refinement);
@@ -479,6 +495,8 @@ Result<LowestKResult> RefinementSolver::FindLowestK(Rational theta, int max_k) {
     }
     DecisionResult r = Exists(k, theta);
     ++out.instances;
+    out.mip_nodes += r.mip_nodes;
+    out.lp_stats.MergeWith(r.lp_stats);
     if (r.decision == Decision::kExists) {
       out.k = k;
       out.refinement = std::move(*r.refinement);

@@ -61,6 +61,10 @@ struct DecisionResult {
   std::optional<SortRefinement> refinement;  ///< present when kExists
   bool via_greedy = false;   ///< heuristic answered without the MIP
   long long mip_nodes = 0;
+  /// LP engine internals of the exact solve (zero when the heuristic or a
+  /// shortcut answered): pivots, refactorizations, warm-basis reuses, eta
+  /// high-water mark.
+  ilp::LpEngineStats lp_stats;
   double seconds = 0.0;
   /// Why the instance is kUnknown (OK otherwise): kResourceExhausted for
   /// node/LP-iteration/size limits (the message names the limit and its
@@ -96,13 +100,28 @@ struct SolverOptions {
   /// build); off exists as the rebuild-per-instance baseline for
   /// bench_solver and the regression tests.
   bool reuse_instances = true;
-  /// Skip the exact MIP when the encoding exceeds this many rows (our dense
-  /// simplex keeps an m x m basis inverse; CPLEX had no such ceiling). The
+  /// Warm-start the exact solves across the search grid: each SolveMip's root
+  /// basis (same k) seeds the next instance's root LP, so a Reweight(theta)
+  /// step usually re-optimizes in a handful of pivots instead of a cold
+  /// phase-1. Mismatched shapes (presolve reductions differ between thetas)
+  /// fall back to a cold start automatically. Off exists as the measured
+  /// baseline for bench_solver.
+  bool warm_start = true;
+  /// Skip the exact MIP when the encoding exceeds this many rows; the
   /// instance then resolves to kUnknown unless the heuristic found a witness.
-  /// Checked against the exact worst-case count of rows the simplex will see
-  /// (RefinementIlpActiveRows — deactivated link sides presolve away) before
-  /// any model is built.
-  std::size_t max_mip_rows = 4000;
+  /// The ceiling is a time guard, not a memory one, and it bounds the ROOT
+  /// LP: branch-and-bound churn on a phase-transition instance is capped by
+  /// MipOptions::time_limit_seconds at any size, so the gate's job is to
+  /// keep the cold root solve itself inside that budget. Measured with the
+  /// sparse LU engine (ilp/basis.h, O(m + fill) per pivot vs the old dense
+  /// inverse's O(m^2)): a root LP at ~16k rows (a 512-signature, k = 2
+  /// encoding) completes in ~10 s, against the old engine's ~4000-row limit
+  /// for the same wall clock — hence 20000, a 5x raise that keeps one root
+  /// solve well under the default 120 s MIP budget. bench_solver's
+  /// exact_frontier config tracks this point. Checked against the exact
+  /// worst-case count of rows the simplex will see (RefinementIlpActiveRows —
+  /// deactivated link sides presolve away) before any model is built.
+  std::size_t max_mip_rows = 20000;
   /// Worker threads for the agglomerative heuristics' best-pair row
   /// recomputation (values < 1 mean one per hardware thread). Purely a
   /// throughput knob: the merge sequence is bit-identical for every value
@@ -143,6 +162,8 @@ struct HighestThetaResult {
   SortRefinement refinement;
   int instances = 0;       ///< decision instances solved
   bool ceiling_proven = false;  ///< next step was proven infeasible (vs unknown)
+  long long mip_nodes = 0;         ///< summed over the exact solves
+  ilp::LpEngineStats lp_stats;     ///< aggregated over the exact solves
   double seconds = 0.0;
   /// The deadline cut the grid scan: `theta`/`refinement` still carry the
   /// best incumbent found before the cut (at worst the sigma_all baseline),
@@ -156,6 +177,8 @@ struct LowestKResult {
   SortRefinement refinement;
   bool proven_minimal = false;  ///< all smaller k proven infeasible
   int instances = 0;
+  long long mip_nodes = 0;         ///< summed over the exact solves
+  ilp::LpEngineStats lp_stats;     ///< aggregated over the exact solves
   double seconds = 0.0;
   /// Some smaller k went undecided because the deadline tripped (implies
   /// !proven_minimal): the found k is an upper bound reached under time
@@ -232,6 +255,12 @@ class RefinementSolver {
   // changes, reweighted per theta.
   std::unique_ptr<RefinementIlpInstance> instance_;
   int instance_k_ = -1;
+  // Warm-start chain (SolverOptions::warm_start): the root basis of the last
+  // exact solve, keyed by its k. A Reweight(theta) step keeps the variable
+  // space, so the basis usually transplants; shape mismatches (different
+  // presolve reductions) are rejected inside the MIP and cost nothing.
+  ilp::SimplexBasis warm_basis_;
+  int warm_basis_k_ = -1;
   // Heuristic-ladder caches. Agglomerative lowest-k partitions per theta
   // (reused across the k ladder); fixed-k agglomerative and greedy max-min
   // per k (theta-independent, reused across the theta grid).

@@ -1,0 +1,385 @@
+#include "ilp/basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rdfsr::ilp {
+namespace {
+
+/// Pivot magnitudes at or below this are treated as structural zeros: the
+/// column is declared dependent and repaired.
+constexpr double kSingularTol = 1e-10;
+
+/// Threshold partial pivoting: rows within this factor of the column's max
+/// are numerically acceptable, and among them the sparsest row (smallest
+/// static count) wins — trading a bounded amount of growth for less fill.
+constexpr double kRelPivotTol = 0.1;
+
+/// Smallest eta / replacement pivot the product-form update accepts; below
+/// this Update() reports failure and the caller refactorizes.
+constexpr double kUpdatePivotTol = 1e-9;
+
+struct Entry {
+  int idx;
+  double val;
+};
+
+// ---------------------------------------------------------------------------
+// Sparse LU (left-looking Gilbert–Peierls style elimination).
+// ---------------------------------------------------------------------------
+
+class LuFactorization final : public BasisRep {
+ public:
+  explicit LuFactorization(int m) : m_(m) {}
+
+  void Factorize(const SparseColumns& cols, int n_struct,
+                 std::vector<int>* basic, std::vector<int>* ejected) override;
+  void Ftran(std::vector<double>* v) const override;
+  void FtranColumn(const std::vector<std::pair<int, double>>& column,
+                   std::vector<double>* w) const override;
+  void Btran(std::vector<double>* v) const override;
+  bool Update(int pos, const std::vector<double>& w) override;
+  int eta_length() const override { return static_cast<int>(etas_.size()); }
+
+ private:
+  // Eliminates one basis column (basis position `p`). Returns false when the
+  // column is dependent on the already-pivoted set (caller repairs it).
+  bool FactorColumn(const std::vector<std::pair<int, double>>& col, int p,
+                    const std::vector<int>& row_count, int* done,
+                    std::vector<double>* work, std::vector<int>* touched);
+
+  int m_;
+  // Factor storage, indexed by elimination order k:
+  //   col_order_[k]  basis position eliminated k-th       (k -> position)
+  //   pivot_row_[k]  matrix row chosen as pivot           (k -> row)
+  //   row_pos_[r]    inverse of pivot_row_                (row -> k)
+  //   l_cols_[k]     L multipliers (matrix row, l)        (unit diagonal)
+  //   u_cols_[k]     U off-diagonals (position k' < k, value)
+  //   u_diag_[k]     U diagonal
+  std::vector<int> col_order_, pivot_row_, row_pos_;
+  std::vector<std::vector<Entry>> l_cols_, u_cols_;
+  std::vector<double> u_diag_;
+
+  // Product-form updates since the last factorization, oldest first. `pos`
+  // and `others` indices live in basis-position space.
+  struct Eta {
+    int pos;
+    double pivot;
+    std::vector<Entry> others;
+  };
+  std::vector<Eta> etas_;
+
+  mutable std::vector<double> scratch_;
+};
+
+void LuFactorization::Factorize(const SparseColumns& cols, int n_struct,
+                                std::vector<int>* basic,
+                                std::vector<int>* ejected) {
+  etas_.clear();
+  l_cols_.assign(m_, {});
+  u_cols_.assign(m_, {});
+  u_diag_.assign(m_, 0.0);
+  col_order_.assign(m_, -1);
+  pivot_row_.assign(m_, -1);
+  row_pos_.assign(m_, -1);
+
+  // Static row counts over the basis columns: the Markowitz-style tie-break.
+  std::vector<int> row_count(m_, 0);
+  for (int p = 0; p < m_; ++p) {
+    for (const auto& [row, coef] : cols[(*basic)[p]]) {
+      (void)coef;
+      ++row_count[row];
+    }
+  }
+
+  // Eliminate sparsest columns first; stable sort keeps ties deterministic.
+  std::vector<int> order(m_);
+  for (int p = 0; p < m_; ++p) order[p] = p;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return cols[(*basic)[a]].size() < cols[(*basic)[b]].size();
+  });
+
+  std::vector<double> work(m_, 0.0);
+  std::vector<int> touched;
+  touched.reserve(m_);
+  std::vector<int> deferred;
+  int done = 0;
+  for (int p : order) {
+    if (!FactorColumn(cols[(*basic)[p]], p, row_count, &done, &work,
+                      &touched)) {
+      deferred.push_back(p);
+    }
+  }
+
+  if (!deferred.empty()) {
+    // Repair: dependent columns are swapped for the slacks of rows the
+    // elimination never pivoted. A slack column -e_r is untouched by the
+    // L-pass (it is zero on every pivot row), so it pivots trivially at r.
+    std::sort(deferred.begin(), deferred.end());
+    std::vector<int> free_rows;
+    for (int r = 0; r < m_; ++r) {
+      if (row_pos_[r] < 0) free_rows.push_back(r);
+    }
+    std::size_t next = 0;
+    for (int p : deferred) {
+      const int r = free_rows[next++];
+      ejected->push_back((*basic)[p]);
+      (*basic)[p] = n_struct + r;
+      const int k = done++;
+      col_order_[k] = p;
+      pivot_row_[k] = r;
+      row_pos_[r] = k;
+      u_diag_[k] = -1.0;
+    }
+  }
+}
+
+bool LuFactorization::FactorColumn(
+    const std::vector<std::pair<int, double>>& col, int p,
+    const std::vector<int>& row_count, int* done, std::vector<double>* work_io,
+    std::vector<int>* touched_io) {
+  std::vector<double>& work = *work_io;
+  std::vector<int>& touched = *touched_io;
+  touched.clear();
+  for (const auto& [row, coef] : col) {
+    if (work[row] == 0.0) touched.push_back(row);
+    work[row] += coef;
+  }
+
+  // Apply the already-computed L columns in elimination order; each op can
+  // spread the column into new rows, so the scan walks all finished columns.
+  const int finished = *done;
+  for (int k = 0; k < finished; ++k) {
+    const double val = work[pivot_row_[k]];
+    if (val == 0.0) continue;
+    for (const Entry& e : l_cols_[k]) {
+      if (work[e.idx] == 0.0) touched.push_back(e.idx);
+      work[e.idx] -= e.val * val;
+    }
+  }
+
+  // Pivot choice among unpivoted rows: numerically acceptable (threshold
+  // partial pivoting), then sparsest row, then largest magnitude, then
+  // smallest row index for determinism.
+  double maxabs = 0.0;
+  for (int i : touched) {
+    if (row_pos_[i] >= 0) continue;
+    const double a = std::fabs(work[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  if (maxabs <= kSingularTol) {
+    for (int i : touched) work[i] = 0.0;
+    return false;
+  }
+  const double accept = std::max(kSingularTol, kRelPivotTol * maxabs);
+  int pivot = -1;
+  int best_count = std::numeric_limits<int>::max();
+  double best_abs = 0.0;
+  for (int i : touched) {
+    if (row_pos_[i] >= 0) continue;
+    const double a = std::fabs(work[i]);
+    if (a < accept) continue;
+    const bool better =
+        pivot < 0 || row_count[i] < best_count ||
+        (row_count[i] == best_count &&
+         (a > best_abs || (a == best_abs && i < pivot)));
+    if (better) {
+      pivot = i;
+      best_count = row_count[i];
+      best_abs = a;
+    }
+  }
+
+  const int k = (*done)++;
+  col_order_[k] = p;
+  pivot_row_[k] = pivot;
+  row_pos_[pivot] = k;
+  const double diag = work[pivot];
+  u_diag_[k] = diag;
+  work[pivot] = 0.0;
+  for (int i : touched) {
+    const double v = work[i];
+    work[i] = 0.0;  // duplicates in `touched` read 0.0 and are skipped
+    if (v == 0.0) continue;
+    if (row_pos_[i] >= 0) {
+      u_cols_[k].push_back({row_pos_[i], v});
+    } else {
+      l_cols_[k].push_back({i, v / diag});
+    }
+  }
+  return true;
+}
+
+void LuFactorization::Ftran(std::vector<double>* v) const {
+  std::vector<double>& x = *v;
+  // L pass in elimination order, in row space.
+  for (int k = 0; k < m_; ++k) {
+    const double val = x[pivot_row_[k]];
+    if (val == 0.0) continue;
+    for (const Entry& e : l_cols_[k]) x[e.idx] -= e.val * val;
+  }
+  // Gather to elimination order and back-substitute through U.
+  std::vector<double>& z = scratch_;
+  z.resize(m_);
+  for (int k = 0; k < m_; ++k) z[k] = x[pivot_row_[k]];
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double xk = z[k] / u_diag_[k];
+    z[k] = xk;
+    if (xk == 0.0) continue;
+    for (const Entry& e : u_cols_[k]) z[e.idx] -= e.val * xk;
+  }
+  // Scatter to basis-position space, then sweep the eta file oldest-first:
+  // B_new = B_old * E, so B_new^-1 applies E^-1 after the base solve.
+  for (int k = 0; k < m_; ++k) x[col_order_[k]] = z[k];
+  for (const Eta& eta : etas_) {
+    const double piv = x[eta.pos] / eta.pivot;
+    x[eta.pos] = piv;
+    if (piv == 0.0) continue;
+    for (const Entry& e : eta.others) x[e.idx] -= e.val * piv;
+  }
+}
+
+void LuFactorization::FtranColumn(
+    const std::vector<std::pair<int, double>>& column,
+    std::vector<double>* w) const {
+  w->assign(m_, 0.0);
+  for (const auto& [row, coef] : column) (*w)[row] += coef;
+  Ftran(w);
+}
+
+void LuFactorization::Btran(std::vector<double>* v) const {
+  std::vector<double>& y = *v;
+  // Eta file newest-first: B_new^-T applies E^-T before the base solve.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = y[it->pos];
+    for (const Entry& e : it->others) acc -= e.val * y[e.idx];
+    y[it->pos] = acc / it->pivot;
+  }
+  // Gather to elimination order, solve U^T forward.
+  std::vector<double>& z = scratch_;
+  z.resize(m_);
+  for (int k = 0; k < m_; ++k) z[k] = y[col_order_[k]];
+  for (int k = 0; k < m_; ++k) {
+    double acc = z[k];
+    for (const Entry& e : u_cols_[k]) acc -= e.val * z[e.idx];
+    z[k] = acc / u_diag_[k];
+  }
+  // Scatter to row space, then apply the transposed L ops in reverse order:
+  // each op adjusts only its own pivot row from rows eliminated later.
+  for (int k = 0; k < m_; ++k) y[pivot_row_[k]] = z[k];
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = y[pivot_row_[k]];
+    for (const Entry& e : l_cols_[k]) acc -= e.val * y[e.idx];
+    y[pivot_row_[k]] = acc;
+  }
+}
+
+bool LuFactorization::Update(int pos, const std::vector<double>& w) {
+  const double piv = w[pos];
+  if (std::fabs(piv) < kUpdatePivotTol) return false;
+  Eta eta;
+  eta.pos = pos;
+  eta.pivot = piv;
+  for (int i = 0; i < m_; ++i) {
+    if (i == pos) continue;
+    if (w[i] != 0.0) eta.others.push_back({i, w[i]});
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Dense inverse: the pre-sparse baseline. Factorization (including warm-start
+// repair) delegates to the LU and densifies its inverse; per-iteration ops
+// are the original O(m^2) row-operation machinery.
+// ---------------------------------------------------------------------------
+
+class DenseInverse final : public BasisRep {
+ public:
+  explicit DenseInverse(int m) : m_(m), lu_(m) {}
+
+  void Factorize(const SparseColumns& cols, int n_struct,
+                 std::vector<int>* basic, std::vector<int>* ejected) override {
+    lu_.Factorize(cols, n_struct, basic, ejected);
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    std::vector<double> col(m_);
+    for (int i = 0; i < m_; ++i) {
+      col.assign(m_, 0.0);
+      col[i] = 1.0;
+      lu_.Ftran(&col);  // column i of B^-1
+      for (int r = 0; r < m_; ++r) {
+        binv_[static_cast<std::size_t>(r) * m_ + i] = col[r];
+      }
+    }
+  }
+
+  void Ftran(std::vector<double>* v) const override {
+    std::vector<double>& out = scratch_;
+    out.assign(m_, 0.0);
+    for (int r = 0; r < m_; ++r) {
+      const double* row = &binv_[static_cast<std::size_t>(r) * m_];
+      double acc = 0.0;
+      for (int k = 0; k < m_; ++k) acc += row[k] * (*v)[k];
+      out[r] = acc;
+    }
+    v->swap(out);
+  }
+
+  void FtranColumn(const std::vector<std::pair<int, double>>& column,
+                   std::vector<double>* w) const override {
+    // Exploits the column's sparsity: O(nnz * m) instead of O(m^2).
+    w->assign(m_, 0.0);
+    for (const auto& [row, coef] : column) {
+      for (int r = 0; r < m_; ++r) {
+        (*w)[r] += binv_[static_cast<std::size_t>(r) * m_ + row] * coef;
+      }
+    }
+  }
+
+  void Btran(std::vector<double>* v) const override {
+    std::vector<double>& out = scratch_;
+    out.assign(m_, 0.0);
+    for (int r = 0; r < m_; ++r) {
+      const double cr = (*v)[r];
+      if (cr == 0.0) continue;
+      const double* row = &binv_[static_cast<std::size_t>(r) * m_];
+      for (int k = 0; k < m_; ++k) out[k] += row[k] * cr;
+    }
+    v->swap(out);
+  }
+
+  bool Update(int pos, const std::vector<double>& w) override {
+    const double piv = w[pos];
+    if (std::fabs(piv) < kUpdatePivotTol) return false;
+    double* prow = &binv_[static_cast<std::size_t>(pos) * m_];
+    const double inv = 1.0 / piv;
+    for (int k = 0; k < m_; ++k) prow[k] *= inv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == pos) continue;
+      const double f = w[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+    }
+    return true;
+  }
+
+ private:
+  int m_;
+  LuFactorization lu_;
+  std::vector<double> binv_;  // row-major: binv_[pos][row]
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<BasisRep> MakeLuFactorization(int m) {
+  return std::make_unique<LuFactorization>(m);
+}
+
+std::unique_ptr<BasisRep> MakeDenseInverse(int m) {
+  return std::make_unique<DenseInverse>(m);
+}
+
+}  // namespace rdfsr::ilp

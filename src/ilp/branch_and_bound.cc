@@ -45,20 +45,32 @@ const char* MipStopReasonName(MipStopReason reason) {
 
 namespace {
 
+constexpr double kOne = 1.0;
+/// Work cap for the root probing pass, in row-term evaluations. Keeps the
+/// pass a fixed small fraction of a big instance's solve time.
+constexpr long long kProbeBudget = 2000000;
+
 class BranchAndBound {
  public:
   BranchAndBound(const Model& model, const MipOptions& options)
       : model_(model), options_(options) {
-    lb_.resize(model.num_variables());
-    ub_.resize(model.num_variables());
-    for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    const std::size_t n = model.num_variables();
+    lb_.resize(n);
+    ub_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
       lb_[j] = model.variable(j).lower;
       ub_[j] = model.variable(j).upper;
     }
+    pc_down_.assign(n, 0.0);
+    pc_up_.assign(n, 0.0);
+    cnt_down_.assign(n, 0);
+    cnt_up_.assign(n, 0);
   }
 
   MipResult Run() {
-    Dfs();
+    bool root_infeasible = false;
+    if (options_.root_probing && !ShouldStop()) root_infeasible = !Probe();
+    if (!root_infeasible) Dfs(options_.warm_basis, nullptr);
     MipResult result;
     result.nodes = nodes_;
     result.seconds = timer_.Seconds();
@@ -82,6 +94,8 @@ class BranchAndBound {
     } else {
       result.status = exhausted_ ? MipStatus::kInfeasible : MipStatus::kUnknown;
     }
+    result.lp_stats = lp_stats_;
+    result.root_basis = std::move(root_basis_);
     return result;
   }
 
@@ -111,11 +125,73 @@ class BranchAndBound {
     return false;
   }
 
-  void Dfs() {
+  /// The branch a node was created by, for pseudo-cost bookkeeping.
+  struct BranchInfo {
+    int var;
+    bool up;
+    double dist;         ///< Distance from the LP value to the branch bound.
+    double parent_obj;   ///< Parent node's LP objective.
+    double parent_frac;  ///< Parent node's total fractionality.
+  };
+
+  /// Root-fixing pass: propagate the row implications, then probe each
+  /// still-free binary at both values; a value whose propagation is
+  /// infeasible fixes the variable (adopting the surviving side's propagated
+  /// bounds, which hold for every feasible solution). Returns false when the
+  /// model is proven infeasible outright.
+  bool Probe() {
+    if (!PropagateBounds(model_, &lb_, &ub_, 2)) return false;
+    long long budget = kProbeBudget;
+    const std::size_t n = model_.num_variables();
+    for (std::size_t j = 0; j < n && budget > 0; ++j) {
+      if (!model_.variable(j).is_integer) continue;
+      if (lb_[j] != 0.0 || ub_[j] != kOne) continue;  // only free binaries
+      std::vector<double> lb0 = lb_, ub0 = ub_;
+      ub0[j] = 0.0;
+      const bool feasible0 = PropagateBounds(model_, &lb0, &ub0, 2, &budget);
+      std::vector<double> lb1 = lb_, ub1 = ub_;
+      lb1[j] = kOne;
+      const bool feasible1 = PropagateBounds(model_, &lb1, &ub1, 2, &budget);
+      if (!feasible0 && !feasible1) return false;
+      if (!feasible0) {
+        lb_ = std::move(lb1);
+        ub_ = std::move(ub1);
+      } else if (!feasible1) {
+        lb_ = std::move(lb0);
+        ub_ = std::move(ub0);
+      }
+    }
+    return PropagateBounds(model_, &lb_, &ub_, 2);
+  }
+
+  /// Per-unit degradation observed by solving a child node's LP: objective
+  /// increase when the model optimizes, total-fractionality decrease on
+  /// zero-objective decision instances.
+  void RecordPseudoCost(const BranchInfo& info, double obj, double frac) {
+    const double gain = model_.objective().empty()
+                            ? std::max(info.parent_frac - frac, 0.0)
+                            : std::max(obj - info.parent_obj, 0.0);
+    const double dist = std::max(info.dist, options_.integer_tol);
+    if (info.up) {
+      pc_up_[info.var] += gain / dist;
+      ++cnt_up_[info.var];
+    } else {
+      pc_down_[info.var] += gain / dist;
+      ++cnt_down_[info.var];
+    }
+  }
+
+  void Dfs(const SimplexBasis* warm, const BranchInfo* pending) {
     if (ShouldStop()) return;
     ++nodes_;
 
-    const LpResult lp = SolveLp(model_, options_.lp, &lb_, &ub_);
+    SimplexOptions lp_options = options_.lp;
+    if (options_.warm_start_lps && warm != nullptr && !warm->empty()) {
+      lp_options.warm_start = warm;
+    }
+    const LpResult lp = SolveLp(model_, lp_options, &lb_, &ub_);
+    lp_stats_.MergeWith(lp.stats);
+    if (nodes_ == 1) root_basis_ = lp.basis;
     if (lp.status == LpStatus::kInfeasible) return;  // prune
     if (lp.status == LpStatus::kIterationLimit) {
       // Cannot trust this subtree either way.
@@ -138,23 +214,53 @@ class BranchAndBound {
       return;
     }
 
-    // Bound pruning against the incumbent (minimization).
-    if (have_incumbent_ && !model_.objective().empty() &&
-        lp.objective > incumbent_obj_ - 1e-9) {
-      return;
+    // Branch-candidate scan: total fractionality feeds the pseudo-cost
+    // update; the selected variable depends on the branching rule.
+    int branch_var = -1;
+    double total_frac = 0.0;
+    if (options_.branching == BranchingRule::kMostFractional) {
+      double branch_frac = options_.integer_tol;
+      for (std::size_t j = 0; j < model_.num_variables(); ++j) {
+        if (!model_.variable(j).is_integer) continue;
+        const double v = lp.x[j];
+        const double frac = std::abs(v - std::round(v));
+        total_frac += frac;
+        if (frac > branch_frac) {
+          branch_frac = frac;
+          branch_var = static_cast<int>(j);
+        }
+      }
+    } else {
+      // Pseudo-cost product rule; unvisited directions score 1.0, so with no
+      // history this reduces exactly to the most-fractional rule (f * (1-f)
+      // is monotone in the distance to the nearest integer).
+      double best_score = 0.0;
+      for (std::size_t j = 0; j < model_.num_variables(); ++j) {
+        if (!model_.variable(j).is_integer) continue;
+        const double v = lp.x[j];
+        const double f = v - std::floor(v);
+        const double frac = std::min(f, 1.0 - f);
+        total_frac += frac;
+        if (frac <= options_.integer_tol) continue;
+        const double down = cnt_down_[j] > 0 ? pc_down_[j] / cnt_down_[j] : kOne;
+        const double up = cnt_up_[j] > 0 ? pc_up_[j] / cnt_up_[j] : kOne;
+        const double score = (down * f) * (up * (1.0 - f));
+        if (branch_var < 0 || score > best_score) {
+          best_score = score;
+          branch_var = static_cast<int>(j);
+        }
+      }
+    }
+    if (pending != nullptr) {
+      RecordPseudoCost(*pending, lp.objective, total_frac);
     }
 
-    // Find the most fractional integer variable.
-    int branch_var = -1;
-    double branch_frac = options_.integer_tol;
-    for (std::size_t j = 0; j < model_.num_variables(); ++j) {
-      if (!model_.variable(j).is_integer) continue;
-      const double v = lp.x[j];
-      const double frac = std::abs(v - std::round(v));
-      if (frac > branch_frac) {
-        branch_frac = frac;
-        branch_var = static_cast<int>(j);
-      }
+    // Bound pruning against the incumbent (minimization): prune when the
+    // node bound cannot improve the incumbent by more than the gap.
+    if (have_incumbent_ && !model_.objective().empty()) {
+      const double gap =
+          options_.cutoff_abs + options_.cutoff_rel * std::abs(incumbent_obj_);
+      if (lp.objective > incumbent_obj_ - gap) return;
     }
 
     if (branch_var < 0) {
@@ -188,18 +294,21 @@ class BranchAndBound {
     const double saved_lb = lb_[branch_var];
     const double saved_ub = ub_[branch_var];
 
-    // Nearest side first (diving): below if frac < 0.5.
+    // Nearest side first (diving): below if frac < 0.5. Children reuse this
+    // node's optimal basis as their LP warm start.
     // lint:allow(float-compare: branching-order heuristic, both sides explored)
     const bool down_first = (v - floor_v) < 0.5;
     for (int side = 0; side < 2; ++side) {
       const bool down = (side == 0) == down_first;
+      BranchInfo info{branch_var, !down, down ? v - floor_v : ceil_v - v,
+                      lp.objective, total_frac};
       if (down) {
         ub_[branch_var] = floor_v;
-        if (lb_[branch_var] <= ub_[branch_var]) Dfs();
+        if (lb_[branch_var] <= ub_[branch_var]) Dfs(&lp.basis, &info);
         ub_[branch_var] = saved_ub;
       } else {
         lb_[branch_var] = ceil_v;
-        if (lb_[branch_var] <= ub_[branch_var]) Dfs();
+        if (lb_[branch_var] <= ub_[branch_var]) Dfs(&lp.basis, &info);
         lb_[branch_var] = saved_lb;
       }
       if (stopped_early_) return;
@@ -209,6 +318,10 @@ class BranchAndBound {
   const Model& model_;
   const MipOptions& options_;
   std::vector<double> lb_, ub_;
+  std::vector<double> pc_down_, pc_up_;  // pseudo-cost degradation sums
+  std::vector<int> cnt_down_, cnt_up_;   // observations per direction
+  LpEngineStats lp_stats_;
+  SimplexBasis root_basis_;
   WallTimer timer_;
 
   long long nodes_ = 0;

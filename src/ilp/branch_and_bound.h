@@ -1,11 +1,26 @@
 // Branch-and-bound mixed-integer solver over the LP relaxation.
 //
-// Depth-first search branching on the most fractional integer variable,
-// exploring the nearest-integer side first (an implicit diving heuristic that
-// finds feasible partitions quickly — the paper observed the same asymmetry
-// with CPLEX: feasible instances solve in milliseconds, infeasibility proofs
-// can take hours). Node and wall-clock limits turn the result into kUnknown
-// rather than a wrong "infeasible".
+// Depth-first search exploring the nearest-integer side first (an implicit
+// diving heuristic that finds feasible partitions quickly — the paper
+// observed the same asymmetry with CPLEX: feasible instances solve in
+// milliseconds, infeasibility proofs can take hours). Node and wall-clock
+// limits turn the result into kUnknown rather than a wrong "infeasible".
+//
+// The branch variable is chosen by pseudo-costs seeded with fractionality:
+// until a variable has branching history the score degenerates to the classic
+// most-fractional rule, after which the measured per-unit degradation (LP
+// objective for optimization, total-fractionality reduction for
+// zero-objective decision instances) takes over. A root-fixing pass
+// (ilp/presolve.h PropagateBounds) probes each still-free binary against the
+// row implications — in the Section-6 encodings, assigning a subject forces
+// its tau-link rows — and permanently fixes variables whose opposite value is
+// propagation-infeasible.
+//
+// Every node LP is warm-started from its parent's optimal basis (the child
+// differs by one variable bound, so phase-1 typically needs a handful of
+// pivots), and MipOptions::warm_basis lets callers seed the root LP from a
+// previous solve of a near-identical instance (the RefinementSolver theta
+// grid). The final root basis comes back in MipResult::root_basis.
 
 #ifndef RDFSR_ILP_BRANCH_AND_BOUND_H_
 #define RDFSR_ILP_BRANCH_AND_BOUND_H_
@@ -57,6 +72,19 @@ struct MipResult {
   /// Number of node LPs that hit the simplex iteration limit (those subtrees
   /// are undecided, so optimality/infeasibility can no longer be proven).
   long long lp_iteration_limit_hits = 0;
+  /// Solve internals aggregated over every node LP (pivots, refactorizations,
+  /// basis reuses, eta-file high-water mark).
+  LpEngineStats lp_stats;
+  /// The root LP's final basis. When presolve ran this lives in the reduced
+  /// variable space; feeding it back through MipOptions::warm_basis on a
+  /// near-identical instance is safe because mismatched shapes are ignored.
+  SimplexBasis root_basis;
+};
+
+/// Branch-variable selection rule.
+enum class BranchingRule {
+  kPseudoCost,       ///< Fractionality-seeded pseudo-costs (default).
+  kMostFractional,   ///< Classic most-fractional (the pre-pseudo-cost rule).
 };
 
 /// Search limits and behavior.
@@ -70,6 +98,21 @@ struct MipOptions {
   bool stop_at_first_incumbent = true;
   /// Run the root presolve (ilp/presolve.h) before branch-and-bound.
   bool use_presolve = true;
+  BranchingRule branching = BranchingRule::kPseudoCost;
+  /// Warm-start every node LP from its parent's optimal basis.
+  bool warm_start_lps = true;
+  /// Root-fixing pass: probe free binaries by bound propagation before
+  /// diving; variables whose opposite value propagates to infeasibility are
+  /// fixed for the whole tree.
+  bool root_probing = true;
+  /// Optional warm-start basis for the root LP (not owned; must outlive the
+  /// solve). Ignored when its shape does not match the model branch-and-bound
+  /// actually solves (i.e. after presolve).
+  const SimplexBasis* warm_basis = nullptr;
+  /// Incumbent cutoff: a node is pruned when its LP bound cannot improve on
+  /// the incumbent by more than cutoff_abs + cutoff_rel * |incumbent|.
+  double cutoff_abs = 1e-9;
+  double cutoff_rel = 1e-9;
   SimplexOptions lp;
   /// Polled at every node (and, via `lp`, inside each simplex solve): a trip
   /// unwinds the search with the incumbent found so far (anytime semantics).

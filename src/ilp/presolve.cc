@@ -12,6 +12,10 @@ namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr double kFeasTol = 1e-9;
 
+/// Minimum improvement before an implied bound is applied — keeps the
+/// tightening fixpoint from looping on epsilon-sized moves.
+constexpr double kTightenTol = 1e-7;
+
 /// Working copy of the model during reduction rounds.
 struct Working {
   std::vector<double> lb, ub;
@@ -48,6 +52,96 @@ void ActivityRange(const Working& w, const Constraint& row, double* lo,
     }
     if (*lo <= -kInfinity && *hi >= kInfinity) return;
   }
+}
+
+enum TightenOutcome : int {
+  kTightenInfeasible = -1,
+  kTightenNoChange = 0,
+  kTightenChanged = 1,
+};
+
+/// Activity-based implied bounds from one row: each variable's contribution
+/// plus the worst-case activity of the *other* terms must fit inside
+/// [row_lo, row_hi]. Tightens lb/ub in place (only on improvements beyond
+/// kTightenTol); residuals use the bounds from loop entry, which stays valid
+/// because those are relaxations of any tightened bound. Shared by the
+/// presolve rounds and the branch-and-bound root propagation.
+int TightenFromRow(const std::vector<LinTerm>& terms, double row_lo,
+                   double row_hi, std::vector<double>* lb_io,
+                   std::vector<double>* ub_io) {
+  std::vector<double>& lb = *lb_io;
+  std::vector<double>& ub = *ub_io;
+  double sum_lo = 0;
+  double sum_hi = 0;
+  int inf_lo = 0;
+  int inf_hi = 0;
+  for (const LinTerm& t : terms) {
+    const double l = lb[t.var];
+    const double u = ub[t.var];
+    if (t.coef > 0) {
+      if (l <= -kInfinity) ++inf_lo; else sum_lo += t.coef * l;
+      if (u >= kInfinity) ++inf_hi; else sum_hi += t.coef * u;
+    } else {
+      if (u >= kInfinity) ++inf_lo; else sum_lo += t.coef * u;
+      if (l <= -kInfinity) ++inf_hi; else sum_hi += t.coef * l;
+    }
+  }
+  if (inf_lo == 0 && row_hi < kInfinity && sum_lo > row_hi + kFeasTol) {
+    return kTightenInfeasible;
+  }
+  if (inf_hi == 0 && row_lo > -kInfinity && sum_hi < row_lo - kFeasTol) {
+    return kTightenInfeasible;
+  }
+  int outcome = kTightenNoChange;
+  for (const LinTerm& t : terms) {
+    const double l = lb[t.var];
+    const double u = ub[t.var];
+    bool cmin_inf, cmax_inf;
+    double cmin, cmax;
+    if (t.coef > 0) {
+      cmin_inf = l <= -kInfinity;
+      cmin = cmin_inf ? 0 : t.coef * l;
+      cmax_inf = u >= kInfinity;
+      cmax = cmax_inf ? 0 : t.coef * u;
+    } else {
+      cmin_inf = u >= kInfinity;
+      cmin = cmin_inf ? 0 : t.coef * u;
+      cmax_inf = l <= -kInfinity;
+      cmax = cmax_inf ? 0 : t.coef * l;
+    }
+    // Residual activity of the other terms; finite only when this term holds
+    // the row's sole infinite contribution (or there is none).
+    const bool res_lo_finite = inf_lo == (cmin_inf ? 1 : 0);
+    const bool res_hi_finite = inf_hi == (cmax_inf ? 1 : 0);
+    const double res_lo = sum_lo - cmin;
+    const double res_hi = sum_hi - cmax;
+    if (row_hi < kInfinity && res_lo_finite) {
+      const double limit = (row_hi - res_lo) / t.coef;
+      if (t.coef > 0) {
+        if (limit < ub[t.var] - kTightenTol) {
+          ub[t.var] = limit;
+          outcome = kTightenChanged;
+        }
+      } else if (limit > lb[t.var] + kTightenTol) {
+        lb[t.var] = limit;
+        outcome = kTightenChanged;
+      }
+    }
+    if (row_lo > -kInfinity && res_hi_finite) {
+      const double limit = (row_lo - res_hi) / t.coef;
+      if (t.coef > 0) {
+        if (limit > lb[t.var] + kTightenTol) {
+          lb[t.var] = limit;
+          outcome = kTightenChanged;
+        }
+      } else if (limit < ub[t.var] - kTightenTol) {
+        ub[t.var] = limit;
+        outcome = kTightenChanged;
+      }
+    }
+    if (lb[t.var] > ub[t.var] + kFeasTol) return kTightenInfeasible;
+  }
+  return outcome;
 }
 
 /// One reduction round; returns whether anything changed.
@@ -121,6 +215,16 @@ bool Round(Working* w) {
     if (act_lo >= row.lower - kFeasTol && act_hi <= row.upper + kFeasTol) {
       w->removed_row[r] = true;
       changed = true;
+      continue;
+    }
+
+    // Implied variable bounds from this row's activity.
+    const int tightened =
+        TightenFromRow(row.terms, row.lower, row.upper, &w->lb, &w->ub);
+    if (tightened == kTightenInfeasible) {
+      w->infeasible = true;
+    } else if (tightened == kTightenChanged) {
+      changed = true;
     }
   }
   TightenIntegerBounds(w);
@@ -128,6 +232,34 @@ bool Round(Working* w) {
 }
 
 }  // namespace
+
+bool PropagateBounds(const Model& model, std::vector<double>* lb,
+                     std::vector<double>* ub, int max_rounds,
+                     long long* budget) {
+  RDFSR_CHECK_EQ(lb->size(), model.num_variables());
+  RDFSR_CHECK_EQ(ub->size(), model.num_variables());
+  for (int round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (std::size_t r = 0; r < model.num_constraints(); ++r) {
+      if (budget != nullptr) {
+        if (*budget <= 0) return true;  // out of budget, bounds still valid
+        *budget -= static_cast<long long>(model.constraint(r).terms.size());
+      }
+      const Constraint& row = model.constraint(r);
+      const int outcome = TightenFromRow(row.terms, row.lower, row.upper, lb, ub);
+      if (outcome == kTightenInfeasible) return false;
+      if (outcome == kTightenChanged) changed = true;
+    }
+    for (std::size_t j = 0; j < model.num_variables(); ++j) {
+      if (!model.variable(j).is_integer) continue;
+      if ((*lb)[j] > -kInfinity) (*lb)[j] = std::ceil((*lb)[j] - kFeasTol);
+      if ((*ub)[j] < kInfinity) (*ub)[j] = std::floor((*ub)[j] + kFeasTol);
+      if ((*lb)[j] > (*ub)[j] + kFeasTol) return false;
+    }
+    if (!changed) break;
+  }
+  return true;
+}
 
 std::vector<double> PresolveResult::RestoreSolution(
     const std::vector<double>& reduced_x) const {

@@ -8,7 +8,10 @@
 //     objective, then removed,
 //   * activity-redundant rows: a row whose worst-case activity range already
 //     lies inside [lo, hi] is dropped; one whose best case misses the range
-//     proves infeasibility.
+//     proves infeasibility,
+//   * implied variable bounds: from each remaining row, the bound on a.x
+//     minus the worst-case activity of the other terms tightens each
+//     variable's own bounds (classic activity-based bound tightening).
 // Applied to a fixpoint (bounded rounds). The Section-6 encodings benefit
 // twice: the X-sum rows fix variables k = 1 instances completely, and the
 // precedence rows fix the leading X variables of every sort.
@@ -40,6 +43,16 @@ struct PresolveResult {
 
 /// Presolves a model. `max_rounds` bounds the fixpoint iteration.
 PresolveResult Presolve(const Model& model, int max_rounds = 10);
+
+/// Bound propagation against external variable bounds (the branch-and-bound
+/// root-fixing pass): repeatedly derives implied bounds from every row's
+/// activity range, rounding integer bounds each round, and writes the result
+/// into *lb / *ub. Returns false when the bounds prove the model infeasible.
+/// `budget`, when non-null, caps the work in row-term evaluations; when it
+/// runs out propagation stops cleanly (bounds stay valid, just less tight).
+bool PropagateBounds(const Model& model, std::vector<double>* lb,
+                     std::vector<double>* ub, int max_rounds,
+                     long long* budget = nullptr);
 
 }  // namespace rdfsr::ilp
 

@@ -26,13 +26,6 @@ namespace {
 
 constexpr double kPivotEps = 1e-9;
 
-enum class VarState : std::uint8_t {
-  kBasic,
-  kAtLower,
-  kAtUpper,
-  kAtZero,  // free nonbasic, parked at 0
-};
-
 /// Internal solver state for one LP solve.
 class Simplex {
  public:
@@ -42,7 +35,8 @@ class Simplex {
         feas_tol_(std::max(10 * options.tol, 1e-6)),
         n_struct_(static_cast<int>(model.num_variables())),
         m_(static_cast<int>(model.num_constraints())),
-        n_(n_struct_ + m_) {
+        n_(n_struct_ + m_),
+        segment_(std::max(64, n_ / 8)) {
     lb_.resize(n_);
     ub_.resize(n_);
     cost_.assign(n_, 0.0);
@@ -63,29 +57,31 @@ class Simplex {
     }
     for (const LinTerm& t : model.objective()) cost_[t.var] = t.coef;
 
-    // Initial basis: the slack columns (B = -I, so Binv = -I).
-    basic_.resize(m_);
-    state_.assign(n_, VarState::kAtLower);
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int r = 0; r < m_; ++r) {
-      basic_[r] = n_struct_ + r;
-      state_[n_struct_ + r] = VarState::kBasic;
-      binv_[static_cast<std::size_t>(r) * m_ + r] = -1.0;
+    basis_ = options_.basis_kind == BasisKind::kDenseInverse
+                 ? MakeDenseInverse(m_)
+                 : MakeLuFactorization(m_);
+
+    warm_started_ = AdoptWarmBasis(options_.warm_start);
+    if (!warm_started_) {
+      // Cold start: slack basis (B = -I), structurals parked at a bound.
+      basic_.resize(m_);
+      state_.assign(n_, BasisStatus::kAtLower);
+      for (int r = 0; r < m_; ++r) {
+        basic_[r] = n_struct_ + r;
+        state_[n_struct_ + r] = BasisStatus::kBasic;
+      }
+      for (int j = 0; j < n_struct_; ++j) SetNonbasicAtBound(j);
+    } else {
+      ++stats_.basis_reuses;
     }
     x_.assign(n_, 0.0);
-    for (int j = 0; j < n_struct_; ++j) {
-      if (lb_[j] > -kInfinity) {
-        state_[j] = VarState::kAtLower;
-        x_[j] = lb_[j];
-      } else if (ub_[j] < kInfinity) {
-        state_[j] = VarState::kAtUpper;
-        x_[j] = ub_[j];
-      } else {
-        state_[j] = VarState::kAtZero;
-        x_[j] = 0.0;
-      }
+    for (int j = 0; j < n_; ++j) {
+      if (state_[j] == BasisStatus::kBasic) continue;
+      x_[j] = state_[j] == BasisStatus::kAtLower   ? lb_[j]
+              : state_[j] == BasisStatus::kAtUpper ? ub_[j]
+                                                   : 0.0;
     }
-    RecomputeBasics();
+    Factorize();  // also repairs a stale warm basis and recomputes basics
   }
 
   LpResult Run() {
@@ -103,37 +99,11 @@ class Simplex {
       const bool phase1 = ComputePhase1Costs();
       const std::vector<double>& cost = phase1 ? phase1_cost_ : cost_;
 
-      // Pricing: y = c_B * Binv, then reduced costs for nonbasic columns.
+      // Pricing: y = B^-T c_B, then reduced costs for nonbasic columns.
       ComputeDuals(cost);
       const bool bland = iter >= bland_after;
-      int entering = -1;
       int direction = 0;
-      double best_score = options_.tol;
-      for (int j = 0; j < n_; ++j) {
-        if (state_[j] == VarState::kBasic) continue;
-        const double d = cost[j] - ColumnDual(j);
-        int dir = 0;
-        if (state_[j] == VarState::kAtLower && d < -options_.tol) {
-          dir = +1;
-        } else if (state_[j] == VarState::kAtUpper && d > options_.tol) {
-          dir = -1;
-        } else if (state_[j] == VarState::kAtZero &&
-                   std::abs(d) > options_.tol) {
-          dir = d < 0 ? +1 : -1;
-        } else {
-          continue;
-        }
-        if (bland) {  // first eligible index
-          entering = j;
-          direction = dir;
-          break;
-        }
-        if (std::abs(d) > best_score) {
-          best_score = std::abs(d);
-          entering = j;
-          direction = dir;
-        }
-      }
+      const int entering = SelectEntering(cost, bland, &direction);
 
       if (entering < 0) {
         RecomputeBasics();
@@ -151,8 +121,8 @@ class Simplex {
         return result;
       }
 
-      // Column of the entering variable in the current basis: w = Binv * A_j.
-      ComputePivotColumn(entering);
+      // Column of the entering variable in the current basis: w = B^-1 A_j.
+      basis_->FtranColumn(cols_[entering], &w_);
 
       // Ratio test (composite rule: infeasible basics block only at the bound
       // they are approaching from outside).
@@ -219,8 +189,8 @@ class Simplex {
 
       if (blocking_row < 0) {
         // Bound flip: entering stays nonbasic at its other bound.
-        state_[entering] = direction > 0 ? VarState::kAtUpper
-                                         : VarState::kAtLower;
+        state_[entering] =
+            direction > 0 ? BasisStatus::kAtUpper : BasisStatus::kAtLower;
         x_[entering] = direction > 0 ? ub_[entering] : lb_[entering];
         continue;
       }
@@ -228,11 +198,19 @@ class Simplex {
       // Pivot: entering becomes basic in blocking_row.
       const int leaving = basic_[blocking_row];
       x_[leaving] = blocking_target;
-      state_[leaving] = blocking_target == ub_[leaving] ? VarState::kAtUpper
-                                                        : VarState::kAtLower;
-      UpdateInverse(blocking_row);
+      state_[leaving] = blocking_target == ub_[leaving]
+                            ? BasisStatus::kAtUpper
+                            : BasisStatus::kAtLower;
       basic_[blocking_row] = entering;
-      state_[entering] = VarState::kBasic;
+      state_[entering] = BasisStatus::kBasic;
+      ++stats_.pivots;
+      const bool stable = basis_->Update(blocking_row, w_);
+      if (basis_->eta_length() > stats_.max_eta_length) {
+        stats_.max_eta_length = basis_->eta_length();
+      }
+      if (!stable || basis_->eta_length() >= options_.refactor_interval) {
+        Factorize();
+      }
     }
 
     result.status = LpStatus::kIterationLimit;
@@ -242,6 +220,153 @@ class Simplex {
   }
 
  private:
+  /// Validates and adopts a warm-start basis. Returns false (cold start) when
+  /// the snapshot is absent, differently shaped, or internally inconsistent.
+  bool AdoptWarmBasis(const SimplexBasis* warm) {
+    if (warm == nullptr || warm->empty()) return false;
+    if (static_cast<int>(warm->basic.size()) != m_ ||
+        static_cast<int>(warm->status.size()) != n_) {
+      return false;
+    }
+    std::vector<char> in_basis(n_, 0);
+    for (int j : warm->basic) {
+      if (j < 0 || j >= n_ || in_basis[j] != 0) return false;
+      in_basis[j] = 1;
+    }
+    basic_ = warm->basic;
+    state_ = warm->status;
+    for (int j = 0; j < n_; ++j) {
+      if (in_basis[j] != 0) {
+        state_[j] = BasisStatus::kBasic;
+        continue;
+      }
+      // Sanitize nonbasic states against the (possibly changed) bounds.
+      if (state_[j] == BasisStatus::kBasic ||
+          (state_[j] == BasisStatus::kAtLower && lb_[j] <= -kInfinity) ||
+          (state_[j] == BasisStatus::kAtUpper && ub_[j] >= kInfinity)) {
+        SetNonbasicAtBound(j);
+      }
+    }
+    return true;
+  }
+
+  /// Default nonbasic placement for variable j: lower bound if finite, else
+  /// upper bound, else parked free at zero.
+  void SetNonbasicAtBound(int j) {
+    if (lb_[j] > -kInfinity) {
+      state_[j] = BasisStatus::kAtLower;
+    } else if (ub_[j] < kInfinity) {
+      state_[j] = BasisStatus::kAtUpper;
+    } else {
+      state_[j] = BasisStatus::kAtZero;
+    }
+  }
+
+  /// Rebuilds the basis representation from basic_, repairing dependent
+  /// columns (ejected variables move to a bound, replacement slacks become
+  /// basic), and refreshes the basic values.
+  void Factorize() {
+    std::vector<int> ejected;
+    basis_->Factorize(cols_, n_struct_, &basic_, &ejected);
+    ++stats_.refactorizations;
+    stats_.basis_repairs += static_cast<long long>(ejected.size());
+    if (!ejected.empty()) {
+      for (int j : ejected) {
+        SetNonbasicAtBound(j);
+        x_[j] = state_[j] == BasisStatus::kAtLower   ? lb_[j]
+                : state_[j] == BasisStatus::kAtUpper ? ub_[j]
+                                                     : 0.0;
+      }
+      for (int r = 0; r < m_; ++r) state_[basic_[r]] = BasisStatus::kBasic;
+    }
+    RecomputeBasics();
+  }
+
+  /// Picks the entering variable; returns -1 when none is eligible (optimal
+  /// for the current cost vector). `direction` is +1 (increase) or -1.
+  int SelectEntering(const std::vector<double>& cost, bool bland,
+                     int* direction) {
+    auto eligible = [&](int j, double* d_out, int* dir_out) {
+      if (state_[j] == BasisStatus::kBasic) return false;
+      const double d = cost[j] - ColumnDual(j);
+      int dir;
+      if (state_[j] == BasisStatus::kAtLower && d < -options_.tol) {
+        dir = +1;
+      } else if (state_[j] == BasisStatus::kAtUpper && d > options_.tol) {
+        dir = -1;
+      } else if (state_[j] == BasisStatus::kAtZero &&
+                 std::abs(d) > options_.tol) {
+        dir = d < 0 ? +1 : -1;
+      } else {
+        return false;
+      }
+      *d_out = d;
+      *dir_out = dir;
+      return true;
+    };
+
+    if (bland) {  // anti-cycling: first eligible index, always a full rule
+      for (int j = 0; j < n_; ++j) {
+        double d;
+        int dir;
+        if (eligible(j, &d, &dir)) {
+          *direction = dir;
+          return j;
+        }
+      }
+      return -1;
+    }
+
+    if (options_.pricing == PricingRule::kDantzig) {
+      int best = -1;
+      int best_dir = 0;
+      double best_score = options_.tol;
+      for (int j = 0; j < n_; ++j) {
+        double d;
+        int dir;
+        if (!eligible(j, &d, &dir)) continue;
+        if (std::abs(d) > best_score) {
+          best_score = std::abs(d);
+          best = j;
+          best_dir = dir;
+        }
+      }
+      *direction = best_dir;
+      return best;
+    }
+
+    // Partial Dantzig: scan fixed-size segments from a rotating cursor and
+    // take the best candidate of the first segment holding any; a full wrap
+    // with no candidate is the same optimality certificate as a full scan.
+    int scanned = 0;
+    while (scanned < n_) {
+      const int len = std::min(segment_, n_ - scanned);
+      int best = -1;
+      int best_dir = 0;
+      double best_score = options_.tol;
+      for (int t = 0; t < len; ++t) {
+        int j = cursor_ + t;
+        if (j >= n_) j -= n_;
+        double d;
+        int dir;
+        if (!eligible(j, &d, &dir)) continue;
+        if (std::abs(d) > best_score) {
+          best_score = std::abs(d);
+          best = j;
+          best_dir = dir;
+        }
+      }
+      cursor_ += len;
+      if (cursor_ >= n_) cursor_ -= n_;
+      scanned += len;
+      if (best >= 0) {
+        *direction = best_dir;
+        return best;
+      }
+    }
+    return -1;
+  }
+
   /// Fills phase1_cost_ from current basic violations; returns true when any
   /// basic variable is out of bounds (phase 1 needed).
   bool ComputePhase1Costs() {
@@ -273,15 +398,11 @@ class Simplex {
     return total;
   }
 
-  /// y = c_B * Binv.
+  /// y = B^-T c_B.
   void ComputeDuals(const std::vector<double>& cost) {
-    y_.assign(m_, 0.0);
-    for (int r = 0; r < m_; ++r) {
-      const double cb = cost[basic_[r]];
-      if (cb == 0.0) continue;
-      const double* row = &binv_[static_cast<std::size_t>(r) * m_];
-      for (int k = 0; k < m_; ++k) y_[k] += cb * row[k];
-    }
+    y_.resize(m_);
+    for (int r = 0; r < m_; ++r) y_[r] = cost[basic_[r]];
+    basis_->Btran(&y_);
   }
 
   /// y . A_j over the sparse column.
@@ -291,45 +412,15 @@ class Simplex {
     return dual;
   }
 
-  /// w = Binv * A_j.
-  void ComputePivotColumn(int j) {
-    w_.assign(m_, 0.0);
-    for (const auto& [row, coef] : cols_[j]) {
-      if (coef == 0.0) continue;
-      for (int r = 0; r < m_; ++r) {
-        w_[r] += binv_[static_cast<std::size_t>(r) * m_ + row] * coef;
-      }
-    }
-  }
-
-  /// Elementary row operations turning column w into the unit vector e_row.
-  void UpdateInverse(int pivot_row) {
-    const double pivot = w_[pivot_row];
-    RDFSR_CHECK(std::abs(pivot) > kPivotEps) << "numerically singular pivot";
-    double* prow = &binv_[static_cast<std::size_t>(pivot_row) * m_];
-    for (int k = 0; k < m_; ++k) prow[k] /= pivot;
-    for (int r = 0; r < m_; ++r) {
-      if (r == pivot_row) continue;
-      const double factor = w_[r];
-      if (factor == 0.0) continue;
-      double* row = &binv_[static_cast<std::size_t>(r) * m_];
-      for (int k = 0; k < m_; ++k) row[k] -= factor * prow[k];
-    }
-  }
-
-  /// x_B = -Binv * (A_N x_N)  (right-hand side is 0).
+  /// x_B = -B^-1 (A_N x_N)  (right-hand side is 0).
   void RecomputeBasics() {
     std::vector<double> v(m_, 0.0);
     for (int j = 0; j < n_; ++j) {
-      if (state_[j] == VarState::kBasic || x_[j] == 0.0) continue;
+      if (state_[j] == BasisStatus::kBasic || x_[j] == 0.0) continue;
       for (const auto& [row, coef] : cols_[j]) v[row] += coef * x_[j];
     }
-    for (int r = 0; r < m_; ++r) {
-      const double* row = &binv_[static_cast<std::size_t>(r) * m_];
-      double sum = 0.0;
-      for (int k = 0; k < m_; ++k) sum += row[k] * v[k];
-      x_[basic_[r]] = -sum;
-    }
+    basis_->Ftran(&v);
+    for (int r = 0; r < m_; ++r) x_[basic_[r]] = -v[r];
   }
 
   void Extract(LpResult* result) const {
@@ -337,6 +428,10 @@ class Simplex {
     double obj = 0.0;
     for (int j = 0; j < n_struct_; ++j) obj += cost_[j] * x_[j];
     result->objective = obj;
+    result->basis.basic = basic_;
+    result->basis.status = state_;
+    result->stats = stats_;
+    result->warm_started = warm_started_;
   }
 
   const SimplexOptions options_;
@@ -344,14 +439,18 @@ class Simplex {
   const int n_struct_;
   const int m_;
   const int n_;
+  const int segment_;  // partial-pricing segment size
 
-  std::vector<std::vector<std::pair<int, double>>> cols_;  // (row, coef)
+  SparseColumns cols_;  // (row, coef) per column of [A | -I]
   std::vector<double> lb_, ub_, cost_, phase1_cost_;
   std::vector<int> basic_;
-  std::vector<VarState> state_;
-  std::vector<double> binv_;  // m x m row-major
+  std::vector<BasisStatus> state_;
+  std::unique_ptr<BasisRep> basis_;
   std::vector<double> x_;
   std::vector<double> y_, w_;
+  LpEngineStats stats_;
+  bool warm_started_ = false;
+  int cursor_ = 0;  // partial-pricing rotating cursor
 };
 
 }  // namespace

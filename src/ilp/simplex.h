@@ -8,16 +8,29 @@
 // [A | -I] with right-hand side 0 and the slack columns form the initial
 // basis. Feasibility is restored with a composite phase-1 (minimize the sum of
 // basic bound violations, costs recomputed each iteration), then phase 2
-// optimizes the true objective. The basis inverse is kept explicitly (dense)
-// and updated by elementary row operations per pivot; Dantzig pricing with a
-// Bland fallback guards against cycling; basic values are refreshed from the
-// inverse periodically for numerical hygiene.
+// optimizes the true objective.
+//
+// The basis is held behind a BasisRep (see ilp/basis.h): by default a sparse
+// LU factorization with product-form eta updates, refactorized every
+// `refactor_interval` pivots or when an update pivot is numerically unsafe;
+// the explicit dense inverse remains available as a baseline/oracle. Pricing
+// defaults to partial Dantzig (segment scan with a rotating cursor) with the
+// classic full-scan Dantzig rule available; a Bland fallback guards against
+// cycling in either mode. Basic values are refreshed from the factorization
+// periodically for numerical hygiene.
+//
+// Warm starts: every solve returns its final basis in LpResult::basis, and
+// SimplexOptions::warm_start replays such a snapshot — the factorization
+// repairs stale bases (bound changes, numerical singularity) by ejecting
+// dependent columns, and phase-1 restores feasibility from there. A snapshot
+// whose shape does not match the model is ignored (cold start).
 
 #ifndef RDFSR_ILP_SIMPLEX_H_
 #define RDFSR_ILP_SIMPLEX_H_
 
 #include <vector>
 
+#include "ilp/basis.h"
 #include "ilp/model.h"
 #include "util/deadline.h"
 
@@ -40,6 +53,21 @@ struct LpResult {
   double objective = 0.0;
   std::vector<double> x;  ///< Structural variable values (model order).
   int iterations = 0;
+  SimplexBasis basis;        ///< Final basis: feed back via warm_start.
+  LpEngineStats stats;       ///< Pivot / refactorization counters.
+  bool warm_started = false; ///< True when a warm basis was actually adopted.
+};
+
+/// Which basis representation backs the solve.
+enum class BasisKind {
+  kLuFactorization,  ///< Sparse LU + eta file (default).
+  kDenseInverse,     ///< Explicit dense inverse (baseline / oracle).
+};
+
+/// Entering-variable pricing rule.
+enum class PricingRule {
+  kPartialDantzig,  ///< Most-negative within a rotating segment (default).
+  kDantzig,         ///< Most-negative over all columns.
 };
 
 /// Solver options.
@@ -47,6 +75,13 @@ struct SimplexOptions {
   int max_iterations = 200000;
   double tol = 1e-7;           ///< Feasibility / reduced-cost tolerance.
   int refresh_interval = 128;  ///< Recompute basic values every N pivots.
+  /// Refactorize once the eta file reaches this length (LU only).
+  int refactor_interval = 100;
+  BasisKind basis_kind = BasisKind::kLuFactorization;
+  PricingRule pricing = PricingRule::kPartialDantzig;
+  /// Optional warm-start basis (not owned; must outlive the solve). Ignored
+  /// unless its shape matches the model; repaired if stale.
+  const SimplexBasis* warm_start = nullptr;
   /// Polled every ~128 pivots; a trip ends the solve with kCancelled.
   util::CancellationToken cancel;
 };

@@ -205,5 +205,104 @@ TEST(BnbTest, CompletedSolveLeavesStopReasonNone) {
   EXPECT_EQ(r.lp_iteration_limit_hits, 0);
 }
 
+TEST(BnbTest, CutoffToleranceScalesWithObjectiveMagnitude) {
+  // The same knapsack with its objective scaled by 1e9. The old absolute-only
+  // cutoff (incumbent - 1e-9) is far below the LP rounding noise at this
+  // magnitude, so equal-valued subtrees were re-explored instead of pruned;
+  // the relative term keeps the pruning meaningful and the optimum exact.
+  const double kScale = 1e9;
+  Model m;
+  const int a = m.AddBinary("a");
+  const int b = m.AddBinary("b");
+  const int c = m.AddBinary("c");
+  m.AddConstraint("w", {{a, 3.0}, {b, 4.0}, {c, 2.0}}, -kInfinity, 6);
+  m.SetObjective({{a, -10.0 * kScale}, {b, -13.0 * kScale}, {c, -7.0 * kScale}});
+  MipOptions options;
+  options.stop_at_first_incumbent = false;
+  const MipResult r = SolveMip(m, options);
+  ASSERT_EQ(r.status, MipStatus::kOptimal) << MipStatusName(r.status);
+  EXPECT_NEAR(r.objective, -20.0 * kScale, 1e-3 * kScale);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-6);
+}
+
+TEST(BnbTest, BranchingRulesAgreeOnTheOptimum) {
+  // Pseudo-cost and most-fractional branching explore different trees but
+  // must land on the same optimal value.
+  Model m;
+  std::vector<int> vars;
+  const double value[6] = {9, 7, 6, 5, 4, 3};
+  const double weight[6] = {5, 4, 4, 3, 2, 2};
+  std::vector<LinTerm> cap, obj;
+  for (int i = 0; i < 6; ++i) {
+    vars.push_back(m.AddBinary("v"));
+    cap.push_back({vars[i], weight[i]});
+    obj.push_back({vars[i], -value[i]});
+  }
+  m.AddConstraint("cap", std::move(cap), -kInfinity, 9);
+  m.SetObjective(std::move(obj));
+  MipOptions pseudo;
+  pseudo.stop_at_first_incumbent = false;
+  pseudo.branching = BranchingRule::kPseudoCost;
+  MipOptions fractional = pseudo;
+  fractional.branching = BranchingRule::kMostFractional;
+  const MipResult rp = SolveMip(m, pseudo);
+  const MipResult rf = SolveMip(m, fractional);
+  ASSERT_EQ(rp.status, MipStatus::kOptimal);
+  ASSERT_EQ(rf.status, MipStatus::kOptimal);
+  EXPECT_NEAR(rp.objective, rf.objective, 1e-6);
+}
+
+TEST(BnbTest, RootProbingFixesForcedBinaries) {
+  // x + y + z = 3 over binaries forces all three to 1: bound propagation
+  // proves it at the root, so the dive needs at most the root node.
+  Model m;
+  const int x = m.AddBinary("x");
+  const int y = m.AddBinary("y");
+  const int z = m.AddBinary("z");
+  m.AddConstraint("all", {{x, 1.0}, {y, 1.0}, {z, 1.0}}, 3, 3);
+  MipOptions options;
+  options.use_presolve = false;  // leave the fixing to the probe
+  const MipResult r = SolveMip(m, options);
+  ASSERT_TRUE(r.status == MipStatus::kFeasible ||
+              r.status == MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[y], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[z], 1.0, 1e-6);
+  EXPECT_LE(r.nodes, 1);
+}
+
+TEST(BnbTest, RootProbingProvesInfeasibilityWithoutSearch) {
+  // Both values of x propagate to a contradiction: x = 1 violates the first
+  // row, x = 0 the second. The probe alone must prove infeasibility.
+  Model m;
+  const int x = m.AddBinary("x");
+  const int y = m.AddBinary("y");
+  m.AddConstraint("no_up", {{x, 2.0}, {y, 1.0}}, -kInfinity, 1.5);
+  m.AddConstraint("no_down", {{x, 2.0}, {y, -1.0}}, 1.5, kInfinity);
+  MipOptions options;
+  options.use_presolve = false;
+  const MipResult r = SolveMip(m, options);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  EXPECT_EQ(r.nodes, 0);
+}
+
+TEST(BnbTest, ResultCarriesEngineStatsAndRootBasis) {
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(m.AddBinary("v"));
+  std::vector<LinTerm> sum;
+  for (int v : vars) sum.push_back({v, 2.0});
+  m.AddConstraint("parity", std::move(sum), 7, 7);  // infeasible: forces work
+  const MipResult r = SolveMip(m);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  EXPECT_GT(r.lp_stats.pivots + r.lp_stats.refactorizations, 0);
+  if (r.nodes > 0) {
+    // One basic variable per row; statuses cover structurals plus slacks.
+    EXPECT_FALSE(r.root_basis.empty());
+    EXPECT_GT(r.root_basis.status.size(), r.root_basis.basic.size());
+  }
+}
+
 }  // namespace
 }  // namespace rdfsr::ilp

@@ -214,6 +214,10 @@ TEST(DeadlineTest, HighestThetaCutMidGridKeepsBestIncumbent) {
   const schema::SignatureIndex index = MakeMessyIndex(7);
   auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
   core::SolverOptions options;
+  // This test is about deadline semantics, not exact solving: gate the MIP at
+  // the messy index's size so the re-armed full run below stays heuristic
+  // (otherwise its endgame instance churns to the MIP time limit).
+  options.max_mip_rows = 4000;
   options.deadline = util::Deadline::After(-1.0);
   core::RefinementSolver solver(cov.get(), options);
   const core::HighestThetaResult cut = solver.FindHighestTheta(2);
@@ -263,13 +267,19 @@ TEST(DeadlineTest, TrippedHeuristicsDoNotPoisonTheCaches) {
   const schema::SignatureIndex index = MakeMessyIndex(29);
   auto cov = eval::MakeEvaluator(rules::CovRule(), &index);
   core::SolverOptions options;
+  // Deadline-semantics test: gate the MIP at this index's size so the
+  // un-deadlined sweeps stay in the heuristic regime (the exact endgame
+  // would otherwise churn to the MIP time limit on every sweep).
+  options.max_mip_rows = 4000;
   options.deadline = util::Deadline::After(-1.0);
   core::RefinementSolver reused(cov.get(), options);
   (void)reused.FindHighestTheta(2);  // cut immediately; may cache nothing
   reused.set_deadline(util::Deadline());
   const core::HighestThetaResult warm = reused.FindHighestTheta(2);
 
-  core::RefinementSolver fresh(cov.get());
+  core::SolverOptions fresh_options;
+  fresh_options.max_mip_rows = 4000;
+  core::RefinementSolver fresh(cov.get(), fresh_options);
   const core::HighestThetaResult cold = fresh.FindHighestTheta(2);
   EXPECT_FALSE(warm.timed_out);
   EXPECT_EQ(warm.theta, cold.theta);
@@ -289,6 +299,12 @@ TEST(DeadlineTest, AnalysisTimeoutSurfacesTimedOutRefinement) {
   ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
   auto analysis = dataset->Analyze("cov");
   ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // Timeout-semantics test: gate the MIP at this graph's encoding size so the
+  // cleared-budget runs below stay in the heuristic regime instead of
+  // churning on the exact endgame instance.
+  core::SolverOptions gated;
+  gated.max_mip_rows = 4000;
+  analysis->With(std::move(gated));
 
   // An effectively-zero budget: the search is cut through the anytime path
   // but still yields the baseline incumbent.
