@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <queue>
 #include <utility>
@@ -11,7 +10,9 @@
 #include "eval/sort_stats.h"
 #include "schema/property_set.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace rdfsr::core {
@@ -279,6 +280,34 @@ SortRefinement Agglomerate(
     bool allowed = false;
   };
 
+  // Mutex-folded reduction target for the split row scan: pool lanes Offer()
+  // their chunk-local best during the fan-out, the owning thread Take()s the
+  // folded row best after ParallelFor's barrier. The strict total order on
+  // pairs makes the folded result independent of arrival order, and keeping
+  // the guarded fields behind these two methods lets Clang's thread-safety
+  // analysis check the discipline.
+  struct RowFold {
+    util::Mutex mu;
+    PairEntry best RDFSR_GUARDED_BY(mu);
+    bool has RDFSR_GUARDED_BY(mu) = false;
+
+    void Offer(const PairEntry& entry,
+               const std::function<bool(const PairEntry&, const PairEntry&)>&
+                   before) {
+      util::MutexLock lock(mu);
+      if (!has || before(entry, best)) {
+        best = entry;
+        has = true;
+      }
+    }
+
+    bool Take(PairEntry* out) {
+      util::MutexLock lock(mu);
+      if (has) *out = best;
+      return has;
+    }
+  };
+
   // Strict "merge first" order: allowed merges before disallowed ones, then
   // the exactly-higher sigma, then the earlier pair — the same preference the
   // scratch scan applied, minus its 1e-15 float slack.
@@ -336,6 +365,11 @@ SortRefinement Agglomerate(
   // the merged part's own rebuild, which runs outside any row fan-out (the
   // pool's ParallelFor must not nest). Each chunk reduces to a local best;
   // the total order on pairs makes the mutex-folded result unique.
+  // Type-erased once so each Offer() (one per chunk, not per pair) can fold
+  // through the same comparator the serial path uses.
+  const std::function<bool(const PairEntry&, const PairEntry&)>
+      merges_before_fn = merges_before;
+
   const auto compute_row_split = [&](int a) {
     const std::size_t span =
         a + 1 < n ? static_cast<std::size_t>(n - a - 1) : 0;
@@ -343,8 +377,7 @@ SortRefinement Agglomerate(
       compute_row(a);
       return;
     }
-    has_row[a] = 0;
-    std::mutex row_mu;
+    RowFold fold;
     pool->ParallelFor(span, [&](std::size_t lo, std::size_t hi) {
       PairEntry local;
       bool has_local = false;
@@ -357,14 +390,9 @@ SortRefinement Agglomerate(
           has_local = true;
         }
       }
-      if (has_local) {
-        std::lock_guard<std::mutex> lock(row_mu);
-        if (!has_row[a] || merges_before(local, row_best[a])) {
-          row_best[a] = local;
-          has_row[a] = 1;
-        }
-      }
+      if (has_local) fold.Offer(local, merges_before_fn);
     });
+    has_row[a] = fold.Take(&row_best[a]) ? 1 : 0;
   };
 
   const auto recompute_row = [&](int a) {

@@ -79,6 +79,12 @@ void Dictionary::BulkIndex(TermId begin, TermId end) {
   for (TermId id = begin; id < end; ++id) {
     std::size_t i = TermHash{}(terms_[id]) & mask;
     while (true) {
+      // owned-by-phase: slots_ is exclusive to the BulkIndex barrier phase —
+      // BulkAppend sizes it before the fan-out, only BulkIndex lanes touch it
+      // during the phase, and the caller's ParallelFor join publishes it to
+      // single-threaded readers. No mutex capability exists to annotate; the
+      // CAS below is the whole claim protocol.
+      // lint:allow(atomic-ref: slots_ owned by the BulkIndex phase; published by the ParallelFor join)
       std::atomic_ref<std::uint32_t> slot(slots_[i]);
       std::uint32_t expected = kEmptySlot;
       // Every bulk term is distinct from every other term (the merge dedups

@@ -86,6 +86,15 @@ class Dictionary {
   // Usage: BulkAppend once (serial), fill every new slot with BulkSet and
   // publish disjoint id ranges with BulkIndex (both parallel), then resume
   // normal use. Until the protocol completes, lookups are undefined.
+  //
+  // Each step is a capability transfer rather than a lock: BulkAppend runs
+  // with the caller holding exclusive ownership of the dictionary, the
+  // ParallelFor fan-out hands each lane exclusive ownership of its id range
+  // (BulkSet) plus shared CAS-claim access to the slot index (BulkIndex),
+  // and the ParallelFor join returns full ownership to the caller. There is
+  // no mutex for the thread-safety analysis to track across the transfer, so
+  // the atomic claims inside BulkIndex carry `owned-by-phase` contracts
+  // checked by the `atomic-ref` lint rule instead.
 
   /// Appends `count` empty term slots, returning the id of the first, and
   /// pre-grows the slot index to its final size (so BulkIndex never rehashes

@@ -308,6 +308,10 @@ Status Graph::MergeShards(std::vector<Graph>* shards_in, std::size_t count,
     for (std::size_t idx = b; idx < e; ++idx) {
       std::size_t i = TripleHash{}(triples_[idx]) & dmask;
       while (true) {
+        // owned-by-phase: dedup_slots_ is exclusive to phase 8 — assigned
+        // empty before the fan-out, claimed only by these lanes, and handed
+        // to single-threaded readers by the ParallelFor join below.
+        // lint:allow(atomic-ref: dedup_slots_ owned by merge phase 8; published by the ParallelFor join)
         std::atomic_ref<std::uint32_t> slot(dedup_slots_[i]);
         std::uint32_t expected = kEmptySlot;
         if (slot.load(std::memory_order_relaxed) == kEmptySlot &&

@@ -1,10 +1,12 @@
 #include "util/failpoint.h"
 
-#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdfsr::util {
 
@@ -13,15 +15,20 @@ namespace {
 struct Site {
   // Fire on every period-th hit, starting with the first: period == 1 means
   // "always" (name=error), period == floor(100/n) implements name=n%.
+  // Both fields are part of the Registry::mu capability (the guarded map
+  // owns its values): hits used to be a std::atomic bumped through a Site*
+  // held past the lock, which raced a concurrent Arm/Clear rebuilding the
+  // map — a use-after-free on the node. Counting under the lock closes that
+  // and keeps the whole registry one annotated capability.
   std::uint64_t period = 1;
-  std::atomic<std::uint64_t> hits{0};
+  std::uint64_t hits = 0;
 };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // std::map: stable addresses across insertion, no rehash invalidation.
-  std::map<std::string, Site> sites;
-  bool env_loaded = false;
+  std::map<std::string, Site> sites RDFSR_GUARDED_BY(mu);
+  bool env_loaded RDFSR_GUARDED_BY(mu) = false;
 };
 
 Registry& registry() {
@@ -29,7 +36,8 @@ Registry& registry() {
   return *r;
 }
 
-bool ParseSpecLocked(Registry& r, const std::string& spec) {
+bool ParseSpecLocked(Registry& r, const std::string& spec)
+    RDFSR_REQUIRES(r.mu) {
   r.sites.clear();
   std::size_t pos = 0;
   while (pos < spec.size()) {
@@ -63,7 +71,7 @@ bool ParseSpecLocked(Registry& r, const std::string& spec) {
   return true;
 }
 
-void EnsureEnvLoadedLocked(Registry& r) {
+void EnsureEnvLoadedLocked(Registry& r) RDFSR_REQUIRES(r.mu) {
   if (r.env_loaded) return;
   r.env_loaded = true;
   const char* env = std::getenv("RDFSR_FAILPOINTS");
@@ -78,19 +86,14 @@ void EnsureEnvLoadedLocked(Registry& r) {
 
 bool FailpointShouldFire(const char* name) {
   Registry& r = registry();
-  Site* site = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(r.mu);
-    EnsureEnvLoadedLocked(r);
-    auto it = r.sites.find(name);
-    if (it == r.sites.end()) return false;
-    site = &it->second;
-  }
+  MutexLock lock(r.mu);
+  EnsureEnvLoadedLocked(r);
+  auto it = r.sites.find(name);
+  if (it == r.sites.end()) return false;
   // Hit numbering starts at 1; fire on hits 1, 1+period, 1+2*period, ... so a
   // sparse (n%) failpoint still fires on short runs and runs are replayable.
-  const std::uint64_t hit =
-      site->hits.fetch_add(1, std::memory_order_relaxed) + 1;
-  return (hit - 1) % site->period == 0;
+  const std::uint64_t hit = ++it->second.hits;
+  return (hit - 1) % it->second.period == 0;
 }
 
 Status FailpointStatus(const char* name) {
@@ -100,7 +103,7 @@ Status FailpointStatus(const char* name) {
 
 bool ArmFailpointsFromSpec(const std::string& spec) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.env_loaded = true;  // explicit arming overrides the environment
   const bool ok = ParseSpecLocked(r, spec);
   if (!ok) r.sites.clear();
@@ -109,7 +112,7 @@ bool ArmFailpointsFromSpec(const std::string& spec) {
 
 void ClearFailpoints() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.env_loaded = true;
   r.sites.clear();
 }

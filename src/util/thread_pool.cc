@@ -5,7 +5,36 @@
 #include <exception>
 #include <utility>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace rdfsr::util {
+
+namespace {
+
+/// First-exception capture for ParallelFor: lanes Record() concurrently
+/// during the fan-out; the calling thread Take()s after every chunk joined.
+/// Keeping the fold behind methods of the owning class (instead of a bare
+/// mutex + captured locals) lets the thread-safety analysis check the
+/// guarded access on Clang builds.
+class ErrorCapture {
+ public:
+  void Record(std::exception_ptr error) {
+    MutexLock lock(mu_);
+    if (!error_) error_ = std::move(error);
+  }
+
+  std::exception_ptr Take() {
+    MutexLock lock(mu_);
+    return error_;
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ RDFSR_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int workers) {
   threads_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
@@ -16,10 +45,10 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -27,8 +56,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -45,10 +74,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     return future;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -65,8 +94,7 @@ void ThreadPool::ParallelFor(
   const std::size_t chunks = std::min(n, lanes * 4);
   const std::size_t step = (n + chunks - 1) / chunks;
   std::atomic<std::size_t> next{0};
-  std::mutex error_mu;
-  std::exception_ptr error;
+  ErrorCapture error;
   auto run = [&] {
     while (true) {
       const std::size_t begin = next.fetch_add(step);
@@ -74,8 +102,7 @@ void ThreadPool::ParallelFor(
       try {
         fn(begin, std::min(n, begin + step));
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
+        error.Record(std::current_exception());
       }
     }
   };
@@ -88,7 +115,7 @@ void ThreadPool::ParallelFor(
   }
   run();
   for (std::future<void>& h : helpers) h.get();  // run() never throws
-  if (error) std::rethrow_exception(error);
+  if (std::exception_ptr first = error.Take()) std::rethrow_exception(first);
 }
 
 int ThreadPool::ResolveThreads(int requested) {

@@ -18,14 +18,15 @@
 #ifndef RDFSR_UTIL_THREAD_POOL_H_
 #define RDFSR_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rdfsr::util {
 
@@ -65,10 +66,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
-  bool stop_ = false;
+  // The pool's entire cross-thread state is one capability: mu_ guards the
+  // task queue and the shutdown flag; cv_ signals queue transitions under
+  // it. threads_ is not guarded — it is written once by the constructing
+  // thread and joined by the destructor, never touched by workers.
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ RDFSR_GUARDED_BY(mu_);
+  bool stop_ RDFSR_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "rules/builtins.h"
 #include "schema/signature_index.h"
 #include "util/failpoint.h"
+#include "util/thread_pool.h"
 
 namespace rdfsr {
 namespace {
@@ -170,6 +173,47 @@ TEST_F(FailpointTest, MipSolveEntryResolvesToUnknown) {
   util::ClearFailpoints();
   const core::DecisionResult clean = solver.Exists(2, Rational(1));
   EXPECT_EQ(clean.decision, core::Decision::kNotExists);
+}
+
+// Plain TEST, not FailpointTest: the registry APIs are compiled in every
+// build (only the RDFSR_FAILPOINT macro sites compile out), so this
+// regression must run even without -DRDFSR_FAILPOINTS=ON. It pins down the
+// race the annotated registry closed — FailpointShouldFire once counted hits
+// through a Site* held past the registry lock, so a concurrent
+// ArmFailpointsFromSpec/ClearFailpoints rebuilding the map was a
+// use-after-free. Run under TSan via `ctest -L threads`.
+TEST(FailpointRegistryConcurrency, ArmHitReportRace) {
+  util::ClearFailpoints();
+  util::ThreadPool pool(3);
+  // lint:allow(atomic-ref: per-lane fire tallies owned by the ParallelFor phase; read after its join)
+  std::atomic<long> fired{0};
+  pool.ParallelFor(4, [&](std::size_t lane_begin, std::size_t lane_end) {
+    for (std::size_t lane = lane_begin; lane < lane_end; ++lane) {
+      for (int i = 0; i < 5000; ++i) {
+        switch (lane) {
+          case 0:
+            util::ArmFailpointsFromSpec("race.a=error,race.b=50%");
+            break;
+          case 1:
+            util::ClearFailpoints();
+            break;
+          default:
+            if (util::FailpointShouldFire("race.a")) {
+              fired += 1;
+              const Status st = util::FailpointStatus("race.a");
+              EXPECT_EQ(st.code(), StatusCode::kInternal);
+            }
+            util::FailpointShouldFire("race.b");
+            break;
+        }
+      }
+    }
+  });
+  // No crash/deadlock/TSan report is the assertion; the fire count only has
+  // to be sane (armed and cleared windows interleave arbitrarily).
+  EXPECT_GE(fired.load(), 0);
+  util::ClearFailpoints();
+  EXPECT_FALSE(util::FailpointShouldFire("race.a"));
 }
 
 }  // namespace

@@ -20,6 +20,7 @@ namespace {
 TEST(ThreadPoolTest, SubmitRunsTasksToCompletion) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.workers(), 3);
+  // lint:allow(atomic-ref: test-owned counter; Submit futures joined below publish the final value)
   std::atomic<int> counter{0};
   std::vector<std::future<void>> futures;
   for (int i = 0; i < 64; ++i) {
@@ -50,6 +51,7 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   ThreadPool pool(3);
   for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
                               std::size_t{64}, std::size_t{1000}}) {
+    // lint:allow(atomic-ref: per-index hit counters owned by the ParallelFor phase; its join publishes them)
     std::vector<std::atomic<int>> hits(n);
     for (auto& h : hits) h.store(0);
     pool.ParallelFor(n, [&hits](std::size_t b, std::size_t e) {
@@ -72,6 +74,7 @@ TEST(ThreadPoolTest, SubmitFuturePropagatesExceptions) {
 
 TEST(ThreadPoolTest, ParallelForRethrowsTaskException) {
   ThreadPool pool(3);
+  // lint:allow(atomic-ref: chunk-visit counter owned by the ParallelFor phase; read after the rethrowing join)
   std::atomic<int> visited{0};
   EXPECT_THROW(
       pool.ParallelFor(100,
@@ -82,6 +85,7 @@ TEST(ThreadPoolTest, ParallelForRethrowsTaskException) {
       std::runtime_error);
   // All chunks were still dispatched (the rethrow happens after the join),
   // so the pool is quiescent and reusable.
+  // lint:allow(atomic-ref: reuse-round counter owned by the second ParallelFor; its join publishes it)
   std::atomic<int> counter{0};
   pool.ParallelFor(10, [&counter](std::size_t b, std::size_t e) {
     counter += static_cast<int>(e - b);

@@ -1,0 +1,15 @@
+// Known-bad fixture: bare atomics outside src/util/ without an owned-by-phase
+// contract. Both sites below are flagged — the first has no waiver at all,
+// the second has a waiver with no reason text (the contract IS the waiver).
+#include <atomic>
+#include <cstdint>
+
+std::uint32_t fixture_claim(std::uint32_t* slots, std::uint32_t id) {
+  std::atomic_ref<std::uint32_t> slot(slots[0]);  // flagged: no contract
+  std::uint32_t expected = 0;
+  slot.compare_exchange_strong(expected, id);
+
+  // lint:allow(atomic-ref)
+  std::atomic<std::uint32_t> counter{0};  // flagged: waiver states no contract
+  return counter.load();
+}

@@ -1,0 +1,35 @@
+// Known-bad fixture: accepts a cancellation token, loops, and never looks at
+// it — exactly the bug the cancel-poll rule exists for. (Textual fixture:
+// never compiled, only linted.)
+#include "util/deadline.h"
+
+int fixture_ignores_token(int n, const util::CancellationToken& cancel) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {  // flagged: loop never polls `cancel`
+    acc += i;
+  }
+  return acc;
+}
+
+// Forwarding the token is fine: the callee owns the poll obligation.
+int fixture_forwards(int n, const util::CancellationToken& cancel) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += fixture_ignores_token(i, cancel);
+  }
+  return acc;
+}
+
+// Polling through a PeriodicCheck is the canonical pattern.
+int fixture_polls(int n, const util::CancellationToken& cancel) {
+  util::PeriodicCheck check(cancel);
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    if (check.ShouldStop()) break;
+    acc += i;
+  }
+  return acc;
+}
+
+// A declaration alone carries no body to check.
+int fixture_declared(int n, const util::CancellationToken& cancel);

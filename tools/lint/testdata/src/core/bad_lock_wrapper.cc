@@ -1,0 +1,10 @@
+// Known-bad fixture: raw <mutex> primitives outside src/util/. Locking goes
+// through util::Mutex / util::MutexLock (util/mutex.h) so the Clang
+// thread-safety analysis can see the capability.
+#include <mutex>
+
+int fixture_raw_lock() {
+  std::mutex mu;  // flagged: use util::Mutex
+  std::lock_guard<std::mutex> lock(mu);  // flagged: use util::MutexLock
+  return 0;
+}
